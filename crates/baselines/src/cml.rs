@@ -1,0 +1,150 @@
+//! Collaborative Metric Learning (Hsieh et al., WWW 2017).
+//!
+//! The first metric-learning recommender: a single Euclidean space where
+//! `d(u, v) = ‖u − v‖`, trained with the LMNN-style hinge
+//! `[m + d(u,i)² − d(u,j)²]₊` and all embeddings projected into the unit
+//! ball after each step. (The original also uses rank-based weighting and a
+//! covariance regularizer; the hinge + ball projection are what the MARS
+//! paper's CML baseline and Table IV's K=1 column exercise, so that is what
+//! we implement — consistent with the `MarsConfig::cml_like` configuration
+//! in `mars-core`.)
+
+use crate::common::{BaselineConfig, ImplicitRecommender};
+use mars_core::embedding::EmbeddingTable;
+use mars_data::batch::TripletBatcher;
+use mars_data::dataset::Dataset;
+use mars_data::sampler::{UniformNegativeSampler, UserSampler};
+use mars_data::{ItemId, UserId};
+use mars_metrics::Scorer;
+use mars_tensor::ops;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Collaborative metric learning in a single Euclidean space.
+pub struct Cml {
+    cfg: BaselineConfig,
+    user: EmbeddingTable,
+    item: EmbeddingTable,
+}
+
+impl Cml {
+    /// Creates an (untrained) model.
+    pub fn new(cfg: BaselineConfig, num_users: usize, num_items: usize) -> Self {
+        cfg.validate().expect("invalid baseline config");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let scale = 1.0 / (cfg.dim as f32).sqrt();
+        let mut user = EmbeddingTable::uniform(&mut rng, num_users, cfg.dim, scale);
+        let mut item = EmbeddingTable::uniform(&mut rng, num_items, cfg.dim, scale);
+        user.clip_rows_to_unit_ball();
+        item.clip_rows_to_unit_ball();
+        Self { cfg, user, item }
+    }
+
+    /// Max row norm across both tables (invariant: ≤ 1 after training).
+    pub fn max_norm(&self) -> f32 {
+        self.user.max_row_norm().max(self.item.max_row_norm())
+    }
+}
+
+impl Scorer for Cml {
+    fn score(&self, user: UserId, item: ItemId) -> f32 {
+        -ops::dist_sq(self.user.row(user as usize), self.item.row(item as usize))
+    }
+}
+
+impl ImplicitRecommender for Cml {
+    fn fit(&mut self, data: &Dataset) {
+        let x = &data.train;
+        if x.num_interactions() == 0 {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(1));
+        let mut batcher = TripletBatcher::new(
+            UserSampler::uniform(x),
+            UniformNegativeSampler,
+            self.cfg.batch_size,
+        );
+        let batches = batcher.batches_per_epoch(x);
+        let lr = self.cfg.lr;
+        let m = self.cfg.margin;
+        for _ in 0..self.cfg.epochs {
+            for _ in 0..batches {
+                let batch: Vec<_> = batcher.next_batch(x, &mut rng).to_vec();
+                for t in batch {
+                    let u = t.user as usize;
+                    let i = t.positive as usize;
+                    let j = t.negative as usize;
+                    let d_pos = ops::dist_sq(self.user.row(u), self.item.row(i));
+                    let d_neg = ops::dist_sq(self.user.row(u), self.item.row(j));
+                    if m + d_pos - d_neg <= 0.0 {
+                        continue; // hinge inactive
+                    }
+                    // ∂/∂u [d(u,i)² − d(u,j)²] = 2(u−i) − 2(u−j) = 2(j − i)
+                    for d in 0..self.cfg.dim {
+                        let uu = self.user.row(u)[d];
+                        let ii = self.item.row(i)[d];
+                        let jj = self.item.row(j)[d];
+                        self.user.row_mut(u)[d] -= lr * 2.0 * (jj - ii);
+                        self.item.row_mut(i)[d] -= lr * 2.0 * (ii - uu);
+                        self.item.row_mut(j)[d] -= lr * 2.0 * (uu - jj);
+                    }
+                    ops::clip_to_unit_ball(self.user.row_mut(u));
+                    ops::clip_to_unit_ball(self.item.row_mut(i));
+                    ops::clip_to_unit_ball(self.item.row_mut(j));
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "CML"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::tests_support::{improves_over_untrained, tiny_dataset};
+
+    #[test]
+    fn training_improves_ranking() {
+        let data = tiny_dataset();
+        let make = || Cml::new(BaselineConfig::quick(16), data.num_users(), data.num_items());
+        improves_over_untrained(make, &data);
+    }
+
+    #[test]
+    fn ball_constraint_holds_after_training() {
+        let data = tiny_dataset();
+        let mut m = Cml::new(BaselineConfig::quick(8), data.num_users(), data.num_items());
+        m.fit(&data);
+        assert!(m.max_norm() <= 1.0 + 1e-5, "max norm {}", m.max_norm());
+    }
+
+    #[test]
+    fn positive_items_end_up_closer() {
+        let data = tiny_dataset();
+        let mut m = Cml::new(BaselineConfig::quick(16), data.num_users(), data.num_items());
+        m.fit(&data);
+        // Averaged over users: distance to a training positive should be
+        // smaller than to a random non-interacted item.
+        let mut pos = 0.0f64;
+        let mut neg = 0.0f64;
+        let mut n = 0usize;
+        for u in 0..data.num_users() as u32 {
+            let items = data.train.items_of(u);
+            if items.is_empty() {
+                continue;
+            }
+            let p = items[0];
+            let q = (0..data.num_items() as u32)
+                .find(|&v| !data.train.contains(u, v))
+                .unwrap();
+            pos += -m.score(u, p) as f64;
+            neg += -m.score(u, q) as f64;
+            n += 1;
+        }
+        let (avg_pos, avg_neg) = (pos / n as f64, neg / n as f64);
+        assert!(avg_pos < avg_neg, "pos {avg_pos} vs neg {avg_neg}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Shared configuration and the training interface all baselines implement.
+
+use mars_data::dataset::Dataset;
+use mars_metrics::Scorer;
+
+/// Hyperparameters shared by the baselines. Model-specific knobs (memory
+/// slots for LRML, tower widths for NeuMF, …) live on the model structs with
+/// documented defaults.
+#[derive(Clone, Debug)]
+pub struct BaselineConfig {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Training epochs (one epoch ≈ one pass over the interactions).
+    pub epochs: usize,
+    /// Triplets / samples per batch (controls epoch granularity only; the
+    /// updates are per-sample SGD like the reference implementations).
+    pub batch_size: usize,
+    /// Hinge margin where applicable.
+    pub margin: f32,
+    /// L2 regularization weight where applicable.
+    pub reg: f32,
+    /// Negatives per positive for the pointwise models (NeuMF, MetricF).
+    pub negatives_per_positive: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        Self {
+            dim: 32,
+            lr: 0.05,
+            epochs: 20,
+            batch_size: 512,
+            margin: 0.5,
+            reg: 1e-4,
+            negatives_per_positive: 4,
+            seed: 42,
+        }
+    }
+}
+
+impl BaselineConfig {
+    /// Quick-run settings for tests.
+    pub fn quick(dim: usize) -> Self {
+        Self {
+            dim,
+            epochs: 5,
+            batch_size: 256,
+            ..Self::default()
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dim == 0 {
+            return Err("dim must be ≥ 1".into());
+        }
+        if !(self.lr > 0.0 && self.lr.is_finite()) {
+            return Err(format!("invalid lr {}", self.lr));
+        }
+        if self.batch_size == 0 {
+            return Err("batch_size must be ≥ 1".into());
+        }
+        if self.negatives_per_positive == 0 {
+            return Err("negatives_per_positive must be ≥ 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// A recommender trainable from implicit feedback. All baselines implement
+/// this plus [`Scorer`], so the harness treats them uniformly.
+pub trait ImplicitRecommender: Scorer {
+    /// Trains on the dataset's train split.
+    fn fit(&mut self, data: &Dataset);
+
+    /// Model display name (matches the paper's tables).
+    fn name(&self) -> &'static str;
+}
+
+/// Shared helpers for the per-model unit tests (compiled only for tests).
+#[cfg(test)]
+pub mod tests_support {
+    use super::ImplicitRecommender;
+    use mars_data::dataset::Dataset;
+    use mars_data::{SyntheticConfig, SyntheticDataset};
+    use mars_metrics::RankingEvaluator;
+
+    /// A small planted multi-facet dataset every baseline trains on in
+    /// seconds.
+    pub fn tiny_dataset() -> Dataset {
+        SyntheticDataset::generate(
+            "baseline-test",
+            &SyntheticConfig {
+                num_users: 60,
+                num_items: 50,
+                num_interactions: 1500,
+                num_categories: 3,
+                dirichlet_alpha: 0.3,
+                seed: 77,
+                ..Default::default()
+            },
+        )
+        .dataset
+    }
+
+    /// Asserts that training strictly improves test HR@10 over the
+    /// untrained initialization — the basic sanity check every model must
+    /// pass.
+    pub fn improves_over_untrained<M: ImplicitRecommender>(
+        make: impl Fn() -> M,
+        data: &Dataset,
+    ) {
+        let ev = RankingEvaluator::paper();
+        let untrained = make();
+        let before = ev.evaluate(&untrained, data).hr_at(10);
+        let mut model = make();
+        model.fit(data);
+        let after = ev.evaluate(&model, data).hr_at(10);
+        assert!(
+            after > before,
+            "{}: training should improve HR@10 ({before} → {after})",
+            model.name()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        assert!(BaselineConfig::default().validate().is_ok());
+        assert!(BaselineConfig::quick(16).validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        let bad_dim = BaselineConfig { dim: 0, ..Default::default() };
+        assert!(bad_dim.validate().is_err());
+        let bad_lr = BaselineConfig { lr: f32::NAN, ..Default::default() };
+        assert!(bad_lr.validate().is_err());
+        let bad_negs = BaselineConfig { negatives_per_positive: 0, ..Default::default() };
+        assert!(bad_negs.validate().is_err());
+    }
+}

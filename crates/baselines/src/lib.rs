@@ -1,0 +1,82 @@
+//! # mars-baselines
+//!
+//! From-scratch implementations of the eight baselines the paper compares
+//! against (§V-A3), all exposing the same [`mars_metrics::Scorer`] interface
+//! so the benchmark harness evaluates everything under one protocol:
+//!
+//! | Model | Family | Reference |
+//! |---|---|---|
+//! | [`bpr::Bpr`] | MF, pairwise log-sigmoid | Rendle et al., UAI'09 |
+//! | [`nmf::Nmf`] | MF, non-negative multiplicative updates | Lee & Seung, Nature'99 |
+//! | [`neumf::NeuMf`] | neural CF (GMF + MLP tower) | He et al., WWW'17 |
+//! | [`cml::Cml`] | metric learning, hinge + unit ball | Hsieh et al., WWW'17 |
+//! | [`metricf::MetricF`] | metric learning, distance regression | Zhang et al., 2018 |
+//! | [`transcf::TransCf`] | metric learning, neighbourhood translations | Park et al., ICDM'18 |
+//! | [`lrml::Lrml`] | metric learning, memory-attention relations | Tay et al., WWW'18 |
+//! | [`sml::Sml`] | metric learning, symmetric + learnable margins | Li et al., AAAI'20 |
+//!
+//! The implementations follow the cited papers' objectives, with manual
+//! gradients over the `mars-tensor` substrate (a small dense-layer module
+//! in [`nn`] backs the neural models). Hyperparameters default to sensible
+//! mid-range values; the harness tunes the few that matter per dataset.
+
+// Indexed loops over parallel slices are used deliberately in the gradient
+// kernels: the math reads as subscripts (`u[d]`, `v[d]`, `diff[d]`), and
+// zipping three or four iterators obscures which tensor each factor comes
+// from. LLVM elides the bounds checks in release builds (verified in the
+// Criterion benches).
+#![allow(clippy::needless_range_loop)]
+
+pub mod bpr;
+pub mod cml;
+pub mod common;
+pub mod lrml;
+pub mod metricf;
+pub mod neumf;
+pub mod nmf;
+pub mod nn;
+pub mod sml;
+pub mod transcf;
+
+pub use common::{BaselineConfig, ImplicitRecommender};
+
+/// Every baseline by name, for harness iteration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BaselineKind {
+    Bpr,
+    Nmf,
+    NeuMf,
+    Cml,
+    MetricF,
+    TransCf,
+    Lrml,
+    Sml,
+}
+
+impl BaselineKind {
+    /// All baselines in the paper's Table II column order.
+    pub const ALL: [BaselineKind; 8] = [
+        BaselineKind::Bpr,
+        BaselineKind::Nmf,
+        BaselineKind::NeuMf,
+        BaselineKind::Cml,
+        BaselineKind::MetricF,
+        BaselineKind::TransCf,
+        BaselineKind::Lrml,
+        BaselineKind::Sml,
+    ];
+
+    /// Display name as in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BaselineKind::Bpr => "BPR",
+            BaselineKind::Nmf => "NMF",
+            BaselineKind::NeuMf => "NeuMF",
+            BaselineKind::Cml => "CML",
+            BaselineKind::MetricF => "MetricF",
+            BaselineKind::TransCf => "TransCF",
+            BaselineKind::Lrml => "LRML",
+            BaselineKind::Sml => "SML",
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! LRML — Latent Relational Metric Learning (Tay et al., WWW 2018).
+//!
+//! Augments metric learning with a memory module that *induces* a latent
+//! relation vector per user-item pair:
+//!
+//! ```text
+//! s      = (u ⊙ v) K        (attention logits over M memory slots, K: m×d)
+//! a      = softmax(s)
+//! r_uv   = Σ_i a_i · M_i    (the induced relation, M: m×d)
+//! score  = −‖u + r_uv − v‖²
+//! ```
+//!
+//! trained with the pairwise hinge `[λ + d(u,i)² − d(u,j)²]₊`. The gradient
+//! flows through the attention into the keys `K`, memories `M`, and both
+//! embeddings (the `u ⊙ v` product couples them) — all derived by hand
+//! below and covered by the crate's improvement tests.
+
+use crate::common::{BaselineConfig, ImplicitRecommender};
+use mars_core::embedding::EmbeddingTable;
+use mars_data::batch::TripletBatcher;
+use mars_data::dataset::Dataset;
+use mars_data::sampler::{UniformNegativeSampler, UserSampler};
+use mars_data::{ItemId, UserId};
+use mars_metrics::Scorer;
+use mars_tensor::{init, nonlin, ops, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Number of memory slots (the original paper uses 20–25; rankings are
+/// insensitive in a wide band).
+const MEMORY_SLOTS: usize = 10;
+
+/// Latent relational metric learning.
+pub struct Lrml {
+    cfg: BaselineConfig,
+    user: EmbeddingTable,
+    item: EmbeddingTable,
+    /// Attention keys, `slots × dim`.
+    keys: Matrix,
+    /// Memory slots, `slots × dim`.
+    memory: Matrix,
+}
+
+/// Forward-pass intermediates reused by the backward pass.
+struct RelationState {
+    attention: Vec<f32>,
+    relation: Vec<f32>,
+    /// `u ⊙ v`.
+    had: Vec<f32>,
+}
+
+impl Lrml {
+    /// Creates an (untrained) model.
+    pub fn new(cfg: BaselineConfig, num_users: usize, num_items: usize) -> Self {
+        cfg.validate().expect("invalid baseline config");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let scale = 1.0 / (cfg.dim as f32).sqrt();
+        let mut user = EmbeddingTable::uniform(&mut rng, num_users, cfg.dim, scale);
+        let mut item = EmbeddingTable::uniform(&mut rng, num_items, cfg.dim, scale);
+        user.clip_rows_to_unit_ball();
+        item.clip_rows_to_unit_ball();
+        let keys = init::xavier_matrix(&mut rng, MEMORY_SLOTS, cfg.dim);
+        let memory = init::xavier_matrix(&mut rng, MEMORY_SLOTS, cfg.dim);
+        Self {
+            cfg,
+            user,
+            item,
+            keys,
+            memory,
+        }
+    }
+
+    /// Computes the induced relation for a pair.
+    fn relation(&self, u: usize, v: usize) -> RelationState {
+        let d = self.cfg.dim;
+        let had: Vec<f32> = self.user.row(u).iter().zip(self.item.row(v)).map(|(a, b)| a * b).collect();
+        let mut logits = vec![0.0; MEMORY_SLOTS];
+        self.keys.matvec(&had, &mut logits);
+        let attention = nonlin::softmax_vec(&logits);
+        let mut relation = vec![0.0; d];
+        for (i, &a) in attention.iter().enumerate() {
+            ops::axpy(a, self.memory.row(i), &mut relation);
+        }
+        RelationState {
+            attention,
+            relation,
+            had,
+        }
+    }
+
+    /// Translated squared distance and the state needed for its gradient.
+    fn dist_sq_with_state(&self, u: usize, v: usize) -> (f32, RelationState) {
+        let st = self.relation(u, v);
+        let uu = self.user.row(u);
+        let vv = self.item.row(v);
+        let mut s = 0.0;
+        for d in 0..self.cfg.dim {
+            let diff = uu[d] + st.relation[d] - vv[d];
+            s += diff * diff;
+        }
+        (s, st)
+    }
+
+    /// Applies the gradient of `sign · d(u,v)²` (sign = +1 for the positive
+    /// pair, −1 for the negative) to every parameter.
+    fn apply_pair_grad(&mut self, u: usize, v: usize, st: &RelationState, sign: f32) {
+        let dim = self.cfg.dim;
+        let lr = self.cfg.lr;
+        // diff = u + r − v ; ∂d²/∂(·) = 2·diff·∂(·)
+        let mut diff = vec![0.0; dim];
+        for d in 0..dim {
+            diff[d] = self.user.row(u)[d] + st.relation[d] - self.item.row(v)[d];
+        }
+        // ∂L/∂r = 2·sign·diff.
+        let mut d_rel = diff.clone();
+        ops::scale(&mut d_rel, 2.0 * sign);
+
+        // Memory: ∂L/∂M_i = a_i · d_rel. Attention logits: ds_i = d_rel·M_i.
+        let mut d_logits_upstream = vec![0.0; MEMORY_SLOTS];
+        for i in 0..MEMORY_SLOTS {
+            d_logits_upstream[i] = ops::dot(&d_rel, self.memory.row(i));
+        }
+        let mut d_logits = vec![0.0; MEMORY_SLOTS];
+        nonlin::softmax_backward(&st.attention, &d_logits_upstream, &mut d_logits);
+
+        // ∂L/∂had = Kᵀ d_logits.
+        let mut d_had = vec![0.0; dim];
+        self.keys.matvec_t(&d_logits, &mut d_had);
+
+        // Parameter updates (order: reads before writes of the same rows).
+        // u: direct distance term + through had (had = u ⊙ v).
+        for d in 0..dim {
+            let du = 2.0 * sign * diff[d] + d_had[d] * self.item.row(v)[d];
+            let dv = -2.0 * sign * diff[d] + d_had[d] * self.user.row(u)[d];
+            self.user.row_mut(u)[d] -= lr * du;
+            self.item.row_mut(v)[d] -= lr * dv;
+        }
+        for i in 0..MEMORY_SLOTS {
+            ops::axpy(-lr * st.attention[i], &d_rel, self.memory.row_mut(i));
+            ops::axpy(-lr * d_logits[i], &st.had, self.keys.row_mut(i));
+        }
+        ops::clip_to_unit_ball(self.user.row_mut(u));
+        ops::clip_to_unit_ball(self.item.row_mut(v));
+    }
+}
+
+impl Scorer for Lrml {
+    fn score(&self, user: UserId, item: ItemId) -> f32 {
+        -self.dist_sq_with_state(user as usize, item as usize).0
+    }
+}
+
+impl ImplicitRecommender for Lrml {
+    fn fit(&mut self, data: &Dataset) {
+        let x = &data.train;
+        if x.num_interactions() == 0 {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(1));
+        let mut batcher = TripletBatcher::new(
+            UserSampler::uniform(x),
+            UniformNegativeSampler,
+            self.cfg.batch_size,
+        );
+        let batches = batcher.batches_per_epoch(x);
+        for _ in 0..self.cfg.epochs {
+            for _ in 0..batches {
+                let batch: Vec<_> = batcher.next_batch(x, &mut rng).to_vec();
+                for t in batch {
+                    let u = t.user as usize;
+                    let i = t.positive as usize;
+                    let j = t.negative as usize;
+                    let (d_pos, st_pos) = self.dist_sq_with_state(u, i);
+                    let (d_neg, st_neg) = self.dist_sq_with_state(u, j);
+                    if self.cfg.margin + d_pos - d_neg <= 0.0 {
+                        continue;
+                    }
+                    self.apply_pair_grad(u, i, &st_pos, 1.0);
+                    self.apply_pair_grad(u, j, &st_neg, -1.0);
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "LRML"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::tests_support::{improves_over_untrained, tiny_dataset};
+
+    #[test]
+    fn training_improves_ranking() {
+        let data = tiny_dataset();
+        let make =
+            || Lrml::new(BaselineConfig::quick(16), data.num_users(), data.num_items());
+        improves_over_untrained(make, &data);
+    }
+
+    #[test]
+    fn attention_is_distribution() {
+        let data = tiny_dataset();
+        let m = Lrml::new(BaselineConfig::quick(8), data.num_users(), data.num_items());
+        let st = m.relation(0, 0);
+        let sum: f32 = st.attention.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert_eq!(st.relation.len(), 8);
+    }
+
+    #[test]
+    fn relation_is_convex_combination_of_memory() {
+        // ‖r‖ ≤ max_i ‖M_i‖ because the attention is a distribution.
+        let data = tiny_dataset();
+        let m = Lrml::new(BaselineConfig::quick(8), data.num_users(), data.num_items());
+        let st = m.relation(1, 2);
+        let max_mem = (0..MEMORY_SLOTS)
+            .map(|i| ops::norm(m.memory.row(i)))
+            .fold(0.0f32, f32::max);
+        assert!(ops::norm(&st.relation) <= max_mem + 1e-5);
+    }
+
+    #[test]
+    fn hinge_step_reduces_pair_gap() {
+        let data = tiny_dataset();
+        let mut m = Lrml::new(BaselineConfig::quick(8), data.num_users(), data.num_items());
+        let (u, i, j) = (0usize, 0usize, 40usize);
+        let gap_before = {
+            let (p, _) = m.dist_sq_with_state(u, i);
+            let (n, _) = m.dist_sq_with_state(u, j);
+            p - n
+        };
+        for _ in 0..30 {
+            let (p, sp) = m.dist_sq_with_state(u, i);
+            let (n, sn) = m.dist_sq_with_state(u, j);
+            if m.cfg.margin + p - n <= 0.0 {
+                break;
+            }
+            m.apply_pair_grad(u, i, &sp, 1.0);
+            m.apply_pair_grad(u, j, &sn, -1.0);
+        }
+        let gap_after = {
+            let (p, _) = m.dist_sq_with_state(u, i);
+            let (n, _) = m.dist_sq_with_state(u, j);
+            p - n
+        };
+        assert!(gap_after < gap_before, "{gap_before} → {gap_after}");
+    }
+}

@@ -1,0 +1,310 @@
+//! A micro neural-network substrate: dense layers with manual backprop.
+//!
+//! Exactly what NeuMF's MLP tower and LRML's attention need — nothing more.
+//! Layers own their parameters and a cached forward state, so backward can
+//! be called right after forward on the same input (the usage pattern of
+//! per-sample SGD).
+
+use mars_tensor::{init, nonlin, ops, Matrix};
+use rand::Rng;
+
+/// Activation applied after a dense layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    Identity,
+    Relu,
+    Sigmoid,
+}
+
+impl Activation {
+    #[inline]
+    fn forward(&self, x: f32) -> f32 {
+        match self {
+            Activation::Identity => x,
+            Activation::Relu => nonlin::relu(x),
+            Activation::Sigmoid => nonlin::sigmoid(x),
+        }
+    }
+
+    /// Derivative as a function of the pre-activation `z` and the output `a`.
+    #[inline]
+    fn grad(&self, z: f32, a: f32) -> f32 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Relu => nonlin::relu_grad(z),
+            Activation::Sigmoid => a * (1.0 - a),
+        }
+    }
+}
+
+/// A fully connected layer `a = act(Wx + b)` with cached state for backprop.
+#[derive(Clone, Debug)]
+pub struct Dense {
+    /// `out × in` weight matrix.
+    w: Matrix,
+    b: Vec<f32>,
+    act: Activation,
+    // Cached forward pass.
+    input: Vec<f32>,
+    pre: Vec<f32>,
+    out: Vec<f32>,
+}
+
+impl Dense {
+    /// He-initialized layer (suits the ReLU towers; harmless otherwise).
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, input: usize, output: usize, act: Activation) -> Self {
+        Self {
+            w: init::he_matrix(rng, output, input),
+            b: vec![0.0; output],
+            act,
+            input: vec![0.0; input],
+            pre: vec![0.0; output],
+            out: vec![0.0; output],
+        }
+    }
+
+    pub fn input_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    pub fn output_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Forward pass; caches input/pre-activation/output and returns the
+    /// output slice.
+    pub fn forward(&mut self, x: &[f32]) -> &[f32] {
+        assert_eq!(x.len(), self.input_dim(), "Dense: wrong input size");
+        self.input.copy_from_slice(x);
+        self.w.matvec(x, &mut self.pre);
+        for (p, b) in self.pre.iter_mut().zip(&self.b) {
+            *p += b;
+        }
+        for (o, &p) in self.out.iter_mut().zip(&self.pre) {
+            *o = self.act.forward(p);
+        }
+        &self.out
+    }
+
+    /// Backward pass for the cached forward: consumes `d_out = ∂L/∂a`,
+    /// applies an SGD step with rate `lr` to `W` and `b`, and writes
+    /// `∂L/∂x` into `d_in`.
+    pub fn backward(&mut self, d_out: &[f32], lr: f32, d_in: &mut [f32]) {
+        assert_eq!(d_out.len(), self.output_dim());
+        assert_eq!(d_in.len(), self.input_dim());
+        // δ = d_out ⊙ act'(pre)
+        let delta: Vec<f32> = d_out
+            .iter()
+            .zip(&self.pre)
+            .zip(&self.out)
+            .map(|((&d, &z), &a)| d * self.act.grad(z, a))
+            .collect();
+        // ∂L/∂x = Wᵀ δ (before the weight update).
+        self.w.matvec_t(&delta, d_in);
+        // W ← W − lr · δ xᵀ ; b ← b − lr·δ.
+        self.w.ger(-lr, &delta, &self.input);
+        ops::axpy(-lr, &delta, &mut self.b);
+    }
+
+    /// Last output (valid after `forward`).
+    pub fn output(&self) -> &[f32] {
+        &self.out
+    }
+}
+
+/// A stack of dense layers trained with per-sample SGD.
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    // Scratch gradients between layers.
+    grads: Vec<Vec<f32>>,
+}
+
+impl Mlp {
+    /// Builds a tower with the given layer sizes, ReLU on hidden layers and
+    /// the given activation on the output layer.
+    ///
+    /// `sizes = [in, h1, h2, out]` produces 3 layers.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, sizes: &[usize], out_act: Activation) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for w in sizes.windows(2) {
+            let is_last = layers.len() == sizes.len() - 2;
+            layers.push(Dense::new(
+                rng,
+                w[0],
+                w[1],
+                if is_last { out_act } else { Activation::Relu },
+            ));
+        }
+        let grads = sizes.iter().map(|&s| vec![0.0; s]).collect();
+        Self { layers, grads }
+    }
+
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().unwrap().input_dim()
+    }
+
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().unwrap().output_dim()
+    }
+
+    /// Forward pass through all layers; returns the output slice.
+    pub fn forward(&mut self, x: &[f32]) -> &[f32] {
+        let n = self.layers.len();
+        self.layers[0].forward(x);
+        for i in 1..n {
+            let (head, tail) = self.layers.split_at_mut(i);
+            tail[0].forward(head[i - 1].output());
+        }
+        self.layers[n - 1].output()
+    }
+
+    /// Backward + SGD through all layers; writes `∂L/∂input` into `d_in`.
+    pub fn backward(&mut self, d_out: &[f32], lr: f32, d_in: &mut [f32]) {
+        let n = self.layers.len();
+        self.grads[n].as_mut_slice().copy_from_slice(d_out);
+        for i in (0..n).rev() {
+            // Split the grads buffer to get disjoint in/out slices.
+            let (lo, hi) = self.grads.split_at_mut(i + 1);
+            self.layers[i].backward(&hi[0], lr, &mut lo[i]);
+        }
+        d_in.copy_from_slice(&self.grads[0]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dense_forward_hand_example() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = Dense::new(&mut rng, 2, 1, Activation::Identity);
+        // Overwrite weights deterministically.
+        layer.w.as_mut_slice().copy_from_slice(&[2.0, -1.0]);
+        layer.b[0] = 0.5;
+        let out = layer.forward(&[3.0, 4.0]);
+        assert!((out[0] - (6.0 - 4.0 + 0.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dense_gradient_check() {
+        // Loss L = Σ out²/2 → d_out = out. Check ∂L/∂x by finite differences.
+        let mut rng = StdRng::seed_from_u64(2);
+        for act in [Activation::Identity, Activation::Sigmoid] {
+            let layer = Dense::new(&mut rng, 3, 2, act);
+            let x = vec![0.4f32, -0.3, 0.9];
+            let loss = |l: &mut Dense, x: &[f32]| -> f32 {
+                let o = l.forward(x);
+                0.5 * o.iter().map(|v| v * v).sum::<f32>()
+            };
+            let mut work = layer.clone();
+            let _ = work.forward(&x);
+            let d_out: Vec<f32> = work.output().to_vec();
+            let mut d_in = vec![0.0; 3];
+            // lr=0 step: we only want d_in (backward with lr=0 leaves W,b).
+            work.backward(&d_out, 0.0, &mut d_in);
+            let h = 1e-3;
+            for i in 0..3 {
+                let mut xp = x.clone();
+                let mut xm = x.clone();
+                xp[i] += h;
+                xm[i] -= h;
+                let mut lp = layer.clone();
+                let mut lm = layer.clone();
+                let fd = (loss(&mut lp, &xp) - loss(&mut lm, &xm)) / (2.0 * h);
+                assert!(
+                    (fd - d_in[i]).abs() < 2e-3,
+                    "{act:?} input {i}: fd {fd} vs analytic {}",
+                    d_in[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relu_kills_negative_gradients() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut layer = Dense::new(&mut rng, 1, 1, Activation::Relu);
+        layer.w.as_mut_slice()[0] = 1.0;
+        layer.b[0] = 0.0;
+        let out = layer.forward(&[-1.0]).to_vec();
+        assert_eq!(out[0], 0.0);
+        let mut d_in = vec![0.0; 1];
+        layer.backward(&[1.0], 0.1, &mut d_in);
+        assert_eq!(d_in[0], 0.0, "gradient through dead ReLU must vanish");
+    }
+
+    #[test]
+    fn mlp_shapes_and_forward() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut mlp = Mlp::new(&mut rng, &[4, 8, 2], Activation::Sigmoid);
+        assert_eq!(mlp.input_dim(), 4);
+        assert_eq!(mlp.output_dim(), 2);
+        let out = mlp.forward(&[0.1, -0.2, 0.3, 0.4]).to_vec();
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn mlp_learns_xor() {
+        // The classic nonlinearity check: XOR is not linearly separable.
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut mlp = Mlp::new(&mut rng, &[2, 8, 1], Activation::Sigmoid);
+        let data = [
+            ([0.0f32, 0.0], 0.0f32),
+            ([0.0, 1.0], 1.0),
+            ([1.0, 0.0], 1.0),
+            ([1.0, 1.0], 0.0),
+        ];
+        let mut d_in = vec![0.0; 2];
+        for _ in 0..4000 {
+            for (x, y) in &data {
+                let p = mlp.forward(x)[0];
+                // BCE gradient through sigmoid output: dL/da where we use
+                // squared error for simplicity: d = (p − y).
+                mlp.backward(&[p - y], 0.5, &mut d_in);
+            }
+        }
+        for (x, y) in &data {
+            let p = mlp.forward(x)[0];
+            assert!(
+                (p - y).abs() < 0.25,
+                "xor({:?}) = {p}, want {y}",
+                x
+            );
+        }
+    }
+
+    #[test]
+    fn mlp_gradient_check() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mlp = Mlp::new(&mut rng, &[3, 5, 2], Activation::Identity);
+        let x = vec![0.2f32, 0.7, -0.5];
+        let loss = |m: &mut Mlp, x: &[f32]| -> f32 {
+            let o = m.forward(x);
+            0.5 * o.iter().map(|v| v * v).sum::<f32>()
+        };
+        let mut work = mlp.clone();
+        let _ = work.forward(&x);
+        let d_out: Vec<f32> = work.layers.last().unwrap().output().to_vec();
+        let mut d_in = vec![0.0; 3];
+        work.backward(&d_out, 0.0, &mut d_in);
+        let h = 1e-3;
+        for i in 0..3 {
+            let mut xp = x.clone();
+            let mut xm = x.clone();
+            xp[i] += h;
+            xm[i] -= h;
+            let fd = (loss(&mut mlp.clone(), &xp) - loss(&mut mlp.clone(), &xm)) / (2.0 * h);
+            assert!(
+                (fd - d_in[i]).abs() < 5e-3,
+                "input {i}: fd {fd} vs analytic {}",
+                d_in[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Microbench: the full ranking-evaluation protocol (leave-one-out with 100
+//! sampled negatives) over a trained MARS model — the harness's per-model
+//! fixed cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mars_bench::evaluate;
+use mars_core::{MarsConfig, Trainer};
+use mars_data::profiles::{Profile, Scale};
+
+fn bench_evaluation(c: &mut Criterion) {
+    let data = Profile::Delicious.generate(Scale::Small);
+    let mut cfg = MarsConfig::mars(4, 32);
+    cfg.epochs = 2;
+    let model = Trainer::new(cfg).fit(&data.dataset).model;
+
+    let mut group = c.benchmark_group("evaluation");
+    group.sample_size(10);
+    group.bench_function("paper_protocol_full_testset", |b| {
+        b.iter(|| black_box(evaluate(&model, &data.dataset).hr_at(10)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_evaluation);
+criterion_main!(benches);

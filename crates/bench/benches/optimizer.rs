@@ -1,0 +1,57 @@
+//! Microbench: optimizer step cost — plain SGD vs Riemannian SGD (Eq. 20)
+//! vs calibrated Riemannian SGD (Eq. 21).
+//!
+//! The paper claims Eq. 21 "does not introduce significantly more
+//! computations" than Eq. 20; this bench quantifies that claim on this
+//! implementation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mars_optim::{CalibratedRiemannianSgd, Optimizer, RiemannianSgd, Sgd};
+use mars_tensor::ops;
+
+fn bench_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer_step");
+    for d in [32usize, 128, 512] {
+        let grad: Vec<f32> = (0..d).map(|i| ((i * 37) as f32 * 0.01).sin()).collect();
+        let mut unit: Vec<f32> = (0..d).map(|i| ((i * 13) as f32 * 0.02).cos()).collect();
+        ops::normalize(&mut unit);
+
+        group.bench_with_input(BenchmarkId::new("sgd", d), &d, |bench, _| {
+            let opt = Sgd::with_max_norm(0.01, 1.0);
+            bench.iter_batched(
+                || unit.clone(),
+                |mut x| {
+                    opt.step(&mut x, black_box(&grad));
+                    x
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("rsgd_exp", d), &d, |bench, _| {
+            let opt = RiemannianSgd::new(0.01);
+            bench.iter_batched(
+                || unit.clone(),
+                |mut x| {
+                    opt.step(&mut x, black_box(&grad));
+                    x
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("rsgd_calibrated", d), &d, |bench, _| {
+            let opt = CalibratedRiemannianSgd::new(0.01);
+            bench.iter_batched(
+                || unit.clone(),
+                |mut x| {
+                    opt.step(&mut x, black_box(&grad));
+                    x
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_steps);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Microbench: sampler throughput — uniform vs explorative user sampling
+//! (Eq. 10) and uniform vs popularity-smoothed negative sampling, plus the
+//! end-to-end triplet batcher.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mars_data::batch::TripletBatcher;
+use mars_data::profiles::{Profile, Scale};
+use mars_data::sampler::{
+    NegativeSampler, PopularityNegativeSampler, UniformNegativeSampler, UserSampler,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_samplers(c: &mut Criterion) {
+    let data = Profile::Ciao.generate(Scale::Small);
+    let x = &data.dataset.train;
+    let mut group = c.benchmark_group("samplers");
+
+    let uniform_users = UserSampler::uniform(x);
+    group.bench_function("user_uniform", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(uniform_users.sample(&mut rng)))
+    });
+
+    let explorative = UserSampler::explorative(x, 0.8);
+    group.bench_function("user_explorative_eq10", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(explorative.sample(&mut rng)))
+    });
+
+    group.bench_function("negative_uniform", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = UniformNegativeSampler;
+        b.iter(|| black_box(s.sample_negative(x, 0, &mut rng)))
+    });
+
+    let pop = PopularityNegativeSampler::new(x, 0.75);
+    group.bench_function("negative_popularity", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| black_box(pop.sample_negative(x, 0, &mut rng)))
+    });
+
+    group.bench_function("triplet_batch_1000", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut batcher =
+            TripletBatcher::new(UserSampler::explorative(x, 0.8), UniformNegativeSampler, 1000);
+        b.iter(|| batcher.next_batch(x, &mut rng).len())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers);
+criterion_main!(benches);

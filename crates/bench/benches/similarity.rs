@@ -1,0 +1,69 @@
+//! Microbench: the similarity kernels that dominate training and
+//! evaluation — facet-specific Euclidean and cosine similarity, and the
+//! full cross-facet score as K and D grow.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mars_core::{MarsConfig, MultiFacetModel};
+use mars_metrics::Scorer;
+use mars_tensor::ops;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    for d in [32usize, 128, 512] {
+        let a: Vec<f32> = (0..d).map(|i| (i as f32 * 0.37).sin()).collect();
+        let b: Vec<f32> = (0..d).map(|i| (i as f32 * 0.11).cos()).collect();
+        group.bench_with_input(BenchmarkId::new("dot", d), &d, |bench, _| {
+            bench.iter(|| ops::dot(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("dist_sq", d), &d, |bench, _| {
+            bench.iter(|| ops::dist_sq(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("cosine", d), &d, |bench, _| {
+            bench.iter(|| ops::cosine(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cross_facet_score(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cross_facet_score");
+    for (k, d) in [(1usize, 128usize), (4, 32), (4, 128), (6, 64)] {
+        let mars = MultiFacetModel::new(MarsConfig::mars(k, d), 200, 200);
+        group.bench_with_input(
+            BenchmarkId::new("mars_direct", format!("K{k}_D{d}")),
+            &(k, d),
+            |bench, _| bench.iter(|| mars.score(black_box(7), black_box(42))),
+        );
+        let mar = MultiFacetModel::new(MarsConfig::mar(k, d), 200, 200);
+        group.bench_with_input(
+            BenchmarkId::new("mar_factored", format!("K{k}_D{d}")),
+            &(k, d),
+            |bench, _| bench.iter(|| mar.score(black_box(7), black_box(42))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_score_many(c: &mut Criterion) {
+    // The evaluator's inner loop: 1 user × 101 candidates.
+    let mut group = c.benchmark_group("score_many_101");
+    let items: Vec<u32> = (0..101).collect();
+    for (k, d) in [(4usize, 32usize), (4, 128)] {
+        let model = MultiFacetModel::new(MarsConfig::mars(k, d), 200, 200);
+        let mut out = Vec::new();
+        group.bench_with_input(
+            BenchmarkId::new("mars", format!("K{k}_D{d}")),
+            &(k, d),
+            |bench, _| {
+                bench.iter(|| {
+                    model.score_many(black_box(3), black_box(&items), &mut out);
+                    out.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_cross_facet_score, bench_score_many);
+criterion_main!(benches);

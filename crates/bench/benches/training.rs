@@ -1,0 +1,34 @@
+//! Microbench: per-triplet training cost across model families — the
+//! paper's "runtimes of both MAR and MARS are in the same scale with most
+//! metric learning baselines" claim, measured as triplet-update cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mars_core::{MarsConfig, MultiFacetModel, Scratch};
+use mars_data::batch::Triplet;
+
+fn bench_triplet_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("triplet_update");
+    let t = Triplet {
+        user: 3,
+        positive: 11,
+        negative: 57,
+    };
+    for (label, cfg) in [
+        ("cml_like_D128", MarsConfig::cml_like(128)),
+        ("mar_K4_D32", MarsConfig::mar(4, 32)),
+        ("mars_K4_D32", MarsConfig::mars(4, 32)),
+        ("mars_K6_D64", MarsConfig::mars(6, 64)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            let mut model = MultiFacetModel::new(cfg.clone(), 100, 100);
+            let mut scratch = Scratch::new(cfg.facets, cfg.dim);
+            b.iter(|| {
+                black_box(model.train_triplet(black_box(t), 0.5, 0.05, &mut scratch))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_triplet_updates);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! Figure 7 — item-embedding visualisations: CML vs MAR vs MARS.
+//!
+//! ```text
+//! cargo run -p mars-bench --release --bin fig7 \
+//!     [-- --scale small --out bench_out]
+//! ```
+//!
+//! Trains the three models on the Ciao stand-in, PCA-projects the item
+//! embeddings of every facet space to 2-D, writes one CSV per panel
+//! (`fig7_<model>_k<facet>.csv` with `item,x,y,category` rows, ready for any
+//! plotting tool), and prints the quantitative claim behind the figure: the
+//! inter/intra-category distance ratio per space (higher = better-organized
+//! categories — paper: MARS > MAR > CML).
+
+use mars_bench::{datasets, default_epochs, fmt_metric, print_table, Args};
+use mars_core::analysis::{facet_alignment_matrix, facet_item_matrix, separation_stats};
+use mars_core::{MarsConfig, Trainer};
+use mars_data::profiles::Profile;
+use mars_tensor::Pca;
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.scale();
+    let dim = args.get_or("dim", 32usize);
+    let k = args.get_or("k", 4usize);
+    let epochs = args.get_or("epochs", default_epochs(scale));
+    let seed = args.get_or("seed", 7u64);
+    let out_dir = PathBuf::from(args.get("out").unwrap_or("bench_out"));
+    fs::create_dir_all(&out_dir).expect("cannot create output directory");
+
+    let data = &datasets(&[Profile::Ciao], scale)[0].dataset;
+    eprintln!(
+        "[fig7] Ciao stand-in: {} items, {} categories",
+        data.num_items(),
+        data.num_categories
+    );
+
+    let mut cml_cfg = MarsConfig::cml_like(dim);
+    cml_cfg.epochs = epochs;
+    cml_cfg.seed = seed;
+    let mut mar_cfg = MarsConfig::mar(k, dim);
+    mar_cfg.epochs = epochs;
+    mar_cfg.seed = seed;
+    let mut mars_cfg = MarsConfig::mars(k, dim);
+    mars_cfg.epochs = epochs;
+    mars_cfg.seed = seed;
+
+    let mut rows = Vec::new();
+    for (label, cfg) in [("CML", cml_cfg), ("MAR", mar_cfg), ("MARS", mars_cfg)] {
+        eprintln!("[fig7] training {label}...");
+        let model = Trainer::new(cfg.clone()).fit(data).model;
+        for facet in 0..cfg.facets {
+            let emb = facet_item_matrix(&model, facet);
+            let stats = separation_stats(&emb, &data.item_categories, 1);
+            // 2-D PCA projection + CSV dump.
+            let pca = Pca::fit(&emb, 2, 60);
+            let proj = pca.transform(&emb);
+            let path = out_dir.join(format!(
+                "fig7_{}_k{}.csv",
+                label.to_lowercase(),
+                facet
+            ));
+            let mut f = std::io::BufWriter::new(fs::File::create(&path).unwrap());
+            writeln!(f, "item,x,y,category").unwrap();
+            for v in 0..proj.rows() {
+                let cat = data.item_categories[v]
+                    .first()
+                    .copied()
+                    .unwrap_or(u16::MAX);
+                writeln!(f, "{v},{},{},{cat}", proj.get(v, 0), proj.get(v, 1)).unwrap();
+            }
+            rows.push(vec![
+                label.to_string(),
+                facet.to_string(),
+                fmt_metric(stats.intra),
+                fmt_metric(stats.inter),
+                format!("{:.3}", stats.ratio()),
+                path.display().to_string(),
+            ]);
+        }
+    }
+    print_table(
+        &format!("Figure 7 — category separation per embedding space ({scale:?})"),
+        &["Model", "Facet", "intra-dist", "inter-dist", "inter/intra", "CSV"],
+        &rows,
+    );
+
+    // Facet-alignment matrix for MARS: which generative facet does each
+    // learned space capture? (Rows: learned facets; columns: the label
+    // groups the generator planted.)
+    let latent = Profile::Ciao.latent_config(scale);
+    let mut mars_cfg2 = MarsConfig::mars(k, dim);
+    mars_cfg2.epochs = epochs;
+    mars_cfg2.seed = seed;
+    let mars_model = Trainer::new(mars_cfg2).fit(data).model;
+    let align = facet_alignment_matrix(
+        &mars_model,
+        data,
+        latent.facets,
+        latent.clusters_per_facet,
+        1,
+    );
+    let mut align_rows = Vec::new();
+    for r in 0..align.rows() {
+        let mut row = vec![format!("learned k={r}")];
+        for c in 0..align.cols() {
+            row.push(format!("{:.3}", align.get(r, c)));
+        }
+        align_rows.push(row);
+    }
+    let group_headers: Vec<String> = (0..align.cols())
+        .map(|g| format!("planted f{g}"))
+        .collect();
+    let mut headers: Vec<&str> = vec!["MARS space"];
+    headers.extend(group_headers.iter().map(|s| s.as_str()));
+    print_table(
+        "Facet alignment (separation ratio of each learned space under each planted facet's labels)",
+        &headers,
+        &align_rows,
+    );
+
+    println!(
+        "\nPaper shape to check: inter/intra ratio increases CML → MAR → MARS\n\
+         (better-organized categories); CSVs plot the 2-D panels of Figure 7;\n\
+         in the alignment matrix different learned spaces peak on different\n\
+         planted facets."
+    );
+}

@@ -1,0 +1,100 @@
+//! Hyperparameter grid search for MAR / MARS (the paper tunes lr, K, D and
+//! the λ's per dataset via grid search on the dev set — §V-A4; this binary
+//! is that loop).
+//!
+//! ```text
+//! cargo run -p mars-bench --release --bin tune -- \
+//!     --datasets ciao --model mars --k 4 --dim 32 \
+//!     --lrs 0.05,0.1,0.2 --epoch-grid 15,30,60 [--direct true]
+//! ```
+//!
+//! Reports dev-set nDCG@10 for every grid point and the test-set metrics of
+//! the dev-best configuration (the protocol that avoids test leakage).
+
+use mars_bench::{datasets, fmt_metric, print_table, Args};
+use mars_core::{FacetParam, MarsConfig, OptimKind, Trainer};
+use mars_data::profiles::Profile;
+use mars_metrics::{EvalConfig, RankingEvaluator};
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.scale();
+    let profiles = args.profiles(&[Profile::Ciao]);
+    let dim = args.get_or("dim", 32usize);
+    let k = args.get_or("k", 4usize);
+    let seed = args.get_or("seed", 7u64);
+    let model_kind = args.get("model").unwrap_or("mars").to_string();
+    let lrs: Vec<f32> = args
+        .get("lrs")
+        .map(|s| s.split(',').filter_map(|v| v.trim().parse().ok()).collect())
+        .unwrap_or_else(|| vec![0.05, 0.1, 0.2]);
+    let epoch_grid: Vec<usize> = args
+        .get("epoch-grid")
+        .map(|s| s.split(',').filter_map(|v| v.trim().parse().ok()).collect())
+        .unwrap_or_else(|| vec![15, 30, 60]);
+
+    let dev_eval = RankingEvaluator::new(EvalConfig {
+        num_negatives: 100,
+        cutoffs: vec![10],
+        seed: 777,
+    });
+    let test_eval = RankingEvaluator::paper();
+
+    for data in datasets(&profiles, scale) {
+        let d = &data.dataset;
+        let mut rows = Vec::new();
+        let mut best: Option<(f32, MarsConfig)> = None;
+        for &lr in &lrs {
+            for &epochs in &epoch_grid {
+                let mut cfg = match model_kind.as_str() {
+                    "mar" => MarsConfig::mar(k, dim),
+                    "cml" => MarsConfig::cml_like(dim),
+                    _ => MarsConfig::mars(k, dim),
+                };
+                if args.get("direct") == Some("true") {
+                    cfg.parameterization = FacetParam::Direct;
+                }
+                if args.get("plain-rsgd") == Some("true") {
+                    cfg.optimizer = OptimKind::Riemannian;
+                }
+                cfg.lr = lr;
+                cfg.theta_lr = args.get_or("theta-lr", cfg.theta_lr);
+                cfg.lambda_pull = args.get_or("lambda-pull", cfg.lambda_pull);
+                cfg.lambda_facet = args.get_or("lambda-facet", cfg.lambda_facet);
+                cfg.epochs = epochs;
+                cfg.seed = seed;
+                let model = Trainer::new(cfg.clone()).fit(d).model;
+                let dev = dev_eval.evaluate_dev(&model, d).ndcg_at(10);
+                eprintln!(
+                    "[tune] {} lr={lr} epochs={epochs}: dev nDCG@10 {dev:.4}",
+                    d.name
+                );
+                rows.push(vec![
+                    format!("{lr}"),
+                    epochs.to_string(),
+                    fmt_metric(dev),
+                ]);
+                if best.as_ref().map(|(b, _)| dev > *b).unwrap_or(true) {
+                    best = Some((dev, cfg));
+                }
+            }
+        }
+        print_table(
+            &format!("tune {} on {} ({scale:?})", model_kind, d.name),
+            &["lr", "epochs", "dev nDCG@10"],
+            &rows,
+        );
+        if let Some((dev, cfg)) = best {
+            let model = Trainer::new(cfg.clone()).fit(d).model;
+            let test = test_eval.evaluate(&model, d);
+            println!(
+                "\nBest on dev (nDCG@10 {dev:.4}): lr={} epochs={} → test HR@10 {:.4} \
+                 nDCG@10 {:.4}",
+                cfg.lr,
+                cfg.epochs,
+                test.hr_at(10),
+                test.ndcg_at(10)
+            );
+        }
+    }
+}

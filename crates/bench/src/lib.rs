@@ -1,0 +1,379 @@
+//! # mars-bench
+//!
+//! Experiment harness regenerating every table and figure of the MARS paper
+//! (see DESIGN.md's per-experiment index). The library holds the shared
+//! plumbing — model zoo, dataset cache, table printing, a tiny `--flag
+//! value` argument parser — and each binary in `src/bin/` is one
+//! table/figure:
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `table1` | Table I — dataset statistics |
+//! | `table2` | Table II — overall comparison, 10 models × 6 datasets |
+//! | `table3` | Table III — embedding-dimension sweep on Ciao |
+//! | `table4` | Table IV — K sweep of CML/MAR/MARS on 4 datasets |
+//! | `fig5`   | Figure 5 — λ_pull sweep |
+//! | `fig6`   | Figure 6 — λ_facet sweep |
+//! | `fig7`   | Figure 7 — item-embedding visualisation (CSV + separation stats) |
+//! | `table5` | Table V — top categories per facet space |
+//! | `table6` | Table VI — example user profiles |
+//! | `ablation` | §III-C component ablation (margins, sampling, optimizer, losses) |
+//!
+//! Criterion microbenches live in `benches/`.
+
+use mars_baselines::{
+    bpr::Bpr, cml::Cml, lrml::Lrml, metricf::MetricF, neumf::NeuMf, nmf::Nmf, sml::Sml,
+    transcf::TransCf, BaselineConfig, BaselineKind, ImplicitRecommender,
+};
+use mars_core::{MarsConfig, Trainer};
+use mars_data::dataset::Dataset;
+use mars_data::profiles::{Profile, Scale};
+use mars_data::SyntheticDataset;
+use mars_metrics::{RankingEvaluator, Report, Scorer};
+
+/// Which model to run — baselines by kind, MAR/MARS by config.
+#[derive(Clone, Debug)]
+pub enum ModelSpec {
+    Baseline(BaselineKind, BaselineConfig),
+    MultiFacet(MarsConfig),
+}
+
+impl ModelSpec {
+    /// Display name for tables.
+    pub fn name(&self) -> String {
+        match self {
+            ModelSpec::Baseline(kind, _) => kind.name().to_string(),
+            ModelSpec::MultiFacet(cfg) => match cfg.geometry {
+                mars_core::Geometry::Spherical => "MARS".to_string(),
+                mars_core::Geometry::Euclidean => "MAR".to_string(),
+            },
+        }
+    }
+
+    /// A baseline spec with harness-default budgets for `dim`.
+    pub fn baseline(kind: BaselineKind, dim: usize, epochs: usize, seed: u64) -> Self {
+        let mut cfg = BaselineConfig {
+            dim,
+            epochs,
+            seed,
+            ..BaselineConfig::default()
+        };
+        // NeuMF's BCE tower prefers a gentler rate than the hinge models.
+        if kind == BaselineKind::NeuMf {
+            cfg.lr = 0.02;
+        }
+        ModelSpec::Baseline(kind, cfg)
+    }
+
+    /// A baseline spec following the paper's per-model conventions: NMF's
+    /// latent-factor count equals the number of metric spaces K (§V-A3:
+    /// "The number of latent factors is set to the same as the number of
+    /// metric spaces in our proposed models"); everything else uses `dim`.
+    pub fn baseline_paper(kind: BaselineKind, dim: usize, k: usize, epochs: usize, seed: u64) -> Self {
+        let dim = if kind == BaselineKind::Nmf { k } else { dim };
+        Self::baseline(kind, dim, epochs, seed)
+    }
+
+    /// MAR spec with harness budgets.
+    pub fn mar(k: usize, dim: usize, epochs: usize, seed: u64) -> Self {
+        let mut cfg = MarsConfig::mar(k, dim);
+        cfg.epochs = epochs;
+        cfg.seed = seed;
+        ModelSpec::MultiFacet(cfg)
+    }
+
+    /// MARS spec with harness budgets.
+    pub fn mars(k: usize, dim: usize, epochs: usize, seed: u64) -> Self {
+        let mut cfg = MarsConfig::mars(k, dim);
+        cfg.epochs = epochs;
+        cfg.seed = seed;
+        ModelSpec::MultiFacet(cfg)
+    }
+
+    /// Per-dataset tuned MAR spec — the paper tunes lr (and K, D, λ's) per
+    /// dataset by grid search on the dev split (§V-A4); these are the
+    /// dev-selected optima of the `tune` binary at small scale with K=4.
+    pub fn tuned_mar(profile: Profile, dim: usize, seed: u64) -> Self {
+        let (k, lr, epochs) = match profile {
+            Profile::Delicious => (4, 0.05, 30),
+            Profile::Lastfm => (4, 0.1, 30),
+            Profile::Ciao => (4, 0.05, 30),
+            Profile::BookX => (4, 0.1, 30),
+            Profile::Ml1m => (4, 0.02, 60),
+            Profile::Ml20m => (3, 0.02, 60),
+        };
+        let mut cfg = MarsConfig::mar(k, dim);
+        cfg.lr = lr;
+        cfg.epochs = epochs;
+        cfg.seed = seed;
+        ModelSpec::MultiFacet(cfg)
+    }
+
+    /// Per-dataset tuned MARS spec (see [`ModelSpec::tuned_mar`]).
+    pub fn tuned_mars(profile: Profile, dim: usize, seed: u64) -> Self {
+        let (k, lr, epochs) = match profile {
+            Profile::Delicious => (4, 0.05, 30),
+            Profile::Lastfm => (4, 0.1, 30),
+            Profile::Ciao => (4, 0.1, 30),
+            Profile::BookX => (4, 0.05, 30),
+            Profile::Ml1m => (3, 0.05, 60),
+            Profile::Ml20m => (3, 0.05, 60),
+        };
+        let mut cfg = MarsConfig::mars(k, dim);
+        cfg.lr = lr;
+        cfg.epochs = epochs;
+        cfg.seed = seed;
+        ModelSpec::MultiFacet(cfg)
+    }
+}
+
+/// Trains the spec on the dataset and evaluates with the paper protocol.
+pub fn run_model(spec: &ModelSpec, data: &Dataset) -> Report {
+    let ev = RankingEvaluator::paper();
+    match spec {
+        ModelSpec::Baseline(kind, cfg) => {
+            let n = data.num_users();
+            let m = data.num_items();
+            macro_rules! run {
+                ($ty:ident) => {{
+                    let mut model = $ty::new(cfg.clone(), n, m);
+                    model.fit(data);
+                    ev.evaluate(&model, data)
+                }};
+            }
+            match kind {
+                BaselineKind::Bpr => run!(Bpr),
+                BaselineKind::Nmf => run!(Nmf),
+                BaselineKind::NeuMf => run!(NeuMf),
+                BaselineKind::Cml => run!(Cml),
+                BaselineKind::MetricF => run!(MetricF),
+                BaselineKind::TransCf => run!(TransCf),
+                BaselineKind::Lrml => run!(Lrml),
+                BaselineKind::Sml => run!(Sml),
+            }
+        }
+        ModelSpec::MultiFacet(cfg) => {
+            let out = Trainer::new(cfg.clone()).fit(data);
+            ev.evaluate(&out.model, data)
+        }
+    }
+}
+
+/// Trains a multi-facet model and returns it (for the analysis binaries).
+pub fn train_multifacet(cfg: MarsConfig, data: &Dataset) -> mars_core::MultiFacetModel {
+    Trainer::new(cfg).fit(data).model
+}
+
+/// Evaluates any scorer with the paper protocol (exposed for benches).
+pub fn evaluate<S: Scorer>(model: &S, data: &Dataset) -> Report {
+    RankingEvaluator::paper().evaluate(model, data)
+}
+
+// ---------------------------------------------------------------------------
+// Dataset handling
+// ---------------------------------------------------------------------------
+
+/// Generates (or returns cached) stand-in datasets for the named profiles.
+pub fn datasets(profiles: &[Profile], scale: Scale) -> Vec<SyntheticDataset> {
+    profiles.iter().map(|p| p.generate(scale)).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Table formatting
+// ---------------------------------------------------------------------------
+
+/// Prints a fixed-width text table to stdout (one locked writer — the
+/// perf-book I/O guidance; these tables are the binaries' entire output).
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let _ = writeln!(out, "\n== {title} ==");
+    let header_line: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!("{h:<w$}"))
+        .collect();
+    let _ = writeln!(out, "{}", header_line.join("  "));
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+    let _ = writeln!(out, "{}", "-".repeat(total));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        let _ = writeln!(out, "{}", line.join("  "));
+    }
+}
+
+/// Formats a metric to the paper's 4-decimal convention.
+pub fn fmt_metric(v: f32) -> String {
+    format!("{v:.4}")
+}
+
+/// Relative improvement `(a − b)/b` as a percentage string.
+pub fn fmt_improvement(a: f32, b: f32) -> String {
+    if b <= 0.0 {
+        return "n/a".to_string();
+    }
+    format!("{:+.2}%", (a - b) / b * 100.0)
+}
+
+// ---------------------------------------------------------------------------
+// Argument parsing (tiny, dependency-free)
+// ---------------------------------------------------------------------------
+
+/// Parses `--key value` pairs from `std::env::args`.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    pairs: Vec<(String, String)>,
+}
+
+impl Args {
+    /// Reads the process arguments.
+    pub fn from_env() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    #[allow(clippy::should_implement_trait)] // not an Iterator collection
+    pub fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut pairs = Vec::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(a) = iter.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = if iter.peek().map(|v| !v.starts_with("--")).unwrap_or(false) {
+                    iter.next().unwrap()
+                } else {
+                    "true".to_string()
+                };
+                pairs.push((key.to_string(), value));
+            }
+        }
+        Self { pairs }
+    }
+
+    /// String value of a flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parsed value with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Scale flag (`--scale paper|small`, default small).
+    pub fn scale(&self) -> Scale {
+        match self.get("scale") {
+            Some("paper") => Scale::Paper,
+            _ => Scale::Small,
+        }
+    }
+
+    /// Dataset list (`--datasets ciao,bookx`), default = given fallback.
+    pub fn profiles(&self, default: &[Profile]) -> Vec<Profile> {
+        match self.get("datasets") {
+            None => default.to_vec(),
+            Some(spec) => spec
+                .split(',')
+                .filter_map(|s| {
+                    let p = Profile::parse(s.trim());
+                    if p.is_none() {
+                        eprintln!("warning: unknown dataset '{s}' skipped");
+                    }
+                    p
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Harness-default training budget per scale: generous enough for the
+/// ordering between models to stabilize, small enough for the whole Table II
+/// run to finish in minutes.
+pub fn default_epochs(scale: Scale) -> usize {
+    match scale {
+        Scale::Paper => 30,
+        Scale::Small => 30,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_pairs_and_flags() {
+        let a = Args::from_iter(
+            ["--scale", "paper", "--k", "4", "--verbose"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(a.get("scale"), Some("paper"));
+        assert_eq!(a.get_or("k", 0usize), 4);
+        assert_eq!(a.get("verbose"), Some("true"));
+        assert_eq!(a.get("missing"), None);
+        assert_eq!(a.scale(), Scale::Paper);
+    }
+
+    #[test]
+    fn args_default_scale_is_small() {
+        let a = Args::from_iter(std::iter::empty());
+        assert_eq!(a.scale(), Scale::Small);
+    }
+
+    #[test]
+    fn args_profiles_parses_lists() {
+        let a = Args::from_iter(["--datasets", "ciao,bookx"].iter().map(|s| s.to_string()));
+        let p = a.profiles(&Profile::ALL);
+        assert_eq!(p, vec![Profile::Ciao, Profile::BookX]);
+        let b = Args::from_iter(std::iter::empty());
+        assert_eq!(b.profiles(&[Profile::Ciao]), vec![Profile::Ciao]);
+    }
+
+    #[test]
+    fn improvement_formatting() {
+        assert_eq!(fmt_improvement(0.12, 0.10), "+20.00%");
+        assert_eq!(fmt_improvement(0.10, 0.0), "n/a");
+    }
+
+    #[test]
+    fn end_to_end_smoke_baseline_vs_mars() {
+        // Smallest possible end-to-end: one tiny dataset, one baseline, one
+        // MARS run, all through the public harness API.
+        let data = mars_data::SyntheticDataset::generate(
+            "harness-smoke",
+            &mars_data::SyntheticConfig {
+                num_users: 50,
+                num_items: 40,
+                num_interactions: 900,
+                num_categories: 3,
+                seed: 5,
+                ..Default::default()
+            },
+        );
+        let bpr = run_model(
+            &ModelSpec::baseline(BaselineKind::Bpr, 8, 3, 1),
+            &data.dataset,
+        );
+        let mars = run_model(&ModelSpec::mars(2, 8, 3, 1), &data.dataset);
+        assert!(bpr.cases > 0 && mars.cases > 0);
+        assert!(bpr.hr_at(10) >= 0.0 && mars.hr_at(10) >= 0.0);
+    }
+}

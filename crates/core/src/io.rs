@@ -1,0 +1,252 @@
+//! Binary persistence for trained models.
+//!
+//! A small self-describing format (magic + version + shape header + raw
+//! little-endian `f32` payloads) instead of a serde dependency: the tables
+//! are large flat float arrays, so the natural encoding is also the fast
+//! one, and the format is trivially stable across versions of this crate.
+//!
+//! Layout (all integers little-endian `u64`, floats little-endian `f32`):
+//!
+//! ```text
+//! magic   b"MARSMDL1"
+//! header  num_users, num_items, facets, dim, geometry(0/1), param(0/1)
+//! theta   num_users × facets floats
+//! params  factored: user_emb, item_emb, phi[0..K], psi[0..K]
+//!         direct:   user_facets, item_facets
+//! ```
+//!
+//! Only the *weights* round-trip; the returned model carries the provided
+//! config (which must agree with the stored shapes).
+
+use crate::config::{FacetParam, Geometry, MarsConfig};
+use crate::model::{MultiFacetModel, Params};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"MARSMDL1";
+
+/// Saves the model's weights to `path`.
+pub fn save(model: &MultiFacetModel, path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    let cfg = model.config();
+    let geometry_tag: u64 = match cfg.geometry {
+        Geometry::Euclidean => 0,
+        Geometry::Spherical => 1,
+    };
+    let param_tag: u64 = match cfg.parameterization {
+        FacetParam::Factored => 0,
+        FacetParam::Direct => 1,
+    };
+    for v in [
+        model.num_users() as u64,
+        model.num_items() as u64,
+        cfg.facets as u64,
+        cfg.dim as u64,
+        geometry_tag,
+        param_tag,
+    ] {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    write_f32s(&mut w, model.theta_logits().as_slice())?;
+    match model.params() {
+        Params::Factored {
+            user_emb,
+            item_emb,
+            phi,
+            psi,
+        } => {
+            write_f32s(&mut w, user_emb.as_slice())?;
+            write_f32s(&mut w, item_emb.as_slice())?;
+            for m in phi.iter().chain(psi.iter()) {
+                write_f32s(&mut w, m.as_slice())?;
+            }
+        }
+        Params::Direct {
+            user_facets,
+            item_facets,
+        } => {
+            write_f32s(&mut w, user_facets.as_slice())?;
+            write_f32s(&mut w, item_facets.as_slice())?;
+        }
+    }
+    w.flush()
+}
+
+/// Loads a model saved by [`save`], attaching the given config.
+///
+/// Fails with `InvalidData` if the magic, shapes, geometry or
+/// parameterization disagree with the config.
+pub fn load(cfg: MarsConfig, path: &Path) -> io::Result<MultiFacetModel> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a MARS model file"));
+    }
+    let mut header = [0u64; 6];
+    for h in header.iter_mut() {
+        let mut buf = [0u8; 8];
+        r.read_exact(&mut buf)?;
+        *h = u64::from_le_bytes(buf);
+    }
+    let [num_users, num_items, facets, dim, geometry_tag, param_tag] = header;
+    let geometry = match geometry_tag {
+        0 => Geometry::Euclidean,
+        1 => Geometry::Spherical,
+        _ => return Err(bad("unknown geometry tag")),
+    };
+    let param = match param_tag {
+        0 => FacetParam::Factored,
+        1 => FacetParam::Direct,
+        _ => return Err(bad("unknown parameterization tag")),
+    };
+    if cfg.facets as u64 != facets
+        || cfg.dim as u64 != dim
+        || cfg.geometry != geometry
+        || cfg.parameterization != param
+    {
+        return Err(bad("config does not match stored model"));
+    }
+
+    let mut model = MultiFacetModel::new(cfg, num_users as usize, num_items as usize);
+    read_f32s(&mut r, model.theta_logits_mut().as_mut_slice())?;
+    match model.params_mut() {
+        Params::Factored {
+            user_emb,
+            item_emb,
+            phi,
+            psi,
+        } => {
+            read_f32s(&mut r, user_emb.as_mut_slice())?;
+            read_f32s(&mut r, item_emb.as_mut_slice())?;
+            for m in phi.iter_mut().chain(psi.iter_mut()) {
+                read_f32s(&mut r, m.as_mut_slice())?;
+            }
+        }
+        Params::Direct {
+            user_facets,
+            item_facets,
+        } => {
+            read_f32s(&mut r, user_facets.as_mut_slice())?;
+            read_f32s(&mut r, item_facets.as_mut_slice())?;
+        }
+    }
+    // Trailing data means shape confusion somewhere — refuse.
+    let mut probe = [0u8; 1];
+    match r.read(&mut probe)? {
+        0 => Ok(model),
+        _ => Err(bad("trailing bytes after model payload")),
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn write_f32s<W: Write>(w: &mut W, xs: &[f32]) -> io::Result<()> {
+    // Chunked conversion avoids a full-copy buffer for big tables.
+    let mut buf = [0u8; 4096];
+    for chunk in xs.chunks(1024) {
+        let bytes = &mut buf[..chunk.len() * 4];
+        for (i, &x) in chunk.iter().enumerate() {
+            bytes[i * 4..i * 4 + 4].copy_from_slice(&x.to_le_bytes());
+        }
+        w.write_all(bytes)?;
+    }
+    Ok(())
+}
+
+fn read_f32s<R: Read>(r: &mut R, out: &mut [f32]) -> io::Result<()> {
+    let mut buf = [0u8; 4096];
+    for chunk in out.chunks_mut(1024) {
+        let bytes = &mut buf[..chunk.len() * 4];
+        r.read_exact(bytes)?;
+        for (i, x) in chunk.iter_mut().enumerate() {
+            *x = f32::from_le_bytes(bytes[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MarsConfig;
+    use crate::model::Scratch;
+    use mars_data::batch::Triplet;
+    use mars_metrics::Scorer;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mars-io-test-{name}-{}", std::process::id()));
+        p
+    }
+
+    fn train_a_bit(mut m: MultiFacetModel) -> MultiFacetModel {
+        let mut s = Scratch::new(m.config().facets, m.config().dim);
+        for i in 0..50u32 {
+            let t = Triplet {
+                user: i % 4,
+                positive: i % 6,
+                negative: (i + 2) % 6,
+            };
+            m.train_triplet(t, 0.5, 0.05, &mut s);
+        }
+        m
+    }
+
+    #[test]
+    fn roundtrip_mars_direct() {
+        let cfg = MarsConfig::mars(2, 4);
+        let m = train_a_bit(MultiFacetModel::new(cfg.clone(), 4, 6));
+        let path = tmpfile("direct");
+        save(&m, &path).unwrap();
+        let loaded = load(cfg, &path).unwrap();
+        for u in 0..4 {
+            for v in 0..6 {
+                assert_eq!(m.score(u, v), loaded.score(u, v));
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn roundtrip_mar_factored() {
+        let cfg = MarsConfig::mar(3, 4);
+        let m = train_a_bit(MultiFacetModel::new(cfg.clone(), 4, 6));
+        let path = tmpfile("factored");
+        save(&m, &path).unwrap();
+        let loaded = load(cfg, &path).unwrap();
+        for u in 0..4 {
+            for v in 0..6 {
+                assert_eq!(m.score(u, v), loaded.score(u, v));
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_config_is_rejected() {
+        let cfg = MarsConfig::mars(2, 4);
+        let m = MultiFacetModel::new(cfg.clone(), 4, 6);
+        let path = tmpfile("mismatch");
+        save(&m, &path).unwrap();
+        // Different K.
+        let err = load(MarsConfig::mars(3, 4), &path);
+        assert!(err.is_err());
+        // Different geometry.
+        let err = load(MarsConfig::mar(2, 4), &path);
+        assert!(err.is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_magic_is_rejected() {
+        let path = tmpfile("magic");
+        std::fs::write(&path, b"NOTAMARS________________").unwrap();
+        assert!(load(MarsConfig::mars(2, 4), &path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,879 @@
+//! The multi-facet recommender model (MAR and MARS).
+//!
+//! One struct covers both frameworks of the paper; the configuration picks
+//! the geometry, parameterization and optimizer:
+//!
+//! * **MAR** (Eq. 1–11): universal embeddings `u, v ∈ R^D` + shared
+//!   projections `Φ, Ψ` produce facet embeddings `u^k = φ_kᵀu`; similarity
+//!   is negative squared Euclidean distance per facet, combined by per-user
+//!   softmax weights `Θ_u`; SGD with the unit-ball constraint.
+//! * **MARS** (Eq. 12–21): the optimization variables are the facet
+//!   embeddings themselves (`Ω` of Eq. 19), constrained to the unit sphere;
+//!   similarity is cosine; training uses (calibrated) Riemannian SGD. The
+//!   factored form seeds the initialization, mirroring how the paper wires
+//!   MAR's architecture into MARS.
+//!
+//! ### Interpretive notes (divergences from the paper's notation)
+//!
+//! 1. **Sphere constraints + shared projections.** Eq. 15 writes the MARS
+//!    similarity through `Φ/Ψ`, but Eq. 19's constraint set `Ω` contains the
+//!    facet embeddings, and the Riemannian update (Eq. 21) moves a point on
+//!    *its own* sphere — which is only well-defined when the facet
+//!    embeddings are free parameters. We therefore train MARS in the direct
+//!    parameterization, initialized from the factored form.
+//! 2. **Ambient gradients for cosine terms.** On the unit sphere,
+//!    `∇_x cos(x,y) = y − (xᵀy)x`; the tangent projection inside the
+//!    optimizer supplies the `−(xᵀy)x` part, so the model hands the
+//!    optimizer the bilinear gradient `y`. This is also what makes the
+//!    calibration multiplier `1 + xᵀ∇f/‖∇f‖` informative (see
+//!    `mars-optim::riemannian`).
+//! 3. **Facet-separating loss direction.** Eq. 12 as printed decreases with
+//!    *increasing* cosine, which would collapse the facets it is meant to
+//!    spread. We use `softplus(+α·cos)/α`, the monotone-increasing penalty
+//!    consistent with Eq. 6's "encourage orthogonality" and the Euclidean
+//!    form.
+
+use crate::config::{FacetParam, Geometry, MarsConfig, OptimKind};
+use crate::embedding::{EmbeddingTable, FacetTable};
+use mars_data::batch::Triplet;
+use mars_data::{ItemId, UserId};
+use mars_metrics::Scorer;
+use mars_optim::{CalibratedRiemannianSgd, Optimizer, RiemannianSgd, Sgd};
+use mars_tensor::{init, nonlin, ops, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Trainable parameters, per parameterization (see module docs).
+#[derive(Clone, Debug)]
+pub enum Params {
+    /// Universal embeddings + shared facet projections (MAR).
+    Factored {
+        user_emb: EmbeddingTable,
+        item_emb: EmbeddingTable,
+        phi: Vec<Matrix>,
+        psi: Vec<Matrix>,
+    },
+    /// Free facet embeddings (MARS).
+    Direct {
+        user_facets: FacetTable,
+        item_facets: FacetTable,
+    },
+}
+
+/// Reusable per-triplet work buffers; one per trainer, zero allocation per
+/// step (perf-book: workhorse collections).
+pub struct Scratch {
+    /// Facet embeddings of the user / positive / negative.
+    pub uf: Vec<Vec<f32>>,
+    pub pf: Vec<Vec<f32>>,
+    pub qf: Vec<Vec<f32>>,
+    /// Facet-embedding gradients.
+    pub du: Vec<Vec<f32>>,
+    pub dp: Vec<Vec<f32>>,
+    pub dq: Vec<Vec<f32>>,
+    /// Softmaxed facet weights of the user.
+    pub theta: Vec<f32>,
+    /// Per-facet similarities to the positive / negative.
+    pub gp: Vec<f32>,
+    pub gq: Vec<f32>,
+    /// Θ-gradient staging.
+    pub theta_upstream: Vec<f32>,
+    pub theta_grad: Vec<f32>,
+    /// Generic D-sized temporary.
+    pub tmp: Vec<f32>,
+}
+
+impl Scratch {
+    /// Allocates buffers for `k` facets of dimension `d`.
+    pub fn new(k: usize, d: usize) -> Self {
+        let vecs = || vec![vec![0.0; d]; k];
+        Self {
+            uf: vecs(),
+            pf: vecs(),
+            qf: vecs(),
+            du: vecs(),
+            dp: vecs(),
+            dq: vecs(),
+            theta: vec![0.0; k],
+            gp: vec![0.0; k],
+            gq: vec![0.0; k],
+            theta_upstream: vec![0.0; k],
+            theta_grad: vec![0.0; k],
+            tmp: vec![0.0; d],
+        }
+    }
+}
+
+/// Per-triplet loss breakdown returned by [`MultiFacetModel::train_triplet`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TripletLoss {
+    pub push: f32,
+    pub pull: f32,
+    pub facet: f32,
+}
+
+impl TripletLoss {
+    /// Weighted total (the quantity being minimized).
+    pub fn total(&self, lambda_pull: f32, lambda_facet: f32) -> f32 {
+        self.push + lambda_pull * self.pull + lambda_facet * self.facet
+    }
+}
+
+/// The MAR / MARS model.
+#[derive(Clone, Debug)]
+pub struct MultiFacetModel {
+    cfg: MarsConfig,
+    num_users: usize,
+    num_items: usize,
+    params: Params,
+    /// Free logits behind the softmaxed per-user facet weights `Θ_u`.
+    theta_logits: EmbeddingTable,
+}
+
+impl MultiFacetModel {
+    /// Initializes a model for the given catalogue sizes.
+    ///
+    /// Factored mode: uniform universal embeddings (scaled `1/√D`, clipped
+    /// to the unit ball) and near-identity projections — at step 0 every
+    /// facet space is a mild perturbation of the universal space, and the
+    /// facet-separating loss drives them apart.
+    ///
+    /// Direct mode: facet embeddings are produced by projecting that same
+    /// factored initialization, then constrained (normalized for spherical
+    /// geometry, ball-clipped for Euclidean).
+    ///
+    /// # Panics
+    /// If the configuration fails [`MarsConfig::validate`].
+    pub fn new(cfg: MarsConfig, num_users: usize, num_items: usize) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid MarsConfig: {e}");
+        }
+        assert!(num_users > 0 && num_items > 0);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let k = cfg.facets;
+        let d = cfg.dim;
+
+        let scale = 1.0 / (d as f32).sqrt();
+        let mut user_emb = EmbeddingTable::uniform(&mut rng, num_users, d, scale);
+        let mut item_emb = EmbeddingTable::uniform(&mut rng, num_items, d, scale);
+        user_emb.clip_rows_to_unit_ball();
+        item_emb.clip_rows_to_unit_ball();
+        let phi: Vec<Matrix> = (0..k)
+            .map(|_| init::near_identity_matrix(&mut rng, d, 1.0, 0.35 * scale))
+            .collect();
+        let psi: Vec<Matrix> = (0..k)
+            .map(|_| init::near_identity_matrix(&mut rng, d, 1.0, 0.35 * scale))
+            .collect();
+
+        let params = match cfg.parameterization {
+            FacetParam::Factored => Params::Factored {
+                user_emb,
+                item_emb,
+                phi,
+                psi,
+            },
+            FacetParam::Direct => {
+                let mut user_facets = FacetTable::zeros(num_users, k, d);
+                let mut item_facets = FacetTable::zeros(num_items, k, d);
+                let mut tmp = vec![0.0; d];
+                for u in 0..num_users {
+                    for (f, m) in phi.iter().enumerate() {
+                        m.matvec_t(user_emb.row(u), &mut tmp);
+                        user_facets.facet_mut(u, f).copy_from_slice(&tmp);
+                    }
+                }
+                for v in 0..num_items {
+                    for (f, m) in psi.iter().enumerate() {
+                        m.matvec_t(item_emb.row(v), &mut tmp);
+                        item_facets.facet_mut(v, f).copy_from_slice(&tmp);
+                    }
+                }
+                match cfg.geometry {
+                    Geometry::Spherical => {
+                        user_facets.normalize();
+                        item_facets.normalize();
+                    }
+                    Geometry::Euclidean => {
+                        user_facets.clip_to_unit_ball();
+                        item_facets.clip_to_unit_ball();
+                    }
+                }
+                Params::Direct {
+                    user_facets,
+                    item_facets,
+                }
+            }
+        };
+
+        // Uniform facet weights at init (zero logits).
+        let theta_logits = EmbeddingTable::zeros(num_users, k);
+
+        Self {
+            cfg,
+            num_users,
+            num_items,
+            params,
+            theta_logits,
+        }
+    }
+
+    /// The configuration the model was built with.
+    pub fn config(&self) -> &MarsConfig {
+        &self.cfg
+    }
+
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Borrow of the parameters (for analysis / persistence).
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Mutable borrow of the parameters (for persistence round-trips).
+    pub fn params_mut(&mut self) -> &mut Params {
+        &mut self.params
+    }
+
+    /// Raw Θ logits table.
+    pub fn theta_logits(&self) -> &EmbeddingTable {
+        &self.theta_logits
+    }
+
+    /// Mutable Θ logits table (persistence).
+    pub fn theta_logits_mut(&mut self) -> &mut EmbeddingTable {
+        &mut self.theta_logits
+    }
+
+    /// Softmaxed facet weights `Θ_u` of one user.
+    pub fn theta(&self, u: UserId) -> Vec<f32> {
+        nonlin::softmax_vec(self.theta_logits.row(u as usize))
+    }
+
+    /// Writes user `u`'s facet-`k` embedding into `out`.
+    pub fn user_facet(&self, u: UserId, k: usize, out: &mut [f32]) {
+        match &self.params {
+            Params::Factored { user_emb, phi, .. } => {
+                phi[k].matvec_t(user_emb.row(u as usize), out);
+            }
+            Params::Direct { user_facets, .. } => {
+                out.copy_from_slice(user_facets.facet(u as usize, k));
+            }
+        }
+    }
+
+    /// Writes item `v`'s facet-`k` embedding into `out`.
+    pub fn item_facet(&self, v: ItemId, k: usize, out: &mut [f32]) {
+        match &self.params {
+            Params::Factored { item_emb, psi, .. } => {
+                psi[k].matvec_t(item_emb.row(v as usize), out);
+            }
+            Params::Direct { item_facets, .. } => {
+                out.copy_from_slice(item_facets.facet(v as usize, k));
+            }
+        }
+    }
+
+    /// Facet-specific similarity `g_k` for the configured geometry
+    /// (Eq. 3 Euclidean, Eq. 13 spherical).
+    #[inline]
+    pub fn facet_similarity(&self, a: &[f32], b: &[f32]) -> f32 {
+        match self.cfg.geometry {
+            Geometry::Euclidean => -ops::dist_sq(a, b),
+            Geometry::Spherical => ops::cosine(a, b),
+        }
+    }
+
+    /// Cross-facet similarity `g(u, v) = Σ_k θ_u^k g_k(u^k, v^k)`
+    /// (Eq. 4 / Eq. 14). Allocates scratch; the trainer and evaluator use
+    /// the buffered paths instead.
+    pub fn similarity(&self, u: UserId, v: ItemId) -> f32 {
+        let d = self.cfg.dim;
+        let theta = self.theta(u);
+        let mut uf = vec![0.0; d];
+        let mut vf = vec![0.0; d];
+        let mut s = 0.0;
+        for k in 0..self.cfg.facets {
+            self.user_facet(u, k, &mut uf);
+            self.item_facet(v, k, &mut vf);
+            s += theta[k] * self.facet_similarity(&uf, &vf);
+        }
+        s
+    }
+
+    // ------------------------------------------------------------------
+    // Training
+    // ------------------------------------------------------------------
+
+    /// Applies one SGD/RSGD update for the triplet `(u, v⁺, v⁻)` with the
+    /// user's adaptive margin `gamma`, learning rate `lr`. Returns the loss
+    /// breakdown *before* the update.
+    pub fn train_triplet(
+        &mut self,
+        t: Triplet,
+        gamma: f32,
+        lr: f32,
+        s: &mut Scratch,
+    ) -> TripletLoss {
+        let k = self.cfg.facets;
+        let u = t.user as usize;
+
+        // 1. Gather facet embeddings into scratch.
+        for f in 0..k {
+            self.user_facet(t.user, f, &mut s.uf[f]);
+            self.item_facet(t.positive, f, &mut s.pf[f]);
+            self.item_facet(t.negative, f, &mut s.qf[f]);
+        }
+
+        // 2. Per-facet similarities and softmax weights.
+        for f in 0..k {
+            s.gp[f] = self.facet_similarity(&s.uf[f], &s.pf[f]);
+            s.gq[f] = self.facet_similarity(&s.uf[f], &s.qf[f]);
+        }
+        nonlin::softmax(self.theta_logits.row(u), &mut s.theta);
+        let s_p: f32 = (0..k).map(|f| s.theta[f] * s.gp[f]).sum();
+        let s_q: f32 = (0..k).map(|f| s.theta[f] * s.gq[f]).sum();
+
+        // 3. Loss pieces (Eq. 8 push with adaptive margin, Eq. 9 pull).
+        let hinge_arg = gamma - s_p + s_q;
+        let active = hinge_arg > 0.0;
+        let push = hinge_arg.max(0.0);
+        let pull = -s_p;
+
+        // dL/ds_p and dL/ds_q.
+        let c_p = if active { -1.0 } else { 0.0 } - self.cfg.lambda_pull;
+        let c_q = if active { 1.0 } else { 0.0 };
+
+        // 4. Facet-embedding gradients from the similarity terms.
+        for f in 0..k {
+            let w_p = c_p * s.theta[f];
+            let w_q = c_q * s.theta[f];
+            ops::zero(&mut s.du[f]);
+            ops::zero(&mut s.dp[f]);
+            ops::zero(&mut s.dq[f]);
+            match self.cfg.geometry {
+                Geometry::Euclidean => {
+                    // g = −‖u−v‖² ⇒ ∂g/∂u = −2(u−v), ∂g/∂v = 2(u−v).
+                    for i in 0..s.uf[f].len() {
+                        let diff_p = s.uf[f][i] - s.pf[f][i];
+                        let diff_q = s.uf[f][i] - s.qf[f][i];
+                        s.du[f][i] = w_p * (-2.0 * diff_p) + w_q * (-2.0 * diff_q);
+                        s.dp[f][i] = w_p * 2.0 * diff_p;
+                        s.dq[f][i] = w_q * 2.0 * diff_q;
+                    }
+                }
+                Geometry::Spherical => {
+                    // Ambient bilinear gradient (see module docs note 2):
+                    // ∂(uᵀv)/∂u = v.
+                    ops::axpy(w_p, &s.pf[f], &mut s.du[f]);
+                    ops::axpy(w_q, &s.qf[f], &mut s.du[f]);
+                    ops::axpy(w_p, &s.uf[f], &mut s.dp[f]);
+                    ops::axpy(w_q, &s.uf[f], &mut s.dq[f]);
+                }
+            }
+        }
+
+        // 5. Facet-separating loss over this triplet's entities (Eq. 6/12).
+        let mut facet_loss = 0.0;
+        if self.cfg.lambda_facet > 0.0 && k > 1 {
+            facet_loss += self.facet_separation(&s.uf, &mut s.du);
+            facet_loss += self.facet_separation(&s.pf, &mut s.dp);
+            facet_loss += self.facet_separation(&s.qf, &mut s.dq);
+        }
+
+        // 6. Θ logits update (plain SGD on the softmax parameterization).
+        for f in 0..k {
+            s.theta_upstream[f] = c_p * s.gp[f] + c_q * s.gq[f];
+        }
+        nonlin::softmax_backward(&s.theta, &s.theta_upstream, &mut s.theta_grad);
+        ops::axpy(
+            -self.cfg.theta_lr,
+            &s.theta_grad,
+            self.theta_logits.row_mut(u),
+        );
+
+        // 7. Parameter updates.
+        self.apply_updates(t, lr, s);
+
+        TripletLoss {
+            push,
+            pull,
+            facet: facet_loss,
+        }
+    }
+
+    /// Adds the facet-separating gradients for one entity's facet set into
+    /// `grads` and returns the loss value.
+    ///
+    /// Euclidean (Eq. 6): `(1/α)·softplus(−α·‖f_i − f_j‖²)` per pair —
+    /// decreasing in the distance, so minimizing spreads the facets.
+    /// Spherical: `(1/α)·softplus(+α·cos(f_i, f_j))` (see module docs note
+    /// 3) — decreasing in the angle.
+    fn facet_separation(&self, facets: &[Vec<f32>], grads: &mut [Vec<f32>]) -> f32 {
+        let alpha = self.cfg.alpha;
+        let lam = self.cfg.lambda_facet;
+        let k = facets.len();
+        let mut loss = 0.0;
+        for i in 0..k {
+            for j in (i + 1)..k {
+                match self.cfg.geometry {
+                    Geometry::Euclidean => {
+                        let d2 = ops::dist_sq(&facets[i], &facets[j]);
+                        loss += nonlin::softplus(-alpha * d2) / alpha;
+                        // ∂/∂d² [(1/α)softplus(−αd²)] = −σ(−αd²)
+                        let coeff = -nonlin::sigmoid(-alpha * d2);
+                        // ∂d²/∂f_i = 2(f_i − f_j)
+                        for idx in 0..facets[i].len() {
+                            let diff = facets[i][idx] - facets[j][idx];
+                            grads[i][idx] += lam * coeff * 2.0 * diff;
+                            grads[j][idx] -= lam * coeff * 2.0 * diff;
+                        }
+                    }
+                    Geometry::Spherical => {
+                        let c = ops::dot(&facets[i], &facets[j]);
+                        loss += nonlin::softplus(alpha * c) / alpha;
+                        let coeff = nonlin::sigmoid(alpha * c);
+                        // Ambient bilinear gradient of cos.
+                        ops::axpy(lam * coeff, &facets[j], &mut grads[i]);
+                        ops::axpy(lam * coeff, &facets[i], &mut grads[j]);
+                    }
+                }
+            }
+        }
+        loss
+    }
+
+    /// Routes the staged gradients into the parameters.
+    fn apply_updates(&mut self, t: Triplet, lr: f32, s: &mut Scratch) {
+        let k = self.cfg.facets;
+        let dim = self.cfg.dim;
+        let optimizer = self.cfg.optimizer;
+        let geometry = self.cfg.geometry;
+        match &mut self.params {
+            Params::Direct {
+                user_facets,
+                item_facets,
+            } => {
+                let step = |param: &mut [f32], grad: &[f32]| match (optimizer, geometry) {
+                    (OptimKind::Sgd, Geometry::Euclidean) => {
+                        Sgd::with_max_norm(lr, 1.0).step(param, grad);
+                    }
+                    (OptimKind::Sgd, Geometry::Spherical) => {
+                        // Projected SGD: Euclidean step, renormalize.
+                        Sgd::new(lr).step(param, grad);
+                        ops::normalize(param);
+                    }
+                    (OptimKind::Riemannian, _) => {
+                        RiemannianSgd::new(lr).step(param, grad);
+                    }
+                    (OptimKind::CalibratedRiemannian, _) => {
+                        CalibratedRiemannianSgd::new(lr).step(param, grad);
+                    }
+                };
+                for f in 0..k {
+                    step(user_facets.facet_mut(t.user as usize, f), &s.du[f]);
+                    step(item_facets.facet_mut(t.positive as usize, f), &s.dp[f]);
+                    step(item_facets.facet_mut(t.negative as usize, f), &s.dq[f]);
+                }
+            }
+            Params::Factored {
+                user_emb,
+                item_emb,
+                phi,
+                psi,
+            } => {
+                let u = t.user as usize;
+                let p = t.positive as usize;
+                let q = t.negative as usize;
+                // Chain rule to universal embeddings first (projections must
+                // still hold their pre-update values).
+                let mut d_univ_u = vec![0.0; dim];
+                let mut d_univ_p = vec![0.0; dim];
+                let mut d_univ_q = vec![0.0; dim];
+                for f in 0..k {
+                    phi[f].matvec(&s.du[f], &mut s.tmp);
+                    ops::axpy(1.0, &s.tmp, &mut d_univ_u);
+                    psi[f].matvec(&s.dp[f], &mut s.tmp);
+                    ops::axpy(1.0, &s.tmp, &mut d_univ_p);
+                    psi[f].matvec(&s.dq[f], &mut s.tmp);
+                    ops::axpy(1.0, &s.tmp, &mut d_univ_q);
+                }
+                // Projection gradients: ∂L/∂φ_k = u ⊗ ∂L/∂u^k.
+                for f in 0..k {
+                    phi[f].ger(-lr, user_emb.row(u), &s.du[f]);
+                    psi[f].ger(-lr, item_emb.row(p), &s.dp[f]);
+                    psi[f].ger(-lr, item_emb.row(q), &s.dq[f]);
+                }
+                // Universal embedding steps + ball constraint (Eq. 11).
+                let sgd = Sgd::with_max_norm(lr, 1.0);
+                sgd.step(user_emb.row_mut(u), &d_univ_u);
+                sgd.step(item_emb.row_mut(p), &d_univ_p);
+                sgd.step(item_emb.row_mut(q), &d_univ_q);
+            }
+        }
+    }
+
+    /// Re-clips the projections' spectral norms to 1 (factored mode only;
+    /// no-op for direct). Together with `‖u‖ ≤ 1` this enforces the facet
+    /// constraint `‖u^k‖ ≤ 1` of Eq. 11.
+    pub fn enforce_projection_constraint(&mut self) {
+        if let Params::Factored { phi, psi, .. } = &mut self.params {
+            for m in phi.iter_mut().chain(psi.iter_mut()) {
+                m.clip_spectral_norm(1.0, 12);
+            }
+        }
+    }
+
+    /// Checks the geometry invariant: unit sphere (direct+spherical) or unit
+    /// ball (facet norms ≤ 1 + tol elsewhere).
+    pub fn check_norm_invariant(&self, tol: f32) -> bool {
+        match (&self.params, self.cfg.geometry) {
+            (
+                Params::Direct {
+                    user_facets,
+                    item_facets,
+                },
+                Geometry::Spherical,
+            ) => user_facets.all_unit(tol) && item_facets.all_unit(tol),
+            (
+                Params::Direct {
+                    user_facets,
+                    item_facets,
+                },
+                Geometry::Euclidean,
+            ) => user_facets.max_norm() <= 1.0 + tol && item_facets.max_norm() <= 1.0 + tol,
+            (Params::Factored { user_emb, item_emb, .. }, _) => {
+                user_emb.max_row_norm() <= 1.0 + tol && item_emb.max_row_norm() <= 1.0 + tol
+            }
+        }
+    }
+
+    /// Evaluation-time loss of a triplet (no update) — used by the gradient
+    /// checks and convergence tests.
+    pub fn triplet_loss(&self, t: Triplet, gamma: f32) -> TripletLoss {
+        let k = self.cfg.facets;
+        let d = self.cfg.dim;
+        let mut uf = vec![vec![0.0; d]; k];
+        let mut pf = vec![vec![0.0; d]; k];
+        let mut qf = vec![vec![0.0; d]; k];
+        for f in 0..k {
+            self.user_facet(t.user, f, &mut uf[f]);
+            self.item_facet(t.positive, f, &mut pf[f]);
+            self.item_facet(t.negative, f, &mut qf[f]);
+        }
+        let theta = self.theta(t.user);
+        let mut s_p = 0.0;
+        let mut s_q = 0.0;
+        for f in 0..k {
+            s_p += theta[f] * self.facet_similarity(&uf[f], &pf[f]);
+            s_q += theta[f] * self.facet_similarity(&uf[f], &qf[f]);
+        }
+        let push = (gamma - s_p + s_q).max(0.0);
+        let pull = -s_p;
+        let mut facet = 0.0;
+        if k > 1 {
+            let mut sink_u = vec![vec![0.0; d]; k];
+            let mut sink_p = vec![vec![0.0; d]; k];
+            let mut sink_q = vec![vec![0.0; d]; k];
+            facet += self.facet_separation(&uf, &mut sink_u);
+            facet += self.facet_separation(&pf, &mut sink_p);
+            facet += self.facet_separation(&qf, &mut sink_q);
+        }
+        TripletLoss { push, pull, facet }
+    }
+}
+
+impl MultiFacetModel {
+    /// Top-N recommendation: the `n` highest-scoring items for `user`
+    /// excluding `seen` (typically the user's training interactions),
+    /// highest first. Deterministic tie-break by item id.
+    ///
+    /// ```
+    /// use mars_core::{MarsConfig, MultiFacetModel};
+    /// let model = MultiFacetModel::new(MarsConfig::mars(2, 8), 4, 10);
+    /// let recs = model.recommend(0, &[1, 2], 3);
+    /// assert_eq!(recs.len(), 3);
+    /// assert!(recs.iter().all(|(v, _)| *v != 1 && *v != 2));
+    /// ```
+    pub fn recommend(&self, user: UserId, seen: &[ItemId], n: usize) -> Vec<(ItemId, f32)> {
+        let candidates: Vec<ItemId> = (0..self.num_items as ItemId)
+            .filter(|v| seen.binary_search(v).is_err())
+            .collect();
+        let mut scores = Vec::new();
+        self.score_many(user, &candidates, &mut scores);
+        let mut ranked: Vec<(ItemId, f32)> = candidates.into_iter().zip(scores).collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        ranked.truncate(n);
+        ranked
+    }
+}
+
+impl Scorer for MultiFacetModel {
+    fn score(&self, user: UserId, item: ItemId) -> f32 {
+        self.similarity(user, item)
+    }
+
+    fn score_many(&self, user: UserId, items: &[ItemId], out: &mut Vec<f32>) {
+        // Share the user-side work (facet projection + softmax) across
+        // candidates — the evaluator scores 100 negatives per test case.
+        let k = self.cfg.facets;
+        let d = self.cfg.dim;
+        let theta = self.theta(user);
+        let mut uf = vec![0.0; k * d];
+        for f in 0..k {
+            self.user_facet(user, f, &mut uf[f * d..(f + 1) * d]);
+        }
+        let mut vf = vec![0.0; d];
+        out.clear();
+        out.reserve(items.len());
+        for &v in items {
+            let mut sum = 0.0;
+            for f in 0..k {
+                self.item_facet(v, f, &mut vf);
+                sum += theta[f] * self.facet_similarity(&uf[f * d..(f + 1) * d], &vf);
+            }
+            out.push(sum);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MarsConfig;
+
+    fn triplet() -> Triplet {
+        Triplet {
+            user: 1,
+            positive: 2,
+            negative: 5,
+        }
+    }
+
+    fn mar_model() -> MultiFacetModel {
+        // Exercise the factored (shared-projection) parameterization here;
+        // the direct default is covered by the MARS tests.
+        let mut cfg = MarsConfig::mar(3, 6);
+        cfg.parameterization = crate::config::FacetParam::Factored;
+        cfg.seed = 9;
+        MultiFacetModel::new(cfg, 4, 8)
+    }
+
+    fn mars_model() -> MultiFacetModel {
+        let mut cfg = MarsConfig::mars(3, 6);
+        cfg.seed = 9;
+        MultiFacetModel::new(cfg, 4, 8)
+    }
+
+    #[test]
+    fn recommend_excludes_seen_and_ranks_descending() {
+        let mut m = mars_model();
+        let mut s = Scratch::new(3, 6);
+        for _ in 0..100 {
+            m.train_triplet(triplet(), 0.5, 0.05, &mut s);
+        }
+        let seen: Vec<ItemId> = vec![0, 3];
+        let recs = m.recommend(1, &seen, 4);
+        assert_eq!(recs.len(), 4);
+        for w in recs.windows(2) {
+            assert!(w[0].1 >= w[1].1, "not sorted: {recs:?}");
+        }
+        assert!(recs.iter().all(|(v, _)| !seen.contains(v)));
+        // Trained positive (item 2) should be the top recommendation.
+        assert_eq!(recs[0].0, 2);
+    }
+
+    #[test]
+    fn recommend_truncates_to_catalogue() {
+        let m = mars_model();
+        let recs = m.recommend(0, &[], 100);
+        assert_eq!(recs.len(), 8); // only 8 items exist
+    }
+
+    #[test]
+    fn theta_starts_uniform() {
+        let m = mar_model();
+        let t = m.theta(0);
+        for &w in &t {
+            assert!((w - 1.0 / 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn init_respects_geometry_constraints() {
+        assert!(mar_model().check_norm_invariant(1e-4));
+        let mars = mars_model();
+        assert!(mars.check_norm_invariant(1e-4));
+        match mars.params() {
+            Params::Direct { user_facets, .. } => assert!(user_facets.all_unit(1e-4)),
+            _ => panic!("MARS must be direct"),
+        }
+    }
+
+    #[test]
+    fn similarity_matches_manual_computation() {
+        let m = mars_model();
+        let theta = m.theta(1);
+        let mut uf = vec![0.0; 6];
+        let mut vf = vec![0.0; 6];
+        let mut expect = 0.0;
+        for k in 0..3 {
+            m.user_facet(1, k, &mut uf);
+            m.item_facet(2, k, &mut vf);
+            expect += theta[k] * ops::cosine(&uf, &vf);
+        }
+        assert!((m.similarity(1, 2) - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn score_many_agrees_with_score() {
+        for m in [mar_model(), mars_model()] {
+            let items: Vec<ItemId> = (0..8).collect();
+            let mut batch = Vec::new();
+            m.score_many(1, &items, &mut batch);
+            for (i, &v) in items.iter().enumerate() {
+                let single = m.score(1, v);
+                assert!(
+                    (batch[i] - single).abs() < 1e-5,
+                    "item {v}: batch {} vs single {single}",
+                    batch[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn train_step_reduces_triplet_loss_mar() {
+        let mut m = mar_model();
+        let t = triplet();
+        let before = m.triplet_loss(t, 0.5);
+        let mut s = Scratch::new(3, 6);
+        for _ in 0..50 {
+            m.train_triplet(t, 0.5, 0.05, &mut s);
+        }
+        let after = m.triplet_loss(t, 0.5);
+        assert!(
+            after.total(0.1, 0.01) < before.total(0.1, 0.01),
+            "before {:?} after {:?}",
+            before,
+            after
+        );
+    }
+
+    #[test]
+    fn train_step_reduces_triplet_loss_mars() {
+        let mut m = mars_model();
+        let t = triplet();
+        let before = m.triplet_loss(t, 0.5);
+        let mut s = Scratch::new(3, 6);
+        for _ in 0..50 {
+            m.train_triplet(t, 0.5, 0.05, &mut s);
+        }
+        let after = m.triplet_loss(t, 0.5);
+        assert!(
+            after.total(0.1, 0.01) < before.total(0.1, 0.01),
+            "before {:?} after {:?}",
+            before,
+            after
+        );
+    }
+
+    #[test]
+    fn training_separates_positive_from_negative() {
+        for mut m in [mar_model(), mars_model()] {
+            let t = triplet();
+            let mut s = Scratch::new(3, 6);
+            for _ in 0..200 {
+                m.train_triplet(t, 0.5, 0.05, &mut s);
+            }
+            let sp = m.score(t.user, t.positive);
+            let sq = m.score(t.user, t.negative);
+            assert!(sp > sq, "positive {sp} should outscore negative {sq}");
+        }
+    }
+
+    #[test]
+    fn mars_preserves_sphere_through_training() {
+        let mut m = mars_model();
+        let mut s = Scratch::new(3, 6);
+        for i in 0..100 {
+            let t = Triplet {
+                user: (i % 4) as UserId,
+                positive: (i % 8) as ItemId,
+                negative: ((i + 3) % 8) as ItemId,
+            };
+            m.train_triplet(t, 0.4, 0.1, &mut s);
+        }
+        assert!(m.check_norm_invariant(1e-3));
+    }
+
+    #[test]
+    fn mar_ball_constraint_holds_through_training() {
+        let mut m = mar_model();
+        let mut s = Scratch::new(3, 6);
+        for i in 0..100 {
+            let t = Triplet {
+                user: (i % 4) as UserId,
+                positive: (i % 8) as ItemId,
+                negative: ((i + 3) % 8) as ItemId,
+            };
+            m.train_triplet(t, 0.4, 0.1, &mut s);
+        }
+        m.enforce_projection_constraint();
+        assert!(m.check_norm_invariant(1e-3));
+    }
+
+    #[test]
+    fn theta_moves_towards_discriminative_facets() {
+        // After training on one triplet repeatedly, theta should deviate
+        // from uniform (some facet becomes more useful).
+        let mut m = mars_model();
+        let mut s = Scratch::new(3, 6);
+        for _ in 0..300 {
+            m.train_triplet(triplet(), 0.8, 0.05, &mut s);
+        }
+        let theta = m.theta(1);
+        let spread = theta.iter().cloned().fold(0.0f32, f32::max)
+            - theta.iter().cloned().fold(1.0f32, f32::min);
+        assert!(spread > 1e-3, "theta stayed uniform: {theta:?}");
+        let sum: f32 = theta.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn spectral_constraint_bounds_facet_norms_in_factored_mode() {
+        let mut m = mar_model();
+        let mut s = Scratch::new(3, 6);
+        // Train hard with a large lr to blow up the projections...
+        for i in 0..200 {
+            let t = Triplet {
+                user: (i % 4) as UserId,
+                positive: (i % 8) as ItemId,
+                negative: ((i + 1) % 8) as ItemId,
+            };
+            m.train_triplet(t, 1.0, 0.5, &mut s);
+        }
+        // ...then enforce and verify ‖u^k‖ ≤ ~1.
+        m.enforce_projection_constraint();
+        let mut buf = vec![0.0; 6];
+        for u in 0..4 {
+            for k in 0..3 {
+                m.user_facet(u, k, &mut buf);
+                assert!(
+                    ops::norm(&buf) <= 1.05,
+                    "facet norm {} exceeds ball",
+                    ops::norm(&buf)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Training loop for MAR / MARS.
+//!
+//! Wires the data-layer pieces (adaptive margins, explorative sampling,
+//! triplet batching) into the per-triplet updates of
+//! [`MultiFacetModel::train_triplet`], tracks losses and optional dev-set
+//! metrics per epoch, and enforces the factored-mode projection constraint
+//! at the cadence the config requests.
+
+use crate::config::{MarsConfig, NegativeSampling, UserSampling};
+use crate::model::{MultiFacetModel, Scratch};
+
+use mars_data::dataset::Dataset;
+use mars_data::margin::compute_margins;
+use mars_data::sampler::{
+    NegativeSampler, PopularityNegativeSampler, UniformNegativeSampler, UserSampler,
+};
+use mars_metrics::{EvalConfig, RankingEvaluator};
+use mars_optim::LrSchedule;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-epoch training diagnostics.
+#[derive(Clone, Debug)]
+pub struct EpochStats {
+    pub epoch: usize,
+    /// Mean weighted triplet loss over the epoch.
+    pub mean_loss: f32,
+    /// Mean push / pull / facet components (unweighted).
+    pub mean_push: f32,
+    pub mean_pull: f32,
+    pub mean_facet: f32,
+    /// Dev HR@10 if dev evaluation was enabled.
+    pub dev_hr10: Option<f32>,
+}
+
+/// The result of [`Trainer::fit`].
+#[derive(Debug)]
+pub struct TrainOutcome {
+    /// The trained model.
+    pub model: MultiFacetModel,
+    /// Diagnostics per epoch.
+    pub history: Vec<EpochStats>,
+}
+
+/// Trains a [`MultiFacetModel`] on a [`Dataset`].
+pub struct Trainer {
+    cfg: MarsConfig,
+    schedule: LrSchedule,
+    /// Evaluate on the dev split every N epochs (0 = never).
+    dev_eval_every: usize,
+}
+
+impl Trainer {
+    /// Trainer with the paper's constant learning rate and no dev tracking.
+    pub fn new(cfg: MarsConfig) -> Self {
+        Self {
+            cfg,
+            schedule: LrSchedule::Constant,
+            dev_eval_every: 0,
+        }
+    }
+
+    /// Enables dev-set HR@10 tracking every `every` epochs.
+    pub fn with_dev_tracking(mut self, every: usize) -> Self {
+        self.dev_eval_every = every;
+        self
+    }
+
+    /// Overrides the learning-rate schedule.
+    pub fn with_schedule(mut self, schedule: LrSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Trains a fresh model on `data.train` and returns it with history.
+    pub fn fit(&self, data: &Dataset) -> TrainOutcome {
+        let model = MultiFacetModel::new(
+            self.cfg.clone(),
+            data.num_users(),
+            data.num_items(),
+        );
+        self.fit_from(model, data)
+    }
+
+    /// Continues training an existing model (warm start / fine-tuning).
+    ///
+    /// # Panics
+    /// If the model's catalogue sizes do not match the dataset.
+    pub fn fit_from(&self, mut model: MultiFacetModel, data: &Dataset) -> TrainOutcome {
+        assert_eq!(model.num_users(), data.num_users(), "user count mismatch");
+        assert_eq!(model.num_items(), data.num_items(), "item count mismatch");
+        let cfg = &self.cfg;
+        let x = &data.train;
+        if x.num_interactions() == 0 {
+            return TrainOutcome {
+                model,
+                history: Vec::new(),
+            };
+        }
+
+        let margins = compute_margins(x, cfg.margin, cfg.min_margin);
+        let user_sampler = match cfg.user_sampling {
+            UserSampling::Uniform => UserSampler::uniform(x),
+            UserSampling::Explorative => UserSampler::explorative(x, cfg.beta_explore),
+        };
+
+        // The negative-sampler enum dispatch is cold (once per batch item);
+        // boxing would also work but a small enum keeps it allocation-free.
+        enum Neg {
+            Uniform(UniformNegativeSampler),
+            Popularity(PopularityNegativeSampler),
+        }
+        impl NegativeSampler for Neg {
+            fn sample_negative<R: rand::Rng + ?Sized>(
+                &self,
+                x: &mars_data::Interactions,
+                u: mars_data::UserId,
+                rng: &mut R,
+            ) -> Option<mars_data::ItemId> {
+                match self {
+                    Neg::Uniform(s) => s.sample_negative(x, u, rng),
+                    Neg::Popularity(s) => s.sample_negative(x, u, rng),
+                }
+            }
+        }
+        let neg = match cfg.negative_sampling {
+            NegativeSampling::Uniform => Neg::Uniform(UniformNegativeSampler),
+            NegativeSampling::Popularity => {
+                Neg::Popularity(PopularityNegativeSampler::new(x, 0.75))
+            }
+        };
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0x5EED));
+        let mut scratch = Scratch::new(cfg.facets, cfg.dim);
+        let dev_eval = RankingEvaluator::new(EvalConfig {
+            num_negatives: 100,
+            cutoffs: vec![10],
+            seed: 777,
+        });
+
+        // One epoch visits as many positives as there are interactions;
+        // each positive is contrasted against `negatives_per_positive`
+        // sampled negatives (the stochastic form of Eq. 5/8's double sum).
+        let positives_per_epoch = x.num_interactions().max(1);
+        let mut history = Vec::with_capacity(cfg.epochs);
+        let mut steps_since_clip = 0usize;
+        for epoch in 0..cfg.epochs {
+            let lr = self.schedule.lr(cfg.lr, epoch, cfg.epochs);
+            let mut sum_total = 0.0f64;
+            let mut sum_push = 0.0f64;
+            let mut sum_pull = 0.0f64;
+            let mut sum_facet = 0.0f64;
+            let mut count = 0usize;
+            for _ in 0..positives_per_epoch {
+                let u = user_sampler.sample(&mut rng);
+                let vp = mars_data::sampler::sample_positive(x, u, &mut rng);
+                let gamma = margins[u as usize];
+                for _ in 0..cfg.negatives_per_positive {
+                    let Some(vq) = neg.sample_negative(x, u, &mut rng) else {
+                        break;
+                    };
+                    let t = mars_data::batch::Triplet {
+                        user: u,
+                        positive: vp,
+                        negative: vq,
+                    };
+                    let loss = model.train_triplet(t, gamma, lr, &mut scratch);
+                    sum_total +=
+                        loss.total(cfg.lambda_pull, cfg.lambda_facet) as f64;
+                    sum_push += loss.push as f64;
+                    sum_pull += loss.pull as f64;
+                    sum_facet += loss.facet as f64;
+                    count += 1;
+                    steps_since_clip += 1;
+                    if cfg.spectral_clip_every > 0
+                        && steps_since_clip >= cfg.spectral_clip_every
+                    {
+                        model.enforce_projection_constraint();
+                        steps_since_clip = 0;
+                    }
+                }
+            }
+            model.enforce_projection_constraint();
+
+            let n = count.max(1) as f64;
+            let dev_hr10 = if self.dev_eval_every > 0
+                && (epoch + 1) % self.dev_eval_every == 0
+                && !data.dev.is_empty()
+            {
+                Some(dev_eval.evaluate_dev(&model, data).hr_at(10))
+            } else {
+                None
+            };
+            history.push(EpochStats {
+                epoch,
+                mean_loss: (sum_total / n) as f32,
+                mean_push: (sum_push / n) as f32,
+                mean_pull: (sum_pull / n) as f32,
+                mean_facet: (sum_facet / n) as f32,
+                dev_hr10,
+            });
+        }
+
+        debug_assert!(
+            model.check_norm_invariant(1e-3),
+            "norm invariant violated after training"
+        );
+        TrainOutcome { model, history }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MarsConfig;
+    use mars_data::{SyntheticConfig, SyntheticDataset};
+    use mars_metrics::Scorer;
+
+    fn small_data() -> SyntheticDataset {
+        SyntheticDataset::generate(
+            "trainer-test",
+            &SyntheticConfig {
+                num_users: 60,
+                num_items: 50,
+                num_interactions: 1500,
+                num_categories: 3,
+                dirichlet_alpha: 0.2,
+                seed: 21,
+                ..Default::default()
+            },
+        )
+    }
+
+    fn quick_cfg(mut cfg: MarsConfig) -> MarsConfig {
+        cfg.epochs = 4;
+        cfg.batch_size = 128;
+        cfg
+    }
+
+    #[test]
+    fn loss_decreases_over_epochs_mar() {
+        let data = small_data();
+        let out = Trainer::new(quick_cfg(MarsConfig::mar(2, 8))).fit(&data.dataset);
+        assert_eq!(out.history.len(), 4);
+        let first = out.history.first().unwrap().mean_loss;
+        let last = out.history.last().unwrap().mean_loss;
+        assert!(last < first, "loss did not decrease: {first} → {last}");
+    }
+
+    #[test]
+    fn loss_decreases_over_epochs_mars() {
+        let data = small_data();
+        let out = Trainer::new(quick_cfg(MarsConfig::mars(2, 8))).fit(&data.dataset);
+        let first = out.history.first().unwrap().mean_loss;
+        let last = out.history.last().unwrap().mean_loss;
+        assert!(last < first, "loss did not decrease: {first} → {last}");
+    }
+
+    #[test]
+    fn trained_model_beats_untrained_on_dev() {
+        let data = small_data();
+        let cfg = quick_cfg(MarsConfig::mars(2, 8));
+        let untrained = MultiFacetModel::new(cfg.clone(), 60, 50);
+        let ev = RankingEvaluator::paper();
+        let before = ev.evaluate(&untrained, &data.dataset).hr_at(10);
+        let out = Trainer::new(cfg).fit(&data.dataset);
+        let after = ev.evaluate(&out.model, &data.dataset).hr_at(10);
+        assert!(
+            after > before,
+            "training should improve HR@10: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn mars_invariant_holds_after_full_training() {
+        let data = small_data();
+        let out = Trainer::new(quick_cfg(MarsConfig::mars(3, 8))).fit(&data.dataset);
+        assert!(out.model.check_norm_invariant(1e-3));
+    }
+
+    #[test]
+    fn dev_tracking_records_metrics() {
+        let data = small_data();
+        let out = Trainer::new(quick_cfg(MarsConfig::mars(2, 8)))
+            .with_dev_tracking(2)
+            .fit(&data.dataset);
+        assert!(out.history[0].dev_hr10.is_none());
+        assert!(out.history[1].dev_hr10.is_some());
+        assert!(out.history[3].dev_hr10.is_some());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = small_data();
+        let cfg = quick_cfg(MarsConfig::mars(2, 8));
+        let a = Trainer::new(cfg.clone()).fit(&data.dataset);
+        let b = Trainer::new(cfg).fit(&data.dataset);
+        // Compare a few scores.
+        for (u, v) in [(0u32, 0u32), (5, 10), (20, 30)] {
+            assert_eq!(a.model.score(u, v), b.model.score(u, v));
+        }
+        assert_eq!(
+            a.history.last().unwrap().mean_loss,
+            b.history.last().unwrap().mean_loss
+        );
+    }
+
+    #[test]
+    fn empty_training_set_is_a_noop() {
+        let data = mars_data::Dataset::leave_one_out("empty", 5, 5, &vec![vec![]; 5], vec![], 0);
+        let out = Trainer::new(quick_cfg(MarsConfig::mars(2, 4))).fit(&data);
+        assert!(out.history.is_empty());
+    }
+
+    #[test]
+    fn warm_start_continues_training() {
+        let data = small_data();
+        let cfg = quick_cfg(MarsConfig::mars(2, 8));
+        let first = Trainer::new(cfg.clone()).fit(&data.dataset);
+        let resumed = Trainer::new(cfg).fit_from(first.model, &data.dataset);
+        assert_eq!(resumed.history.len(), 4);
+        assert!(resumed.model.check_norm_invariant(1e-3));
+    }
+}

@@ -1,0 +1,174 @@
+//! Walker's alias method for O(1) sampling from a fixed discrete
+//! distribution.
+//!
+//! Both biased samplers in this crate — the popularity-smoothed negative
+//! sampler and the explorative active-user sampler of Eq. 10 — draw millions
+//! of samples per epoch from a distribution that never changes during
+//! training. The alias method pays an O(n) build once and then answers every
+//! draw with one uniform index and one biased coin flip.
+
+use rand::Rng;
+
+/// A prebuilt alias table over `n` outcomes.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    /// Acceptance probability of the "home" outcome in each bucket.
+    prob: Vec<f32>,
+    /// Fallback outcome of each bucket.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative weights.
+    ///
+    /// Weights are normalized internally. An all-zero (or empty) weight
+    /// vector yields a uniform table over the same support — a zero-weight
+    /// distribution has no meaningful answer, and uniform is the least
+    /// surprising fallback for samplers over degenerate data (e.g. a dataset
+    /// slice where every user has the same degree 0).
+    ///
+    /// # Panics
+    /// If any weight is negative or non-finite.
+    pub fn new(weights: &[f32]) -> Self {
+        assert!(!weights.is_empty(), "alias table over empty support");
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "invalid weight {w}");
+        }
+        let n = weights.len();
+        let total: f64 = weights.iter().map(|&w| w as f64).sum();
+        if total <= 0.0 {
+            return Self {
+                prob: vec![1.0; n],
+                alias: (0..n as u32).collect(),
+            };
+        }
+
+        // Scaled weights: mean 1.
+        let mut scaled: Vec<f64> = weights
+            .iter()
+            .map(|&w| (w as f64) * n as f64 / total)
+            .collect();
+        let mut prob = vec![0.0f32; n];
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s as usize] = scaled[s as usize] as f32;
+            alias[s as usize] = l;
+            scaled[l as usize] -= 1.0 - scaled[s as usize];
+            if scaled[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers are numerically 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+            alias[i as usize] = i;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of outcomes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the support is empty (never true — construction panics).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one outcome index.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.len());
+        if rng.gen::<f32>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn empirical(table: &AliasTable, draws: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; table.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn matches_target_distribution() {
+        let weights = [1.0f32, 2.0, 3.0, 4.0];
+        let table = AliasTable::new(&weights);
+        let freq = empirical(&table, 200_000, 1);
+        for (i, &w) in weights.iter().enumerate() {
+            let expect = (w / 10.0) as f64;
+            assert!(
+                (freq[i] - expect).abs() < 0.01,
+                "outcome {i}: {:.4} vs {:.4}",
+                freq[i],
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_distribution() {
+        let weights = [0.0f32, 0.0, 1000.0, 1.0];
+        let table = AliasTable::new(&weights);
+        let freq = empirical(&table, 100_000, 2);
+        assert_eq!(freq[0], 0.0);
+        assert_eq!(freq[1], 0.0);
+        assert!(freq[2] > 0.99);
+    }
+
+    #[test]
+    fn single_outcome() {
+        let table = AliasTable::new(&[3.5]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weights_fall_back_to_uniform() {
+        let table = AliasTable::new(&[0.0, 0.0, 0.0]);
+        let freq = empirical(&table, 90_000, 4);
+        for f in freq {
+            assert!((f - 1.0 / 3.0).abs() < 0.01, "{f}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid weight")]
+    fn rejects_negative_weight() {
+        let _ = AliasTable::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty support")]
+    fn rejects_empty() {
+        let _ = AliasTable::new(&[]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Triplet batching.
+//!
+//! Every hinge-based model in the workspace (CML, TransCF, SML, MAR, MARS…)
+//! consumes a stream of `(user, positive, negative)` triplets. The
+//! [`TripletBatcher`] owns the user and negative samplers and fills a
+//! reusable buffer per batch, so the training loop allocates nothing per
+//! step (perf-book: reuse workhorse collections).
+
+use crate::interactions::Interactions;
+use crate::sampler::{sample_positive, NegativeSampler, UserSampler};
+use crate::{ItemId, UserId};
+use rand::Rng;
+
+/// One training triplet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Triplet {
+    pub user: UserId,
+    pub positive: ItemId,
+    pub negative: ItemId,
+}
+
+/// Samples batches of training triplets.
+pub struct TripletBatcher<N: NegativeSampler> {
+    user_sampler: UserSampler,
+    negative_sampler: N,
+    batch_size: usize,
+    buffer: Vec<Triplet>,
+}
+
+impl<N: NegativeSampler> TripletBatcher<N> {
+    /// Creates a batcher producing `batch_size` triplets per call.
+    pub fn new(user_sampler: UserSampler, negative_sampler: N, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Self {
+            user_sampler,
+            negative_sampler,
+            batch_size,
+            buffer: Vec::with_capacity(batch_size),
+        }
+    }
+
+    /// Batch size this batcher was configured with.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Fills the internal buffer with a fresh batch and returns it.
+    ///
+    /// Users whose negatives cannot be sampled (interacted with everything)
+    /// are skipped; with a pathological dataset where *no* user has a
+    /// negative this would loop, so a draw budget of `64 × batch_size`
+    /// caps the attempts and the function returns a short (possibly empty)
+    /// batch instead.
+    pub fn next_batch<R: Rng + ?Sized>(&mut self, x: &Interactions, rng: &mut R) -> &[Triplet] {
+        self.buffer.clear();
+        let mut attempts = 0usize;
+        let budget = self.batch_size * 64;
+        while self.buffer.len() < self.batch_size && attempts < budget {
+            attempts += 1;
+            let u = self.user_sampler.sample(rng);
+            let vp = sample_positive(x, u, rng);
+            if let Some(vq) = self.negative_sampler.sample_negative(x, u, rng) {
+                self.buffer.push(Triplet {
+                    user: u,
+                    positive: vp,
+                    negative: vq,
+                });
+            }
+        }
+        &self.buffer
+    }
+
+    /// Number of batches that approximately covers every training
+    /// interaction once (an "epoch" in the paper's sense).
+    pub fn batches_per_epoch(&self, x: &Interactions) -> usize {
+        (x.num_interactions() / self.batch_size).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::UniformNegativeSampler;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> Interactions {
+        Interactions::from_pairs(3, 8, &[(0, 0), (0, 1), (1, 2), (1, 3), (2, 4)])
+    }
+
+    #[test]
+    fn batch_has_requested_size_and_valid_triplets() {
+        let x = toy();
+        let mut b = TripletBatcher::new(UserSampler::uniform(&x), UniformNegativeSampler, 32);
+        let mut rng = StdRng::seed_from_u64(1);
+        let batch = b.next_batch(&x, &mut rng);
+        assert_eq!(batch.len(), 32);
+        for t in batch {
+            assert!(x.contains(t.user, t.positive), "positive must be observed");
+            assert!(!x.contains(t.user, t.negative), "negative must be unobserved");
+        }
+    }
+
+    #[test]
+    fn batches_are_different_across_calls() {
+        let x = toy();
+        let mut b = TripletBatcher::new(UserSampler::uniform(&x), UniformNegativeSampler, 16);
+        let mut rng = StdRng::seed_from_u64(2);
+        let a: Vec<Triplet> = b.next_batch(&x, &mut rng).to_vec();
+        let c: Vec<Triplet> = b.next_batch(&x, &mut rng).to_vec();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn epoch_count_scales_with_data() {
+        let x = toy();
+        let b = TripletBatcher::new(UserSampler::uniform(&x), UniformNegativeSampler, 2);
+        assert_eq!(b.batches_per_epoch(&x), 2); // 5 interactions / 2
+        let b = TripletBatcher::new(UserSampler::uniform(&x), UniformNegativeSampler, 100);
+        assert_eq!(b.batches_per_epoch(&x), 1);
+    }
+
+    #[test]
+    fn saturated_dataset_yields_short_batch() {
+        // Single user who has interacted with both items: no negatives.
+        let x = Interactions::from_pairs(1, 2, &[(0, 0), (0, 1)]);
+        let mut b = TripletBatcher::new(UserSampler::uniform(&x), UniformNegativeSampler, 8);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(b.next_batch(&x, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x = toy();
+        let mut b1 = TripletBatcher::new(UserSampler::uniform(&x), UniformNegativeSampler, 16);
+        let mut b2 = TripletBatcher::new(UserSampler::uniform(&x), UniformNegativeSampler, 16);
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        assert_eq!(b1.next_batch(&x, &mut r1), b2.next_batch(&x, &mut r2));
+    }
+}

@@ -1,0 +1,63 @@
+//! # mars-data
+//!
+//! Implicit-feedback data layer for the MARS reproduction.
+//!
+//! The paper evaluates on six public datasets (Delicious, Lastfm, Ciao,
+//! BookX, ML-1M, ML-20M — Table I). Those files are not available in this
+//! environment, so the crate ships a **synthetic multi-facet generator**
+//! ([`synthetic`]) that plants the structure the paper's argument relies on:
+//!
+//! * a long-tailed popularity distribution over items,
+//! * heterogeneous user activity,
+//! * and, crucially, **latent multi-facet structure**: every item belongs to
+//!   one or more latent categories and every user holds a mixture of
+//!   category preferences, so an interaction happens *because of* one facet.
+//!   This is exactly the "user C likes item 2 for its romance and item 4 for
+//!   its humour" conflict of the paper's Figure 1 that single-space metric
+//!   learning cannot resolve.
+//!
+//! [`profiles`] mirrors the six datasets' user/item/interaction counts at
+//! full scale and at a `small` scale suitable for CI and the benchmark
+//! harness.
+//!
+//! The rest of the crate is protocol plumbing shared by every model:
+//!
+//! * [`interactions::Interactions`] — compressed sparse user→item and
+//!   item→user adjacency with O(log deg) membership tests;
+//! * [`dataset::Dataset`] — leave-one-out train/dev/test split (§V-A2);
+//! * [`sampler`] — uniform and popularity-smoothed negative samplers plus
+//!   the explorative active-user sampler of Eq. 10;
+//! * [`margin`] — the adaptive adoption margins `γ_u` of Eq. 7;
+//! * [`batch`] — the triplet stream `(u, v⁺, v⁻)` the hinge losses consume;
+//! * [`alias`] — O(1) weighted sampling (Walker's alias method) backing the
+//!   biased samplers.
+
+// Indexed loops over parallel slices are used deliberately in the gradient
+// kernels: the math reads as subscripts (`u[d]`, `v[d]`, `diff[d]`), and
+// zipping three or four iterators obscures which tensor each factor comes
+// from. LLVM elides the bounds checks in release builds (verified in the
+// Criterion benches).
+#![allow(clippy::needless_range_loop)]
+
+pub mod alias;
+pub mod batch;
+pub mod dataset;
+pub mod interactions;
+pub mod latent_metric;
+pub mod loader;
+pub mod margin;
+pub mod profiles;
+pub mod sampler;
+pub mod synthetic;
+
+pub use dataset::Dataset;
+pub use interactions::Interactions;
+pub use latent_metric::{generate_latent_metric, LatentMetricConfig};
+pub use synthetic::{SyntheticConfig, SyntheticDataset};
+
+/// User index. Kept at 32 bits: the largest profile (ML-20M-like) has 62k
+/// users, and half-width indices keep the CSR arrays cache-friendly.
+pub type UserId = u32;
+
+/// Item index (see [`UserId`] for the width rationale).
+pub type ItemId = u32;

@@ -1,0 +1,140 @@
+//! Adaptive adoption margins (Eq. 7 of the paper).
+//!
+//! The push loss uses a per-user margin `γ_u` instead of a global `m`. The
+//! paper computes it from the user's two-hop neighbourhood on the bipartite
+//! graph: users with many distinct two-hop neighbours are "high adoption"
+//! (open to new things) and get a *small* margin, cautious users get a large
+//! one.
+//!
+//! Eq. 7 as printed is `γ_u = 1 − (Σ_{v∈V_u} |U_v|) / N`, a *sum* over
+//! possibly-overlapping neighbour sets; that quantity can exceed `N`, making
+//! the claimed range `γ_u ∈ [0,1]` fail. The surrounding prose — "the more
+//! **different** two-hop neighbors u has" — describes the *distinct* count
+//! `|∪_{v∈V_u} U_v|`, which is ≤ N by construction. We implement the
+//! distinct-union reading as the default ([`MarginMode::DistinctTwoHop`])
+//! and the literal clamped sum ([`MarginMode::ClampedSum`]) for comparison;
+//! the ablation harness exercises both, plus the fixed margin of CML.
+
+use crate::interactions::Interactions;
+use crate::UserId;
+
+/// Which margin rule the trainer uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum MarginMode {
+    /// A single global margin for every user (CML-style, Eq. 5).
+    Fixed(f32),
+    /// `γ_u = 1 − |∪_{v∈V_u} U_v| / N` — distinct two-hop neighbours
+    /// (the reading consistent with the paper's prose and range claim).
+    #[default]
+    DistinctTwoHop,
+    /// `γ_u = max(0, 1 − Σ_{v∈V_u} |U_v| / N)` — Eq. 7 verbatim, clamped.
+    ClampedSum,
+}
+
+/// Computes the per-user margin vector for the given rule.
+///
+/// Margins are clamped to `[min_margin, 1]`: a margin of exactly zero would
+/// let the hinge collapse (any `s_p ≥ s_q` satisfies it), so a small floor
+/// keeps every user contributing gradient. The paper does not state a floor;
+/// 0.05 empirically matches the behaviour its Table IV implies (adaptive
+/// margins strictly help).
+pub fn compute_margins(x: &Interactions, mode: MarginMode, min_margin: f32) -> Vec<f32> {
+    let n = x.num_users().max(1) as f64;
+    match mode {
+        MarginMode::Fixed(m) => vec![m.clamp(min_margin, 1.0); x.num_users()],
+        MarginMode::DistinctTwoHop => {
+            let mut seen = vec![u32::MAX; x.num_users()];
+            (0..x.num_users() as UserId)
+                .map(|u| {
+                    let mut distinct = 0usize;
+                    for &v in x.items_of(u) {
+                        for &w in x.users_of(v) {
+                            if seen[w as usize] != u {
+                                seen[w as usize] = u;
+                                distinct += 1;
+                            }
+                        }
+                    }
+                    let gamma = 1.0 - distinct as f64 / n;
+                    (gamma as f32).clamp(min_margin, 1.0)
+                })
+                .collect()
+        }
+        MarginMode::ClampedSum => (0..x.num_users() as UserId)
+            .map(|u| {
+                let sum: usize = x.items_of(u).iter().map(|&v| x.users_of(v).len()).sum();
+                let gamma = 1.0 - sum as f64 / n;
+                (gamma as f32).clamp(min_margin, 1.0)
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4 users, 3 items.
+    /// u0: {0};  u1: {0, 1};  u2: {1, 2};  u3: {2}
+    fn toy() -> Interactions {
+        Interactions::from_pairs(4, 3, &[(0, 0), (1, 0), (1, 1), (2, 1), (2, 2), (3, 2)])
+    }
+
+    #[test]
+    fn fixed_mode_is_constant() {
+        let x = toy();
+        let m = compute_margins(&x, MarginMode::Fixed(0.5), 0.05);
+        assert_eq!(m, vec![0.5; 4]);
+    }
+
+    #[test]
+    fn distinct_two_hop_hand_computed() {
+        let x = toy();
+        let m = compute_margins(&x, MarginMode::DistinctTwoHop, 0.0);
+        // u0: items {0} → users {0,1} → 2 distinct → 1 - 2/4 = 0.5
+        assert!((m[0] - 0.5).abs() < 1e-6);
+        // u1: items {0,1} → users {0,1} ∪ {1,2} = {0,1,2} → 1 - 3/4 = 0.25
+        assert!((m[1] - 0.25).abs() < 1e-6);
+        // u2: items {1,2} → {1,2} ∪ {2,3} = {1,2,3} → 0.25
+        assert!((m[2] - 0.25).abs() < 1e-6);
+        // u3: items {2} → {2,3} → 0.5
+        assert!((m[3] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clamped_sum_hand_computed() {
+        let x = toy();
+        let m = compute_margins(&x, MarginMode::ClampedSum, 0.0);
+        // u1: |U_0| + |U_1| = 2 + 2 = 4 → 1 - 4/4 = 0 (clamped at 0)
+        assert!((m[1] - 0.0).abs() < 1e-6);
+        // u0: |U_0| = 2 → 0.5
+        assert!((m[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn margins_in_unit_interval() {
+        let x = toy();
+        for mode in [MarginMode::DistinctTwoHop, MarginMode::ClampedSum] {
+            for &g in &compute_margins(&x, mode, 0.05) {
+                assert!((0.05..=1.0).contains(&g), "{g}");
+            }
+        }
+    }
+
+    #[test]
+    fn active_users_get_smaller_margins() {
+        // The more items a user has, the more two-hop neighbours, the
+        // smaller the margin — the paper's adoption story.
+        let x = toy();
+        let m = compute_margins(&x, MarginMode::DistinctTwoHop, 0.0);
+        assert!(m[1] < m[0]);
+    }
+
+    #[test]
+    fn cold_user_margin_is_max() {
+        let x = Interactions::from_pairs(2, 2, &[(0, 0)]);
+        let m = compute_margins(&x, MarginMode::DistinctTwoHop, 0.05);
+        // u1 has no items → 0 two-hop → γ = 1.
+        assert_eq!(m[1], 1.0);
+    }
+}

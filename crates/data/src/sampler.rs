@@ -1,0 +1,300 @@
+//! Negative and user samplers.
+//!
+//! Training triplets `(u, v⁺, v⁻)` need two random choices beyond the
+//! positive pair: which *user* to train on and which *negative item* to
+//! contrast against. The paper contributes the **explorative sampling** of
+//! Eq. 10 — bias user selection towards active users with smoothing β — and
+//! uses standard uniform negatives. We additionally provide a
+//! popularity-smoothed negative sampler (the common word2vec-style
+//! `deg^0.75` scheme the paper cites via its refs 43 and 52) for the ablation harness.
+
+use crate::alias::AliasTable;
+use crate::interactions::Interactions;
+use crate::{ItemId, UserId};
+use rand::Rng;
+
+/// Samples a negative item for a user: an item with `X_uv = 0`.
+pub trait NegativeSampler {
+    /// Draws one negative item for `u`, or `None` if the user has interacted
+    /// with every item (no negatives exist).
+    fn sample_negative<R: Rng + ?Sized>(
+        &self,
+        x: &Interactions,
+        u: UserId,
+        rng: &mut R,
+    ) -> Option<ItemId>;
+}
+
+/// Uniform rejection sampling over the item universe — the paper's default.
+///
+/// Rejection is cheap because implicit-feedback matrices are extremely
+/// sparse (≤ 4.5% dense in Table I): the expected number of draws is
+/// `1/(1−density)` ≈ 1. A cap guards against pathological users.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UniformNegativeSampler;
+
+impl NegativeSampler for UniformNegativeSampler {
+    fn sample_negative<R: Rng + ?Sized>(
+        &self,
+        x: &Interactions,
+        u: UserId,
+        rng: &mut R,
+    ) -> Option<ItemId> {
+        let n = x.num_items();
+        if x.user_degree(u) >= n {
+            return None;
+        }
+        // With degree < n a negative exists; cap attempts generously and
+        // fall back to a linear scan if astronomically unlucky.
+        for _ in 0..64 {
+            let v = rng.gen_range(0..n) as ItemId;
+            if !x.contains(u, v) {
+                return Some(v);
+            }
+        }
+        let offset = rng.gen_range(0..n);
+        (0..n)
+            .map(|i| ((i + offset) % n) as ItemId)
+            .find(|&v| !x.contains(u, v))
+    }
+}
+
+/// Popularity-smoothed negatives: items drawn ∝ `deg(v)^β`, rejected if
+/// positive. Harder negatives (popular items the user skipped) sharpen
+/// ranking; exposed for the ablation bench.
+#[derive(Clone, Debug)]
+pub struct PopularityNegativeSampler {
+    table: AliasTable,
+}
+
+impl PopularityNegativeSampler {
+    /// Builds the sampler over the training interactions with exponent
+    /// `beta` (0 = uniform over interacted items, 1 = proportional).
+    pub fn new(x: &Interactions, beta: f32) -> Self {
+        let weights: Vec<f32> = x
+            .item_degrees_f32()
+            .iter()
+            // +1 smoothing keeps never-interacted items reachable.
+            .map(|&d| (d + 1.0).powf(beta))
+            .collect();
+        Self {
+            table: AliasTable::new(&weights),
+        }
+    }
+}
+
+impl NegativeSampler for PopularityNegativeSampler {
+    fn sample_negative<R: Rng + ?Sized>(
+        &self,
+        x: &Interactions,
+        u: UserId,
+        rng: &mut R,
+    ) -> Option<ItemId> {
+        if x.user_degree(u) >= x.num_items() {
+            return None;
+        }
+        for _ in 0..64 {
+            let v = self.table.sample(rng) as ItemId;
+            if !x.contains(u, v) {
+                return Some(v);
+            }
+        }
+        // Popular-item rejection can stall for hyper-active users; fall back
+        // to uniform which is guaranteed to terminate.
+        UniformNegativeSampler.sample_negative(x, u, rng)
+    }
+}
+
+/// How training picks the next user.
+#[derive(Clone, Debug)]
+pub enum UserSampler {
+    /// Uniform over users that have at least one training interaction.
+    Uniform { eligible: Vec<UserId> },
+    /// Explorative sampling of Eq. 10: `Pr(u) ∝ freq(u)^β`.
+    Explorative { eligible: Vec<UserId>, table: AliasTable },
+}
+
+impl UserSampler {
+    /// Uniform sampler over users with ≥1 training interaction.
+    pub fn uniform(x: &Interactions) -> Self {
+        Self::Uniform {
+            eligible: eligible_users(x),
+        }
+    }
+
+    /// Explorative sampler (Eq. 10) with smoothing `beta` (paper default
+    /// 0.8) over users with ≥1 training interaction.
+    pub fn explorative(x: &Interactions, beta: f32) -> Self {
+        let eligible = eligible_users(x);
+        assert!(!eligible.is_empty(), "no user has any training interaction");
+        let weights: Vec<f32> = eligible
+            .iter()
+            .map(|&u| (x.user_degree(u) as f32).powf(beta))
+            .collect();
+        Self::Explorative {
+            eligible,
+            table: AliasTable::new(&weights),
+        }
+    }
+
+    /// Draws one user.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> UserId {
+        match self {
+            UserSampler::Uniform { eligible } => {
+                assert!(!eligible.is_empty(), "no eligible users");
+                eligible[rng.gen_range(0..eligible.len())]
+            }
+            UserSampler::Explorative { eligible, table } => eligible[table.sample(rng)],
+        }
+    }
+
+    /// Users this sampler can produce.
+    pub fn eligible(&self) -> &[UserId] {
+        match self {
+            UserSampler::Uniform { eligible } => eligible,
+            UserSampler::Explorative { eligible, .. } => eligible,
+        }
+    }
+}
+
+fn eligible_users(x: &Interactions) -> Vec<UserId> {
+    (0..x.num_users() as UserId)
+        .filter(|&u| x.user_degree(u) > 0)
+        .collect()
+}
+
+/// Draws a uniformly random positive item of `u` (panics if `u` has none —
+/// callers draw `u` from an eligible-user sampler first).
+pub fn sample_positive<R: Rng + ?Sized>(x: &Interactions, u: UserId, rng: &mut R) -> ItemId {
+    let items = x.items_of(u);
+    assert!(!items.is_empty(), "user {u} has no positives");
+    items[rng.gen_range(0..items.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> Interactions {
+        // u0: 3 items; u1: 1 item; u2: none.
+        Interactions::from_pairs(3, 6, &[(0, 0), (0, 1), (0, 2), (1, 5)])
+    }
+
+    #[test]
+    fn uniform_negative_is_never_positive() {
+        let x = toy();
+        let s = UniformNegativeSampler;
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let v = s.sample_negative(&x, 0, &mut rng).unwrap();
+            assert!(!x.contains(0, v));
+        }
+    }
+
+    #[test]
+    fn uniform_negative_none_when_saturated() {
+        let x = Interactions::from_pairs(1, 2, &[(0, 0), (0, 1)]);
+        let s = UniformNegativeSampler;
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(s.sample_negative(&x, 0, &mut rng), None);
+    }
+
+    #[test]
+    fn uniform_negative_fallback_finds_the_single_negative() {
+        // 1 user, 4 items, 3 positive: the single negative must always come
+        // back even though rejection may need several tries.
+        let x = Interactions::from_pairs(1, 4, &[(0, 0), (0, 1), (0, 3)]);
+        let s = UniformNegativeSampler;
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(s.sample_negative(&x, 0, &mut rng), Some(2));
+        }
+    }
+
+    #[test]
+    fn popularity_negative_prefers_popular() {
+        // Item 0 very popular among other users, item 5 cold. For user 1
+        // (positive: item 5 only... make item 5 not positive for u2).
+        let x = Interactions::from_pairs(
+            4,
+            6,
+            &[(0, 0), (1, 0), (2, 0), (3, 0), (0, 1), (1, 5)],
+        );
+        let s = PopularityNegativeSampler::new(&x, 1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut count0 = 0;
+        let mut count4 = 0;
+        for _ in 0..5000 {
+            // User 2's only positive is 0, so 0 can't be sampled for u2.
+            // Use user 1: positives {0, 5}.
+            let v = s.sample_negative(&x, 1, &mut rng).unwrap();
+            assert!(!x.contains(1, v));
+            if v == 1 {
+                count0 += 1;
+            }
+            if v == 4 {
+                count4 += 1;
+            }
+        }
+        // Item 1 has degree 1, item 4 degree 0 — item 1 should be sampled
+        // roughly 2x as often ((1+1)/(0+1) with beta=1).
+        assert!(count0 > count4, "{count0} vs {count4}");
+    }
+
+    #[test]
+    fn explorative_biases_towards_active_users() {
+        let x = toy();
+        let s = UserSampler::explorative(&x, 0.8);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut c0 = 0;
+        let mut c1 = 0;
+        for _ in 0..20_000 {
+            match s.sample(&mut rng) {
+                0 => c0 += 1,
+                1 => c1 += 1,
+                u => panic!("user {u} should not be eligible"),
+            }
+        }
+        // Pr(0)/Pr(1) = 3^0.8 ≈ 2.41.
+        let ratio = c0 as f64 / c1 as f64;
+        assert!((ratio - 3f64.powf(0.8)).abs() < 0.25, "ratio {ratio}");
+    }
+
+    #[test]
+    fn explorative_beta_zero_is_uniform_over_eligible() {
+        let x = toy();
+        let s = UserSampler::explorative(&x, 0.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut c0 = 0;
+        for _ in 0..20_000 {
+            if s.sample(&mut rng) == 0 {
+                c0 += 1;
+            }
+        }
+        let f = c0 as f64 / 20_000.0;
+        assert!((f - 0.5).abs() < 0.02, "{f}");
+    }
+
+    #[test]
+    fn uniform_user_sampler_skips_cold_users() {
+        let x = toy();
+        let s = UserSampler::uniform(&x);
+        assert_eq!(s.eligible(), &[0, 1]);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            assert_ne!(s.sample(&mut rng), 2);
+        }
+    }
+
+    #[test]
+    fn sample_positive_returns_interacted() {
+        let x = toy();
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..100 {
+            let v = sample_positive(&x, 0, &mut rng);
+            assert!(x.contains(0, v));
+        }
+    }
+}

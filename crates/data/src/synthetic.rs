@@ -1,0 +1,384 @@
+//! Synthetic multi-facet implicit-feedback generator.
+//!
+//! Substitute for the paper's six public datasets (see DESIGN.md). The
+//! generative story mirrors the paper's Figure 1 world:
+//!
+//! 1. There are `num_categories` latent categories ("romantic", "comedy", …).
+//! 2. Each item belongs to 1..=`max_item_categories` categories, with the
+//!    *primary* category drawn from a Zipf-like popularity over categories.
+//!    Within a category items have a long-tailed (Zipf `s ≈ 1`) popularity.
+//! 3. Each user draws a preference mixture over categories from a symmetric
+//!    Dirichlet(α). Small α ⇒ users concentrate on few facets (strong
+//!    multi-facet conflicts across the population); large α ⇒ everyone likes
+//!    everything (single space suffices). `facet_sharpness = 1/α` is the
+//!    generator's main knob.
+//! 4. User activity (how many interactions a user makes) is Zipf-like too,
+//!    matching the heavy imbalance of real implicit feedback.
+//! 5. Each interaction: pick a category from the user's mixture, then an
+//!    item from that category's popularity, reject duplicates. The category
+//!    that *caused* each interaction is recorded — this ground truth backs
+//!    the Table V/VI case studies and lets tests verify that multi-facet
+//!    models actually discover the planted structure.
+//!
+//! Everything is driven by one seed; the same config + seed always produces
+//! byte-identical datasets.
+
+use crate::alias::AliasTable;
+use crate::dataset::Dataset;
+use crate::ItemId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the generator. See the module docs for the generative
+/// story each field controls.
+#[derive(Clone, Debug)]
+pub struct SyntheticConfig {
+    pub num_users: usize,
+    pub num_items: usize,
+    /// Target number of raw interactions (before per-user dedup).
+    pub num_interactions: usize,
+    /// Number of planted latent categories.
+    pub num_categories: usize,
+    /// Max categories per item (≥1). Items get 1..=this, biased towards 1.
+    pub max_item_categories: usize,
+    /// Dirichlet concentration for user mixtures; smaller ⇒ sharper facets.
+    pub dirichlet_alpha: f64,
+    /// Zipf exponent for item popularity inside a category (≈1 realistic).
+    pub item_popularity_exp: f64,
+    /// Zipf exponent for user activity (≈0.8 realistic).
+    pub user_activity_exp: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        Self {
+            num_users: 500,
+            num_items: 400,
+            num_interactions: 10_000,
+            num_categories: 6,
+            max_item_categories: 3,
+            dirichlet_alpha: 0.3,
+            item_popularity_exp: 1.0,
+            user_activity_exp: 0.8,
+            seed: 42,
+        }
+    }
+}
+
+/// A generated dataset: the split plus full ground truth.
+#[derive(Clone, Debug)]
+pub struct SyntheticDataset {
+    /// Leave-one-out split ready for training/evaluation.
+    pub dataset: Dataset,
+    /// `user_mixture[u][c]` = probability user `u` interacts via category `c`.
+    pub user_mixtures: Vec<Vec<f32>>,
+    /// The category that caused each *training-order* interaction of each
+    /// user, aligned with the generation history (before dedup/split).
+    pub interaction_categories: Vec<Vec<u16>>,
+}
+
+impl SyntheticDataset {
+    /// Generates a dataset from the config. See module docs.
+    pub fn generate(name: impl Into<String>, cfg: &SyntheticConfig) -> Self {
+        assert!(cfg.num_users > 0 && cfg.num_items > 0);
+        assert!(cfg.num_categories > 0 && cfg.num_categories <= u16::MAX as usize);
+        assert!(cfg.max_item_categories >= 1);
+        assert!(cfg.dirichlet_alpha > 0.0);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // --- Item → categories assignment -------------------------------
+        let cat_weights: Vec<f32> = (0..cfg.num_categories)
+            .map(|c| 1.0 / (1.0 + c as f32).powf(0.5))
+            .collect();
+        let cat_table = AliasTable::new(&cat_weights);
+        let mut item_categories: Vec<Vec<u16>> = Vec::with_capacity(cfg.num_items);
+        let mut items_in_cat: Vec<Vec<ItemId>> = vec![Vec::new(); cfg.num_categories];
+        for v in 0..cfg.num_items {
+            // Geometric-ish count: P(k extra) halves each time.
+            let mut count = 1;
+            while count < cfg.max_item_categories && rng.gen::<f32>() < 0.35 {
+                count += 1;
+            }
+            let mut cats: Vec<u16> = Vec::with_capacity(count);
+            while cats.len() < count {
+                let c = cat_table.sample(&mut rng) as u16;
+                if !cats.contains(&c) {
+                    cats.push(c);
+                }
+            }
+            cats.sort_unstable();
+            for &c in &cats {
+                items_in_cat[c as usize].push(v as ItemId);
+            }
+            item_categories.push(cats);
+        }
+        // Guarantee no category is empty (tiny configs could starve one).
+        for (c, items) in items_in_cat.iter_mut().enumerate() {
+            if items.is_empty() {
+                let v = (c % cfg.num_items) as ItemId;
+                items.push(v);
+                item_categories[v as usize].push(c as u16);
+                item_categories[v as usize].sort_unstable();
+            }
+        }
+
+        // --- Per-category item popularity tables -------------------------
+        let cat_item_tables: Vec<AliasTable> = items_in_cat
+            .iter()
+            .map(|items| {
+                let w: Vec<f32> = (0..items.len())
+                    .map(|r| 1.0 / (1.0 + r as f64).powf(cfg.item_popularity_exp) as f32)
+                    .collect();
+                AliasTable::new(&w)
+            })
+            .collect();
+
+        // --- User mixtures (symmetric Dirichlet via Gamma(α,1) draws) ----
+        let user_mixtures: Vec<Vec<f32>> = (0..cfg.num_users)
+            .map(|_| dirichlet(&mut rng, cfg.num_categories, cfg.dirichlet_alpha))
+            .collect();
+        let user_cat_tables: Vec<AliasTable> =
+            user_mixtures.iter().map(|m| AliasTable::new(m)).collect();
+
+        // --- User activity ------------------------------------------------
+        let activity: Vec<f32> = (0..cfg.num_users)
+            .map(|r| (1.0 / (1.0 + r as f64).powf(cfg.user_activity_exp)) as f32)
+            .collect();
+        // Shuffle ranks so user id order is not activity order.
+        let mut rank_of_user: Vec<usize> = (0..cfg.num_users).collect();
+        shuffle(&mut rank_of_user, &mut rng);
+        let user_weights: Vec<f32> = (0..cfg.num_users).map(|u| activity[rank_of_user[u]]).collect();
+        let user_table = AliasTable::new(&user_weights);
+
+        // --- Interaction sampling ----------------------------------------
+        let mut histories: Vec<Vec<ItemId>> = vec![Vec::new(); cfg.num_users];
+        let mut history_cats: Vec<Vec<u16>> = vec![Vec::new(); cfg.num_users];
+        let mut produced = 0usize;
+        let budget = cfg.num_interactions * 8; // rejection headroom
+        let mut attempts = 0usize;
+        while produced < cfg.num_interactions && attempts < budget {
+            attempts += 1;
+            let u = user_table.sample(&mut rng);
+            let c = user_cat_tables[u].sample(&mut rng);
+            let items = &items_in_cat[c];
+            let v = items[cat_item_tables[c].sample(&mut rng)];
+            if histories[u].contains(&v) {
+                continue;
+            }
+            histories[u].push(v);
+            history_cats[u].push(c as u16);
+            produced += 1;
+        }
+
+        let dataset = Dataset::leave_one_out(
+            name,
+            cfg.num_users,
+            cfg.num_items,
+            &histories,
+            item_categories,
+            cfg.num_categories,
+        );
+        Self {
+            dataset,
+            user_mixtures,
+            interaction_categories: history_cats,
+        }
+    }
+}
+
+/// Crate-internal alias so the latent-metric generator shares the sampler.
+pub(crate) fn dirichlet_pub<R: Rng + ?Sized>(rng: &mut R, k: usize, alpha: f64) -> Vec<f32> {
+    dirichlet(rng, k, alpha)
+}
+
+/// Draws a symmetric Dirichlet(α) sample of dimension `k` by normalizing
+/// Gamma(α, 1) variates (Marsaglia–Tsang for α ≥ 1, boosted for α < 1).
+fn dirichlet<R: Rng + ?Sized>(rng: &mut R, k: usize, alpha: f64) -> Vec<f32> {
+    let mut g: Vec<f64> = (0..k).map(|_| gamma_sample(rng, alpha)).collect();
+    let sum: f64 = g.iter().sum();
+    if sum <= 0.0 {
+        return vec![1.0 / k as f32; k];
+    }
+    for v in g.iter_mut() {
+        *v /= sum;
+    }
+    g.into_iter().map(|v| v as f32).collect()
+}
+
+/// Marsaglia–Tsang Gamma(α, 1) sampler.
+fn gamma_sample<R: Rng + ?Sized>(rng: &mut R, alpha: f64) -> f64 {
+    if alpha < 1.0 {
+        // Boost: Gamma(α) = Gamma(α+1) · U^{1/α}
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        return gamma_sample(rng, alpha + 1.0) * u.powf(1.0 / alpha);
+    }
+    let d = alpha - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = normal64(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v3 = v * v * v;
+        let u: f64 = rng.gen::<f64>();
+        if u < 1.0 - 0.0331 * x * x * x * x
+            || u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln())
+        {
+            return d * v3;
+        }
+    }
+}
+
+/// Standard normal via Box–Muller (f64).
+fn normal64<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Fisher–Yates shuffle (avoids pulling in `rand`'s `SliceRandom` trait just
+/// for one call site).
+fn shuffle<T, R: Rng + ?Sized>(xs: &mut [T], rng: &mut R) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SyntheticConfig {
+        SyntheticConfig {
+            num_users: 60,
+            num_items: 50,
+            num_interactions: 1200,
+            num_categories: 4,
+            seed: 7,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = SyntheticDataset::generate("a", &tiny());
+        let b = SyntheticDataset::generate("b", &tiny());
+        assert_eq!(
+            a.dataset.train.num_interactions(),
+            b.dataset.train.num_interactions()
+        );
+        let pa: Vec<_> = a.dataset.train.iter_pairs().collect();
+        let pb: Vec<_> = b.dataset.train.iter_pairs().collect();
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn different_seed_different_data() {
+        let a = SyntheticDataset::generate("a", &tiny());
+        let mut cfg = tiny();
+        cfg.seed = 8;
+        let b = SyntheticDataset::generate("b", &cfg);
+        let pa: Vec<_> = a.dataset.train.iter_pairs().collect();
+        let pb: Vec<_> = b.dataset.train.iter_pairs().collect();
+        assert_ne!(pa, pb);
+    }
+
+    #[test]
+    fn reaches_interaction_target() {
+        let s = SyntheticDataset::generate("t", &tiny());
+        let total = s.dataset.train.num_interactions() + s.dataset.dev.len() + s.dataset.test.len();
+        // Dedup happens at sampling time, so we should land on target
+        // exactly unless the space is saturated.
+        assert_eq!(total, 1200);
+    }
+
+    #[test]
+    fn split_is_consistent() {
+        let s = SyntheticDataset::generate("t", &tiny());
+        assert!(s.dataset.split_is_consistent());
+        assert!(!s.dataset.test.is_empty());
+        assert_eq!(s.dataset.dev.len(), s.dataset.test.len());
+    }
+
+    #[test]
+    fn every_item_has_a_category() {
+        let s = SyntheticDataset::generate("t", &tiny());
+        assert_eq!(s.dataset.item_categories.len(), 50);
+        assert!(s.dataset.item_categories.iter().all(|c| !c.is_empty()));
+        assert!(s
+            .dataset
+            .item_categories
+            .iter()
+            .flatten()
+            .all(|&c| (c as usize) < 4));
+    }
+
+    #[test]
+    fn mixtures_are_distributions() {
+        let s = SyntheticDataset::generate("t", &tiny());
+        for m in &s.user_mixtures {
+            let sum: f32 = m.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4);
+            assert!(m.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn sharp_dirichlet_concentrates() {
+        // With very small alpha every user should put most mass on one facet.
+        let mut cfg = tiny();
+        cfg.dirichlet_alpha = 0.05;
+        let s = SyntheticDataset::generate("sharp", &cfg);
+        let avg_max: f32 = s
+            .user_mixtures
+            .iter()
+            .map(|m| m.iter().cloned().fold(0.0, f32::max))
+            .sum::<f32>()
+            / s.user_mixtures.len() as f32;
+        assert!(avg_max > 0.8, "avg max mixture weight {avg_max}");
+    }
+
+    #[test]
+    fn popularity_is_long_tailed() {
+        let s = SyntheticDataset::generate("t", &tiny());
+        let mut degrees = s.dataset.train.item_degrees_f32();
+        degrees.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let top_decile: f32 = degrees[..5].iter().sum();
+        let total: f32 = degrees.iter().sum();
+        assert!(
+            top_decile / total > 0.2,
+            "top-10% items should hold >20% of interactions, got {}",
+            top_decile / total
+        );
+    }
+
+    #[test]
+    fn interaction_categories_align_with_items() {
+        let s = SyntheticDataset::generate("t", &tiny());
+        // Every recorded cause category must be one of the item's categories.
+        // (We need histories; reconstruct per-user from cats + items via the
+        // recorded alignment: interaction_categories[u][i] caused
+        // histories[u][i]. We can't access histories after split, but we can
+        // at least check category ids are valid.)
+        for cats in &s.interaction_categories {
+            assert!(cats.iter().all(|&c| (c as usize) < 4));
+        }
+    }
+
+    #[test]
+    fn gamma_sampler_mean_matches() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for &alpha in &[0.3f64, 1.0, 2.5] {
+            let n = 20_000;
+            let mean: f64 = (0..n).map(|_| gamma_sample(&mut rng, alpha)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - alpha).abs() < 0.08 * (1.0 + alpha),
+                "alpha={alpha} mean={mean}"
+            );
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the data layer.
+
+use mars_data::alias::AliasTable;
+use mars_data::dataset::Dataset;
+use mars_data::interactions::Interactions;
+use mars_data::margin::{compute_margins, MarginMode};
+use mars_data::sampler::{NegativeSampler, UniformNegativeSampler, UserSampler};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Arbitrary interaction sets over a small universe.
+fn pairs_strategy() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((0u32..12, 0u32..15), 0..120)
+}
+
+proptest! {
+    #[test]
+    fn interactions_roundtrip_through_pairs(pairs in pairs_strategy()) {
+        let x = Interactions::from_pairs(12, 15, &pairs);
+        let rebuilt: Vec<_> = x.iter_pairs().collect();
+        let y = Interactions::from_pairs(12, 15, &rebuilt);
+        prop_assert_eq!(x.num_interactions(), y.num_interactions());
+        for u in 0..12 {
+            prop_assert_eq!(x.items_of(u), y.items_of(u));
+        }
+    }
+
+    #[test]
+    fn degrees_sum_to_interactions(pairs in pairs_strategy()) {
+        let x = Interactions::from_pairs(12, 15, &pairs);
+        let user_sum: usize = (0..12).map(|u| x.user_degree(u)).sum();
+        let item_sum: usize = (0..15).map(|v| x.item_degree(v)).sum();
+        prop_assert_eq!(user_sum, x.num_interactions());
+        prop_assert_eq!(item_sum, x.num_interactions());
+    }
+
+    #[test]
+    fn membership_agrees_with_both_orientations(pairs in pairs_strategy()) {
+        let x = Interactions::from_pairs(12, 15, &pairs);
+        for u in 0..12u32 {
+            for v in 0..15u32 {
+                let via_user = x.items_of(u).contains(&v);
+                let via_item = x.users_of(v).contains(&u);
+                prop_assert_eq!(via_user, via_item);
+                prop_assert_eq!(via_user, x.contains(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn margins_always_in_configured_range(pairs in pairs_strategy()) {
+        let x = Interactions::from_pairs(12, 15, &pairs);
+        for mode in [MarginMode::DistinctTwoHop, MarginMode::ClampedSum, MarginMode::Fixed(0.4)] {
+            let m = compute_margins(&x, mode, 0.05);
+            prop_assert_eq!(m.len(), 12);
+            prop_assert!(m.iter().all(|&g| (0.05..=1.0).contains(&g)));
+        }
+    }
+
+    #[test]
+    fn negative_sampler_never_returns_positive(pairs in pairs_strategy(), seed in 0u64..100) {
+        let x = Interactions::from_pairs(12, 15, &pairs);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = UniformNegativeSampler;
+        for u in 0..12u32 {
+            if let Some(v) = s.sample_negative(&x, u, &mut rng) {
+                prop_assert!(!x.contains(u, v));
+            } else {
+                // None is only allowed when the user saturated the catalogue.
+                prop_assert_eq!(x.user_degree(u), 15);
+            }
+        }
+    }
+
+    #[test]
+    fn user_sampler_only_emits_eligible(pairs in pairs_strategy(), seed in 0u64..100) {
+        let x = Interactions::from_pairs(12, 15, &pairs);
+        if x.num_interactions() == 0 {
+            return Ok(());
+        }
+        let s = UserSampler::explorative(&x, 0.8);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let u = s.sample(&mut rng);
+            prop_assert!(x.user_degree(u) > 0, "sampled cold user {u}");
+        }
+    }
+
+    #[test]
+    fn alias_table_samples_within_support(
+        weights in proptest::collection::vec(0.0f32..10.0, 1..40),
+        seed in 0u64..100,
+    ) {
+        let t = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let i = t.sample(&mut rng);
+            prop_assert!(i < weights.len());
+        }
+    }
+
+    #[test]
+    fn alias_never_samples_zero_weight_when_support_mixed(
+        nonzero in 1usize..8,
+        seed in 0u64..50,
+    ) {
+        // First `nonzero` outcomes have weight 1, the rest 0.
+        let mut weights = vec![1.0f32; nonzero];
+        weights.extend(std::iter::repeat(0.0).take(8 - nonzero.min(8)));
+        let t = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert!(t.sample(&mut rng) < nonzero);
+        }
+    }
+
+    #[test]
+    fn leave_one_out_never_leaks(histories in proptest::collection::vec(
+        proptest::collection::vec(0u32..20, 0..12), 6)) {
+        let d = Dataset::leave_one_out("prop", 6, 20, &histories, vec![], 0);
+        prop_assert!(d.split_is_consistent());
+        // Each eligible user appears at most once in dev and test.
+        for held in [&d.dev, &d.test] {
+            let mut users: Vec<u32> = held.iter().map(|h| h.user).collect();
+            users.sort_unstable();
+            let before = users.len();
+            users.dedup();
+            prop_assert_eq!(users.len(), before);
+        }
+        prop_assert_eq!(d.dev.len(), d.test.len());
+    }
+}

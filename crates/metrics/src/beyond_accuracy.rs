@@ -1,0 +1,136 @@
+//! Beyond-accuracy metrics: catalogue coverage, recommendation Gini, and
+//! embedding-based intra-list diversity.
+//!
+//! Not in the paper's tables, but standard for a production recommender
+//! library and directly relevant to its motivation: a model that resolves
+//! multi-facet conflicts should recommend across a user's *several*
+//! interests rather than collapsing onto one, which shows up as higher
+//! intra-list diversity at equal accuracy.
+
+use mars_data::ItemId;
+
+/// Fraction of the catalogue that appears in at least one user's top-N
+/// list. `lists` holds one recommendation list per user.
+pub fn catalogue_coverage(lists: &[Vec<ItemId>], num_items: usize) -> f32 {
+    if num_items == 0 {
+        return 0.0;
+    }
+    let mut seen = vec![false; num_items];
+    let mut distinct = 0usize;
+    for list in lists {
+        for &v in list {
+            let idx = v as usize;
+            if !seen[idx] {
+                seen[idx] = true;
+                distinct += 1;
+            }
+        }
+    }
+    distinct as f32 / num_items as f32
+}
+
+/// Gini coefficient of recommendation exposure across items: 0 = every
+/// item recommended equally often, → 1 = all exposure on one item.
+///
+/// Computed over the items that exist (unrecommended items count as zero
+/// exposure — a recommender that only ever shows 10 blockbusters should
+/// score near 1, not near 0).
+pub fn exposure_gini(lists: &[Vec<ItemId>], num_items: usize) -> f32 {
+    if num_items == 0 {
+        return 0.0;
+    }
+    let mut counts = vec![0usize; num_items];
+    for list in lists {
+        for &v in list {
+            counts[v as usize] += 1;
+        }
+    }
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    counts.sort_unstable();
+    // Gini over a sorted distribution: 1 - 2·Σ_i (n-i-0.5)·x_i / (n·Σx).
+    let n = num_items as f64;
+    let sum: f64 = total as f64;
+    let weighted: f64 = counts
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (n - i as f64 - 0.5) * c as f64)
+        .sum();
+    (1.0 - 2.0 * weighted / (n * sum)).clamp(-1.0, 1.0) as f32
+}
+
+/// Mean pairwise distance between the items of one recommendation list
+/// under a caller-provided distance (e.g. 1 − cos over item embeddings).
+/// Returns 0 for lists shorter than 2.
+pub fn intra_list_diversity(
+    list: &[ItemId],
+    mut distance: impl FnMut(ItemId, ItemId) -> f32,
+) -> f32 {
+    if list.len() < 2 {
+        return 0.0;
+    }
+    let mut sum = 0.0f64;
+    let mut pairs = 0usize;
+    for i in 0..list.len() {
+        for j in (i + 1)..list.len() {
+            sum += distance(list[i], list[j]) as f64;
+            pairs += 1;
+        }
+    }
+    (sum / pairs as f64) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_counts_distinct_items() {
+        let lists = vec![vec![0, 1, 2], vec![2, 3], vec![0]];
+        assert!((catalogue_coverage(&lists, 8) - 0.5).abs() < 1e-6);
+        assert_eq!(catalogue_coverage(&[], 8), 0.0);
+        assert_eq!(catalogue_coverage(&lists, 0), 0.0);
+    }
+
+    #[test]
+    fn gini_uniform_is_low_concentrated_is_high() {
+        // Every item recommended once: perfectly equal.
+        let uniform: Vec<Vec<ItemId>> = (0..8).map(|v| vec![v]).collect();
+        let g_uniform = exposure_gini(&uniform, 8);
+        assert!(g_uniform.abs() < 1e-6, "{g_uniform}");
+        // All exposure on item 0.
+        let concentrated = vec![vec![0; 10], vec![0; 10]];
+        let g_conc = exposure_gini(&concentrated, 8);
+        assert!(g_conc > 0.8, "{g_conc}");
+        assert!(g_conc > g_uniform);
+    }
+
+    #[test]
+    fn gini_empty_is_zero() {
+        assert_eq!(exposure_gini(&[], 4), 0.0);
+        assert_eq!(exposure_gini(&[vec![]], 4), 0.0);
+    }
+
+    #[test]
+    fn diversity_of_identical_items_is_zero() {
+        let d = intra_list_diversity(&[1, 1, 1], |_, _| 0.0);
+        assert_eq!(d, 0.0);
+        let single = intra_list_diversity(&[3], |_, _| 1.0);
+        assert_eq!(single, 0.0);
+    }
+
+    #[test]
+    fn diversity_averages_pairwise_distances() {
+        // Items 0,1 close (0.2), both far from 2 (1.0): mean = (0.2+1+1)/3.
+        let d = intra_list_diversity(&[0, 1, 2], |a, b| {
+            if (a, b) == (0, 1) || (a, b) == (1, 0) {
+                0.2
+            } else {
+                1.0
+            }
+        });
+        assert!((d - (0.2 + 1.0 + 1.0) / 3.0).abs() < 1e-6);
+    }
+}

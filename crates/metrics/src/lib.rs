@@ -1,0 +1,34 @@
+//! # mars-metrics
+//!
+//! Ranking metrics and the evaluation protocol of the paper (§V-A2):
+//! leave-one-out with 100 sampled negatives, reporting HR@{10,20} and
+//! nDCG@{10,20}. The [`Scorer`] trait is the only thing a model must
+//! implement to be evaluated — every baseline and MAR/MARS plug into the
+//! same [`RankingEvaluator`], so comparisons in the harness differ only in
+//! the model.
+
+pub mod beyond_accuracy;
+pub mod protocol;
+pub mod ranking;
+
+pub use protocol::{EvalConfig, RankingEvaluator, Report};
+pub use ranking::{auc_from_rank, hit_ratio_at, mrr_from_rank, ndcg_at};
+
+use mars_data::{ItemId, UserId};
+
+/// Anything that can score a `(user, item)` pair. Higher = more relevant.
+///
+/// Implementations must be deterministic during evaluation (train first,
+/// then score).
+pub trait Scorer {
+    /// Preference score of `user` for `item`.
+    fn score(&self, user: UserId, item: ItemId) -> f32;
+
+    /// Scores one user against many items. The default loops over
+    /// [`Scorer::score`]; models with shareable per-user work (projecting
+    /// the user into K facet spaces, say) override this.
+    fn score_many(&self, user: UserId, items: &[ItemId], out: &mut Vec<f32>) {
+        out.clear();
+        out.extend(items.iter().map(|&v| self.score(user, v)));
+    }
+}

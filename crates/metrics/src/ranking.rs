@@ -1,0 +1,131 @@
+//! Rank-based metric primitives.
+//!
+//! In the leave-one-out protocol each test case has exactly one relevant
+//! item ranked against `n` sampled negatives, so every metric reduces to a
+//! function of the relevant item's 0-based rank:
+//!
+//! * HR@K   = 1 if rank < K
+//! * nDCG@K = 1/log₂(rank+2) if rank < K (the single-relevant-item DCG,
+//!   with ideal DCG = 1)
+//! * MRR    = 1/(rank+1)
+//! * AUC    = fraction of negatives ranked below the positive
+
+/// 0-based rank of the positive among `negatives ∪ {positive}` when sorted
+/// by descending score.
+///
+/// Ties count *against* the positive (a tied negative is ranked above it) —
+/// the pessimistic convention, so an untrained constant scorer gets
+/// HR ≈ 0 rather than a flattering random number. NaN scores are treated as
+/// −∞ (never outrank anything).
+pub fn rank_of_positive(positive_score: f32, negative_scores: &[f32]) -> usize {
+    let p = if positive_score.is_nan() {
+        f32::NEG_INFINITY
+    } else {
+        positive_score
+    };
+    negative_scores
+        .iter()
+        .filter(|&&s| !s.is_nan() && s >= p)
+        .count()
+}
+
+/// HR@K for a single test case given the positive's 0-based rank.
+#[inline]
+pub fn hit_ratio_at(rank: usize, k: usize) -> f32 {
+    if rank < k {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// nDCG@K for a single test case with one relevant item at `rank` (0-based).
+#[inline]
+pub fn ndcg_at(rank: usize, k: usize) -> f32 {
+    if rank < k {
+        1.0 / ((rank as f32 + 2.0).log2())
+    } else {
+        0.0
+    }
+}
+
+/// Reciprocal rank (MRR contribution) for one test case.
+#[inline]
+pub fn mrr_from_rank(rank: usize) -> f32 {
+    1.0 / (rank as f32 + 1.0)
+}
+
+/// AUC for one test case: fraction of the `num_negatives` ranked *below*
+/// the positive.
+#[inline]
+pub fn auc_from_rank(rank: usize, num_negatives: usize) -> f32 {
+    if num_negatives == 0 {
+        return 1.0;
+    }
+    debug_assert!(rank <= num_negatives);
+    (num_negatives - rank) as f32 / num_negatives as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_counts_strictly_better_and_ties() {
+        assert_eq!(rank_of_positive(0.9, &[0.1, 0.2, 0.3]), 0);
+        assert_eq!(rank_of_positive(0.25, &[0.1, 0.2, 0.3]), 1);
+        assert_eq!(rank_of_positive(0.05, &[0.1, 0.2, 0.3]), 3);
+        // Ties go against the positive.
+        assert_eq!(rank_of_positive(0.2, &[0.1, 0.2, 0.3]), 2);
+    }
+
+    #[test]
+    fn nan_scores_are_worst() {
+        assert_eq!(rank_of_positive(f32::NAN, &[0.0, 1.0]), 2);
+        // NaN negatives never outrank.
+        assert_eq!(rank_of_positive(0.5, &[f32::NAN, 0.1]), 0);
+    }
+
+    #[test]
+    fn hit_ratio_boundary() {
+        assert_eq!(hit_ratio_at(9, 10), 1.0);
+        assert_eq!(hit_ratio_at(10, 10), 0.0);
+        assert_eq!(hit_ratio_at(0, 1), 1.0);
+    }
+
+    #[test]
+    fn ndcg_hand_values() {
+        // rank 0: 1/log2(2) = 1
+        assert!((ndcg_at(0, 10) - 1.0).abs() < 1e-6);
+        // rank 1: 1/log2(3) ≈ 0.63093
+        assert!((ndcg_at(1, 10) - 0.63093).abs() < 1e-4);
+        // rank 9 within K=10, rank 10 outside
+        assert!(ndcg_at(9, 10) > 0.0);
+        assert_eq!(ndcg_at(10, 10), 0.0);
+    }
+
+    #[test]
+    fn ndcg_monotone_in_rank() {
+        let mut prev = f32::INFINITY;
+        for r in 0..10 {
+            let v = ndcg_at(r, 10);
+            assert!(v < prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn mrr_values() {
+        assert_eq!(mrr_from_rank(0), 1.0);
+        assert_eq!(mrr_from_rank(1), 0.5);
+        assert_eq!(mrr_from_rank(3), 0.25);
+    }
+
+    #[test]
+    fn auc_extremes() {
+        assert_eq!(auc_from_rank(0, 100), 1.0);
+        assert_eq!(auc_from_rank(100, 100), 0.0);
+        assert_eq!(auc_from_rank(50, 100), 0.5);
+        assert_eq!(auc_from_rank(0, 0), 1.0);
+    }
+}

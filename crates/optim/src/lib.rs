@@ -1,0 +1,42 @@
+//! # mars-optim
+//!
+//! Optimizers for the MARS reproduction.
+//!
+//! MAR trains with plain (projected) SGD; MARS requires optimization *on*
+//! the unit hypersphere `S^{D−1}`, which this crate provides in two
+//! flavours:
+//!
+//! * [`riemannian::RiemannianSgd`] — textbook Riemannian SGD (Eq. 20 of the
+//!   paper): project the ambient gradient onto the tangent space at the
+//!   current point, step, and retract back to the sphere.
+//! * [`riemannian::CalibratedRiemannianSgd`] — the paper's Eq. 21: the same
+//!   tangent step scaled by the angular calibration multiplier
+//!   `1 + xᵀ∇f/‖∇f‖`, so parameters far (in angle) from the direction the
+//!   loss pulls them towards take proportionally larger steps.
+//!
+//! [`sphere`] holds the manifold primitives (tangent projection, retraction,
+//! exponential map) with the geometric identities tested directly, and
+//! [`schedule`] the learning-rate schedules the trainer consumes.
+
+pub mod schedule;
+pub mod sgd;
+pub mod sphere;
+
+pub mod riemannian;
+
+pub use riemannian::{CalibratedRiemannianSgd, RiemannianSgd};
+pub use schedule::LrSchedule;
+pub use sgd::Sgd;
+
+/// A first-order optimizer over a single parameter vector.
+///
+/// The trainers in `mars-core`/`mars-baselines` apply per-row updates to
+/// embedding tables, so the interface is a single `step` on a slice; state
+/// (learning rate, schedules) lives in the optimizer.
+pub trait Optimizer {
+    /// Updates `param` in place given the gradient of the loss at `param`.
+    fn step(&self, param: &mut [f32], grad: &[f32]);
+
+    /// Current learning rate (after any schedule).
+    fn lr(&self) -> f32;
+}

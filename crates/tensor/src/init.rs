@@ -1,0 +1,177 @@
+//! Parameter initializers.
+//!
+//! Every initializer takes an explicit RNG so experiments are exactly
+//! reproducible from a single seed. The schemes follow common usage:
+//! Xavier/Glorot for the bilinear projections and MLP layers, scaled uniform
+//! for embedding tables (as in the CML/BPR reference implementations), and
+//! unit-sphere Gaussian direction sampling for MARS facet embeddings.
+
+use crate::matrix::Matrix;
+use crate::ops;
+use rand::Rng;
+use rand_distr_shim::StandardNormal;
+
+/// Minimal inline replacement for `rand_distr`'s `StandardNormal` so we do
+/// not pull in an extra dependency: Box–Muller over `rand`'s uniform source.
+mod rand_distr_shim {
+    use rand::Rng;
+
+    /// Marker type; see [`sample_standard_normal`].
+    pub struct StandardNormal;
+
+    impl StandardNormal {
+        /// Draws one `N(0,1)` sample via the Box–Muller transform.
+        pub fn sample<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+            // Guard u1 away from 0 so ln is finite.
+            let u1: f32 = rng.gen_range(f32::MIN_POSITIVE..1.0);
+            let u2: f32 = rng.gen::<f32>();
+            (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+        }
+    }
+}
+
+/// Draws one standard-normal sample.
+#[inline]
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    StandardNormal::sample(rng)
+}
+
+/// Fills `out` with `U(−scale, scale)` samples.
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, out: &mut [f32], scale: f32) {
+    assert!(scale > 0.0, "uniform init scale must be positive");
+    for v in out.iter_mut() {
+        *v = rng.gen_range(-scale..scale);
+    }
+}
+
+/// Fills `out` with `N(0, std²)` samples.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, out: &mut [f32], std: f32) {
+    assert!(std > 0.0, "normal init std must be positive");
+    for v in out.iter_mut() {
+        *v = standard_normal(rng) * std;
+    }
+}
+
+/// Fills `out` with a uniformly random *direction* on the unit sphere
+/// (Gaussian sample, normalized). Used for MARS facet embeddings, which must
+/// start on the manifold the Riemannian optimizer walks on.
+pub fn unit_sphere<R: Rng + ?Sized>(rng: &mut R, out: &mut [f32]) {
+    normal(rng, out, 1.0);
+    ops::normalize(out);
+}
+
+/// Xavier/Glorot uniform bound for a layer with the given fan-in/out:
+/// `sqrt(6 / (fan_in + fan_out))`.
+#[inline]
+pub fn xavier_bound(fan_in: usize, fan_out: usize) -> f32 {
+    (6.0 / (fan_in + fan_out) as f32).sqrt()
+}
+
+/// Xavier/Glorot-uniform matrix of shape `rows × cols`
+/// (`fan_in = cols`, `fan_out = rows`).
+pub fn xavier_matrix<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize) -> Matrix {
+    let bound = xavier_bound(cols, rows);
+    let mut m = Matrix::zeros(rows, cols);
+    uniform(rng, m.as_mut_slice(), bound);
+    m
+}
+
+/// He-uniform matrix (`sqrt(6 / fan_in)` bound) — used ahead of ReLU layers
+/// in the NeuMF tower.
+pub fn he_matrix<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize) -> Matrix {
+    let bound = (6.0 / cols as f32).sqrt();
+    let mut m = Matrix::zeros(rows, cols);
+    uniform(rng, m.as_mut_slice(), bound);
+    m
+}
+
+/// A random matrix close to a scaled identity: `α·I + noise`. The paper
+/// initializes the facet projections so that at step 0 every facet space is a
+/// mild perturbation of the universal space; the facet-separating loss then
+/// pushes them apart.
+pub fn near_identity_matrix<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    diag: f32,
+    noise: f32,
+) -> Matrix {
+    let mut m = Matrix::zeros(n, n);
+    if noise > 0.0 {
+        uniform(rng, m.as_mut_slice(), noise);
+    }
+    for i in 0..n {
+        let v = m.get(i, i) + diag;
+        m.set(i, i, v);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let mut r = rng();
+        let mut buf = vec![0.0; 1000];
+        uniform(&mut r, &mut buf, 0.25);
+        assert!(buf.iter().all(|v| v.abs() <= 0.25));
+        // Not degenerate.
+        assert!(buf.iter().any(|v| v.abs() > 0.01));
+    }
+
+    #[test]
+    fn normal_moments_roughly_match() {
+        let mut r = rng();
+        let mut buf = vec![0.0; 20_000];
+        normal(&mut r, &mut buf, 2.0);
+        let mean: f32 = buf.iter().sum::<f32>() / buf.len() as f32;
+        let var: f32 = buf.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / buf.len() as f32;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn unit_sphere_is_unit() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let mut v = vec![0.0; 16];
+            unit_sphere(&mut r, &mut v);
+            assert!((ops::norm(&v) - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn xavier_bound_formula() {
+        assert!((xavier_bound(3, 3) - 1.0).abs() < 1e-6);
+        let m = xavier_matrix(&mut rng(), 8, 4);
+        let b = xavier_bound(4, 8);
+        assert!(m.as_slice().iter().all(|v| v.abs() <= b));
+    }
+
+    #[test]
+    fn near_identity_has_dominant_diagonal() {
+        let m = near_identity_matrix(&mut rng(), 6, 1.0, 0.05);
+        for i in 0..6 {
+            assert!(m.get(i, i) > 0.9);
+            for j in 0..6 {
+                if i != j {
+                    assert!(m.get(i, j).abs() <= 0.05);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = xavier_matrix(&mut StdRng::seed_from_u64(42), 5, 5);
+        let b = xavier_matrix(&mut StdRng::seed_from_u64(42), 5, 5);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,205 @@
+//! Lloyd's k-means over embedding rows.
+//!
+//! Backs the paper's future-work item "infer clusters and attributes of
+//! users and items based on the learned MARS model, and utilize them to
+//! support other related downstream tasks like user/item segmentation"
+//! (`mars-core::analysis::segment_items`). Deterministic given the RNG:
+//! k-means++ seeding, Lloyd iterations until assignment fixpoint or the
+//! iteration cap, empty clusters re-seeded from the farthest point.
+
+use crate::matrix::Matrix;
+use crate::ops;
+use rand::Rng;
+
+/// Result of a clustering run.
+#[derive(Clone, Debug)]
+pub struct KMeans {
+    /// `k × dim` centroid matrix.
+    pub centroids: Matrix,
+    /// Cluster index per input row.
+    pub assignment: Vec<usize>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+/// Runs k-means++ / Lloyd on the rows of `data`.
+///
+/// # Panics
+/// If `k == 0`, `k > data.rows()`, or `data` has no rows.
+pub fn kmeans<R: Rng + ?Sized>(data: &Matrix, k: usize, max_iters: usize, rng: &mut R) -> KMeans {
+    let (n, dim) = data.shape();
+    assert!(n > 0, "k-means needs at least one sample");
+    assert!(k > 0 && k <= n, "invalid cluster count {k} for {n} rows");
+
+    // --- k-means++ seeding ------------------------------------------------
+    let mut centroids = Matrix::zeros(k, dim);
+    let first = rng.gen_range(0..n);
+    centroids.row_mut(0).copy_from_slice(data.row(first));
+    let mut dist2 = vec![f32::INFINITY; n];
+    for c in 1..k {
+        // Update distance-to-nearest-chosen for every point.
+        for i in 0..n {
+            let d = ops::dist_sq(data.row(i), centroids.row(c - 1));
+            if d < dist2[i] {
+                dist2[i] = d;
+            }
+        }
+        let total: f64 = dist2.iter().map(|&d| d as f64).sum();
+        let chosen = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            // Sample proportional to squared distance.
+            let mut target = rng.gen::<f64>() * total;
+            let mut pick = n - 1;
+            for (i, &d) in dist2.iter().enumerate() {
+                target -= d as f64;
+                if target <= 0.0 {
+                    pick = i;
+                    break;
+                }
+            }
+            pick
+        };
+        centroids.row_mut(c).copy_from_slice(data.row(chosen));
+    }
+
+    // --- Lloyd iterations ---------------------------------------------------
+    let mut assignment = vec![0usize; n];
+    let mut counts = vec![0usize; k];
+    let mut iterations = 0;
+    for iter in 0..max_iters.max(1) {
+        iterations = iter + 1;
+        // Assign.
+        let mut changed = false;
+        for i in 0..n {
+            let mut best = 0;
+            let mut best_d = f32::INFINITY;
+            for c in 0..k {
+                let d = ops::dist_sq(data.row(i), centroids.row(c));
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        if !changed && iter > 0 {
+            break;
+        }
+        // Update.
+        centroids.as_mut_slice().fill(0.0);
+        counts.fill(0);
+        for i in 0..n {
+            counts[assignment[i]] += 1;
+            ops::axpy(1.0, data.row(i), centroids.row_mut(assignment[i]));
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster from the point farthest from its
+                // centroid.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = ops::dist_sq(data.row(a), centroids.row(assignment[a]));
+                        let db = ops::dist_sq(data.row(b), centroids.row(assignment[b]));
+                        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .unwrap();
+                centroids.row_mut(c).copy_from_slice(data.row(far));
+            } else {
+                ops::scale(centroids.row_mut(c), 1.0 / counts[c] as f32);
+            }
+        }
+    }
+
+    let inertia: f64 = (0..n)
+        .map(|i| ops::dist_sq(data.row(i), centroids.row(assignment[i])) as f64)
+        .sum();
+    KMeans {
+        centroids,
+        assignment,
+        inertia,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Three well-separated 2-D blobs must be recovered exactly.
+    fn blobs() -> (Matrix, Vec<usize>) {
+        let centers = [(0.0f32, 0.0f32), (10.0, 0.0), (0.0, 10.0)];
+        let mut rows = Vec::new();
+        let mut truth = Vec::new();
+        for (ci, &(cx, cy)) in centers.iter().enumerate() {
+            for j in 0..20 {
+                let dx = ((j * 7) % 5) as f32 * 0.05;
+                let dy = ((j * 3) % 5) as f32 * 0.05;
+                rows.extend_from_slice(&[cx + dx, cy + dy]);
+                truth.push(ci);
+            }
+        }
+        (Matrix::from_vec(60, 2, rows), truth)
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let (data, truth) = blobs();
+        let result = kmeans(&data, 3, 50, &mut StdRng::seed_from_u64(5));
+        // Same-truth points share a cluster; different-truth points don't.
+        for i in 0..60 {
+            for j in 0..60 {
+                let same_truth = truth[i] == truth[j];
+                let same_cluster = result.assignment[i] == result.assignment[j];
+                assert_eq!(same_truth, same_cluster, "points {i},{j}");
+            }
+        }
+        assert!(result.inertia < 1.0, "inertia {}", result.inertia);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let (data, _) = blobs();
+        let mut rng = StdRng::seed_from_u64(6);
+        let k1 = kmeans(&data, 1, 50, &mut rng).inertia;
+        let k3 = kmeans(&data, 3, 50, &mut StdRng::seed_from_u64(6)).inertia;
+        assert!(k3 < k1, "k=3 {k3} should beat k=1 {k1}");
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let data = Matrix::from_vec(4, 2, vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 5.0, 5.0]);
+        let result = kmeans(&data, 4, 20, &mut StdRng::seed_from_u64(7));
+        assert!(result.inertia < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (data, _) = blobs();
+        let a = kmeans(&data, 3, 50, &mut StdRng::seed_from_u64(8));
+        let b = kmeans(&data, 3, 50, &mut StdRng::seed_from_u64(8));
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cluster count")]
+    fn rejects_k_greater_than_n() {
+        let data = Matrix::zeros(2, 2);
+        let _ = kmeans(&data, 3, 10, &mut StdRng::seed_from_u64(9));
+    }
+
+    #[test]
+    fn identical_points_are_fine() {
+        let data = Matrix::from_vec(5, 2, vec![1.0; 10]);
+        let result = kmeans(&data, 2, 10, &mut StdRng::seed_from_u64(10));
+        assert!(result.inertia < 1e-9);
+        assert_eq!(result.assignment.len(), 5);
+    }
+}

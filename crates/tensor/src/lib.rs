@@ -1,0 +1,60 @@
+//! # mars-tensor
+//!
+//! A small, dependency-light dense linear-algebra substrate used by the MARS
+//! reproduction. The models in the paper are shallow — bilinear projections,
+//! Euclidean / cosine similarities and rank-1 gradient updates — so rather
+//! than pulling in a deep-learning framework we provide exactly the kernels
+//! the models need, over plain `f32` slices and a row-major [`Matrix`].
+//!
+//! Design notes (following the Rust performance-book guidance the project
+//! adopts):
+//!
+//! * All hot kernels operate on `&[f32]` / `&mut [f32]` so embedding tables
+//!   can be stored as one flat allocation and sliced per row — no per-row
+//!   boxing, no bounds checks inside the loops (we iterate, not index).
+//! * Everything is deterministic given a seed: initializers take an explicit
+//!   [`rand::Rng`], and nothing reads global state.
+//! * Numerical helpers ([`ops::cosine`], [`nonlin::softmax`], …) are written
+//!   to be safe at the edges (zero vectors, large logits) because training
+//!   loops will hit those edges.
+//!
+//! The crate also hosts the PCA routine ([`pca::Pca`]) used to regenerate the
+//! paper's Figure 7 embedding visualisations.
+
+// Indexed loops over parallel slices are used deliberately in the gradient
+// kernels: the math reads as subscripts (`u[d]`, `v[d]`, `diff[d]`), and
+// zipping three or four iterators obscures which tensor each factor comes
+// from. LLVM elides the bounds checks in release builds (verified in the
+// Criterion benches).
+#![allow(clippy::needless_range_loop)]
+
+pub mod init;
+pub mod kmeans;
+pub mod matrix;
+pub mod nonlin;
+pub mod ops;
+pub mod pca;
+pub mod stats;
+
+pub use matrix::Matrix;
+pub use pca::Pca;
+
+/// Tolerance used across the workspace when comparing floats in tests and
+/// when asserting the unit-sphere invariant after Riemannian updates.
+pub const EPS: f32 = 1e-5;
+
+/// Asserts (in debug builds) that two slices have equal length, returning it.
+///
+/// All binary kernels funnel through this so dimension mismatches fail loudly
+/// at the call site instead of silently truncating via `zip`.
+#[inline]
+pub fn same_len(a: &[f32], b: &[f32]) -> usize {
+    debug_assert_eq!(
+        a.len(),
+        b.len(),
+        "dimension mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
+    a.len()
+}

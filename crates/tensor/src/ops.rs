@@ -1,0 +1,356 @@
+//! Vector kernels over `f32` slices.
+//!
+//! These are the inner loops of every model in the workspace: similarity
+//! scores, gradient accumulation (`axpy`), and the sphere projections used by
+//! the Riemannian optimizer. They are deliberately simple loops — LLVM
+//! auto-vectorizes them well at `--release`, which the `similarity` Criterion
+//! bench confirms.
+
+use crate::same_len;
+
+/// Dot product `a · b`.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    same_len(a, b);
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Squared Euclidean norm `‖a‖²`.
+#[inline]
+pub fn norm_sq(a: &[f32]) -> f32 {
+    a.iter().map(|x| x * x).sum()
+}
+
+/// Euclidean norm `‖a‖`.
+#[inline]
+pub fn norm(a: &[f32]) -> f32 {
+    norm_sq(a).sqrt()
+}
+
+/// Squared Euclidean distance `‖a − b‖²`.
+#[inline]
+pub fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
+    same_len(a, b);
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance `‖a − b‖`.
+#[inline]
+pub fn dist(a: &[f32], b: &[f32]) -> f32 {
+    dist_sq(a, b).sqrt()
+}
+
+/// `y ← y + alpha · x` (the classic BLAS axpy).
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    same_len(x, y);
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `a ← alpha · a`.
+#[inline]
+pub fn scale(a: &mut [f32], alpha: f32) {
+    for v in a.iter_mut() {
+        *v *= alpha;
+    }
+}
+
+/// Element-wise `out = a − b`.
+#[inline]
+pub fn sub(a: &[f32], b: &[f32], out: &mut [f32]) {
+    same_len(a, b);
+    same_len(a, out);
+    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+        *o = x - y;
+    }
+}
+
+/// Element-wise `out = a + b`.
+#[inline]
+pub fn add(a: &[f32], b: &[f32], out: &mut [f32]) {
+    same_len(a, b);
+    same_len(a, out);
+    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+        *o = x + y;
+    }
+}
+
+/// Copies `src` into `dst`.
+#[inline]
+pub fn copy(src: &[f32], dst: &mut [f32]) {
+    dst.copy_from_slice(src);
+}
+
+/// Sets every element to zero.
+#[inline]
+pub fn zero(a: &mut [f32]) {
+    a.fill(0.0);
+}
+
+/// Cosine similarity `cos(a, b) = a·b / (‖a‖‖b‖)`.
+///
+/// Returns `0.0` when either vector is (numerically) zero, which is the
+/// behaviour the training loops want: a zero embedding has no preferred
+/// direction, so its similarity to anything is neutral.
+#[inline]
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na <= f32::MIN_POSITIVE || nb <= f32::MIN_POSITIVE {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Normalizes `a` to unit length in place.
+///
+/// A zero vector is replaced by the unit vector along the first axis so the
+/// result is always a valid point on the sphere (the Riemannian optimizer
+/// requires its parameters to stay on the manifold).
+#[inline]
+pub fn normalize(a: &mut [f32]) {
+    let n = norm(a);
+    if n <= f32::MIN_POSITIVE {
+        zero(a);
+        if let Some(first) = a.first_mut() {
+            *first = 1.0;
+        }
+        return;
+    }
+    scale(a, 1.0 / n);
+}
+
+/// Returns a unit-normalized copy of `a` (see [`normalize`]).
+#[inline]
+pub fn normalized(a: &[f32]) -> Vec<f32> {
+    let mut out = a.to_vec();
+    normalize(&mut out);
+    out
+}
+
+/// Clips `a` into the closed unit ball: if `‖a‖ > 1` rescales to `‖a‖ = 1`.
+///
+/// This is the norm constraint used by CML / MAR (`‖u^k‖² ≤ 1`, Eq. 11 of the
+/// paper); MARS replaces it with the strict sphere constraint.
+#[inline]
+pub fn clip_to_unit_ball(a: &mut [f32]) {
+    let n = norm(a);
+    if n > 1.0 {
+        scale(a, 1.0 / n);
+    }
+}
+
+/// Clips the norm of `a` to at most `max_norm` (gradient clipping).
+#[inline]
+pub fn clip_norm(a: &mut [f32], max_norm: f32) {
+    debug_assert!(max_norm > 0.0);
+    let n = norm(a);
+    if n > max_norm {
+        scale(a, max_norm / n);
+    }
+}
+
+/// Gradient of `cos(x, y)` with respect to `x`, written into `out`.
+///
+/// For general (not necessarily unit) vectors:
+/// `∇ₓ cos(x,y) = y/(‖x‖‖y‖) − cos(x,y)·x/‖x‖²`.
+///
+/// When `‖x‖ = ‖y‖ = 1` this reduces to `y − (x·y)x`, which is already
+/// tangent to the sphere at `x`. Either input being zero yields a zero
+/// gradient (consistent with [`cosine`] returning a constant 0 there).
+pub fn cosine_grad_x(x: &[f32], y: &[f32], out: &mut [f32]) {
+    same_len(x, y);
+    same_len(x, out);
+    let nx = norm(x);
+    let ny = norm(y);
+    if nx <= f32::MIN_POSITIVE || ny <= f32::MIN_POSITIVE {
+        zero(out);
+        return;
+    }
+    let c = dot(x, y) / (nx * ny);
+    let inv = 1.0 / (nx * ny);
+    let self_coeff = c / (nx * nx);
+    for ((o, &yi), &xi) in out.iter_mut().zip(y).zip(x) {
+        *o = yi * inv - xi * self_coeff;
+    }
+}
+
+/// Index of the maximum element (first one on ties). Panics on empty input.
+#[inline]
+pub fn argmax(a: &[f32]) -> usize {
+    assert!(!a.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    let mut best_v = a[0];
+    for (i, &v) in a.iter().enumerate().skip(1) {
+        if v > best_v {
+            best = i;
+            best_v = v;
+        }
+    }
+    best
+}
+
+/// Sum of all elements.
+#[inline]
+pub fn sum(a: &[f32]) -> f32 {
+    a.iter().sum()
+}
+
+/// Linear interpolation `out = (1−t)·a + t·b`.
+#[inline]
+pub fn lerp(a: &[f32], b: &[f32], t: f32, out: &mut [f32]) {
+    same_len(a, b);
+    same_len(a, out);
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = (1.0 - t) * x + t * y;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn norms_and_distances() {
+        let a = [3.0, 4.0];
+        assert_eq!(norm_sq(&a), 25.0);
+        assert_eq!(norm(&a), 5.0);
+        assert_eq!(dist_sq(&[1.0, 1.0], &[4.0, 5.0]), 25.0);
+        assert_eq!(dist(&[1.0, 1.0], &[4.0, 5.0]), 5.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn scale_sub_add() {
+        let mut a = vec![2.0, -4.0];
+        scale(&mut a, 0.5);
+        assert_eq!(a, vec![1.0, -2.0]);
+        let mut out = vec![0.0; 2];
+        sub(&[3.0, 3.0], &[1.0, 2.0], &mut out);
+        assert_eq!(out, vec![2.0, 1.0]);
+        add(&[3.0, 3.0], &[1.0, 2.0], &mut out);
+        assert_eq!(out, vec![4.0, 5.0]);
+    }
+
+    #[test]
+    fn cosine_matches_hand_values() {
+        assert!((cosine(&[1.0, 0.0], &[0.0, 1.0])).abs() < 1e-7);
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-7);
+        assert!((cosine(&[1.0, 0.0], &[-2.0, 0.0]) + 1.0).abs() < 1e-7);
+        // 45 degrees
+        let c = cosine(&[1.0, 0.0], &[1.0, 1.0]);
+        assert!((c - std::f32::consts::FRAC_1_SQRT_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_neutral() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(cosine(&[1.0, 2.0], &[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn normalize_makes_unit() {
+        let mut a = vec![3.0, 4.0];
+        normalize(&mut a);
+        assert!((norm(&a) - 1.0).abs() < 1e-6);
+        assert!((a[0] - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_zero_vector_lands_on_sphere() {
+        let mut a = vec![0.0; 4];
+        normalize(&mut a);
+        assert!((norm(&a) - 1.0).abs() < 1e-6);
+        assert_eq!(a[0], 1.0);
+    }
+
+    #[test]
+    fn clip_to_unit_ball_only_shrinks() {
+        let mut long = vec![3.0, 4.0];
+        clip_to_unit_ball(&mut long);
+        assert!((norm(&long) - 1.0).abs() < 1e-6);
+        let mut short = vec![0.3, 0.4];
+        clip_to_unit_ball(&mut short);
+        assert_eq!(short, vec![0.3, 0.4]);
+    }
+
+    #[test]
+    fn clip_norm_caps_gradients() {
+        let mut g = vec![30.0, 40.0];
+        clip_norm(&mut g, 5.0);
+        assert!((norm(&g) - 5.0).abs() < 1e-4);
+        let mut small = vec![0.3, 0.4];
+        clip_norm(&mut small, 5.0);
+        assert_eq!(small, vec![0.3, 0.4]);
+    }
+
+    #[test]
+    fn cosine_grad_finite_difference() {
+        // Central finite differences on a handful of fixed points.
+        let xs = [
+            (vec![0.5f32, -0.2, 0.8], vec![0.1f32, 0.9, -0.3]),
+            (vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0]),
+            (vec![0.3, 0.3, 0.3], vec![-0.5, 0.2, 0.9]),
+        ];
+        let h = 1e-3f32;
+        for (x, y) in xs {
+            let mut g = vec![0.0; x.len()];
+            cosine_grad_x(&x, &y, &mut g);
+            for i in 0..x.len() {
+                let mut xp = x.clone();
+                let mut xm = x.clone();
+                xp[i] += h;
+                xm[i] -= h;
+                let fd = (cosine(&xp, &y) - cosine(&xm, &y)) / (2.0 * h);
+                assert!(
+                    (fd - g[i]).abs() < 5e-3,
+                    "grad mismatch at {i}: fd={fd} analytic={}",
+                    g[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cosine_grad_unit_inputs_is_tangent() {
+        let x = normalized(&[0.5, -0.2, 0.8]);
+        let y = normalized(&[0.1, 0.9, -0.3]);
+        let mut g = vec![0.0; 3];
+        cosine_grad_x(&x, &y, &mut g);
+        // Tangent: orthogonal to x.
+        assert!(dot(&x, &g).abs() < 1e-5);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[-1.0]), 0);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = [0.0, 2.0];
+        let b = [1.0, 4.0];
+        let mut out = [0.0; 2];
+        lerp(&a, &b, 0.0, &mut out);
+        assert_eq!(out, a);
+        lerp(&a, &b, 1.0, &mut out);
+        assert_eq!(out, b);
+        lerp(&a, &b, 0.5, &mut out);
+        assert_eq!(out, [0.5, 3.0]);
+    }
+}

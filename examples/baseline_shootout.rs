@@ -1,0 +1,77 @@
+//! Baseline shootout — all eight baselines against MAR and MARS on one
+//! dataset, through the public API (a miniature of the paper's Table II).
+//!
+//! ```text
+//! cargo run --release --example baseline_shootout
+//! ```
+
+use mars_repro::baselines::{
+    bpr::Bpr, cml::Cml, lrml::Lrml, metricf::MetricF, neumf::NeuMf, nmf::Nmf, sml::Sml,
+    transcf::TransCf, BaselineConfig, ImplicitRecommender,
+};
+use mars_repro::core::{MarsConfig, Trainer};
+use mars_repro::data::profiles::{Profile, Scale};
+use mars_repro::metrics::{RankingEvaluator, Report};
+
+fn main() {
+    let data = Profile::Delicious.generate(Scale::Small);
+    let d = &data.dataset;
+    println!(
+        "dataset {}: {} users × {} items",
+        d.name,
+        d.num_users(),
+        d.num_items()
+    );
+
+    let ev = RankingEvaluator::paper();
+    let n = d.num_users();
+    let m = d.num_items();
+    let cfg = BaselineConfig {
+        dim: 32,
+        epochs: 15,
+        ..BaselineConfig::default()
+    };
+
+    let mut results: Vec<(&str, Report)> = Vec::new();
+    macro_rules! bench {
+        ($name:expr, $model:expr) => {{
+            let mut model = $model;
+            model.fit(d);
+            let report = ev.evaluate(&model, d);
+            println!("{:<8} HR@10 {:.4}  nDCG@10 {:.4}", $name, report.hr_at(10), report.ndcg_at(10));
+            results.push(($name, report));
+        }};
+    }
+    bench!("BPR", Bpr::new(cfg.clone(), n, m));
+    // Paper convention: NMF's factor count = number of metric spaces (4).
+    bench!("NMF", Nmf::new(BaselineConfig { dim: 4, ..cfg.clone() }, n, m));
+    bench!("NeuMF", NeuMf::new(BaselineConfig { lr: 0.02, ..cfg.clone() }, n, m));
+    bench!("CML", Cml::new(cfg.clone(), n, m));
+    bench!("MetricF", MetricF::new(cfg.clone(), n, m));
+    bench!("TransCF", TransCf::new(cfg.clone(), n, m));
+    bench!("LRML", Lrml::new(cfg.clone(), n, m));
+    bench!("SML", Sml::new(cfg.clone(), n, m));
+
+    let mut mar = MarsConfig::mar(4, 32);
+    mar.epochs = 15;
+    let mar_report = ev.evaluate(&Trainer::new(mar).fit(d).model, d);
+    println!("{:<8} HR@10 {:.4}  nDCG@10 {:.4}", "MAR", mar_report.hr_at(10), mar_report.ndcg_at(10));
+
+    let mut mars = MarsConfig::mars(4, 32);
+    mars.epochs = 15;
+    let mars_report = ev.evaluate(&Trainer::new(mars).fit(d).model, d);
+    println!("{:<8} HR@10 {:.4}  nDCG@10 {:.4}", "MARS", mars_report.hr_at(10), mars_report.ndcg_at(10));
+
+    let best_base = results
+        .iter()
+        .map(|(_, r)| r.ndcg_at(10))
+        .fold(f32::NEG_INFINITY, f32::max);
+    println!(
+        "\nMAR  vs best baseline nDCG@10: {:+.2}%",
+        (mar_report.ndcg_at(10) / best_base - 1.0) * 100.0
+    );
+    println!(
+        "MARS vs best baseline nDCG@10: {:+.2}%",
+        (mars_report.ndcg_at(10) / best_base - 1.0) * 100.0
+    );
+}

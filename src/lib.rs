@@ -1,0 +1,23 @@
+//! # mars-repro
+//!
+//! Umbrella crate for the MARS reproduction workspace. It re-exports the
+//! individual crates so the examples and integration tests can depend on a
+//! single package, and so downstream users can write `use mars_repro::core::…`
+//! without wiring up every workspace member themselves.
+//!
+//! The interesting code lives in the member crates:
+//!
+//! * [`tensor`] — dense linear algebra substrate (vectors, matrices, PCA).
+//! * [`data`] — implicit-feedback datasets, the synthetic multi-facet
+//!   generator, samplers and leave-one-out splits.
+//! * [`metrics`] — HR@K / nDCG@K and the 100-negative ranking protocol.
+//! * [`optim`] — SGD and (calibrated) Riemannian SGD on the unit sphere.
+//! * [`core`] — the MAR / MARS models, losses and trainer.
+//! * [`baselines`] — BPR, NMF, NeuMF, CML, MetricF, TransCF, LRML, SML.
+
+pub use mars_baselines as baselines;
+pub use mars_core as core;
+pub use mars_data as data;
+pub use mars_metrics as metrics;
+pub use mars_optim as optim;
+pub use mars_tensor as tensor;

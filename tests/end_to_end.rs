@@ -1,0 +1,167 @@
+//! End-to-end integration tests spanning all workspace crates: data
+//! generation → training → evaluation → analysis → persistence.
+
+use mars_repro::core::analysis::{category_proportions, facet_item_matrix, separation_stats};
+use mars_repro::core::{io, MarsConfig, MultiFacetModel, Trainer};
+use mars_repro::data::profiles::{Profile, Scale};
+use mars_repro::data::{SyntheticConfig, SyntheticDataset};
+use mars_repro::metrics::{RankingEvaluator, Scorer};
+use mars_repro::tensor::Pca;
+
+fn quick(mut cfg: MarsConfig) -> MarsConfig {
+    cfg.epochs = 6;
+    cfg
+}
+
+fn small_data() -> SyntheticDataset {
+    SyntheticDataset::generate(
+        "e2e",
+        &SyntheticConfig {
+            num_users: 80,
+            num_items: 60,
+            num_interactions: 2_400,
+            num_categories: 4,
+            dirichlet_alpha: 0.2,
+            seed: 3,
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn full_pipeline_mars() {
+    let data = small_data();
+    let d = &data.dataset;
+    let ev = RankingEvaluator::paper();
+
+    // Train.
+    let outcome = Trainer::new(quick(MarsConfig::mars(3, 12))).fit(d);
+    assert_eq!(outcome.history.len(), 6);
+    assert!(outcome.model.check_norm_invariant(1e-3));
+
+    // Training must beat the untrained model.
+    let untrained = MultiFacetModel::new(quick(MarsConfig::mars(3, 12)), 80, 60);
+    let before = ev.evaluate(&untrained, d);
+    let after = ev.evaluate(&outcome.model, d);
+    assert!(after.hr_at(10) > before.hr_at(10));
+    assert!(after.ndcg_at(10) > before.ndcg_at(10));
+
+    // Analysis runs over the trained model.
+    let props = category_proportions(&outcome.model, d, 3);
+    assert_eq!(props.len(), 3);
+    let emb = facet_item_matrix(&outcome.model, 0);
+    let stats = separation_stats(&emb, &d.item_categories, 1);
+    assert!(stats.intra.is_finite() && stats.inter.is_finite());
+
+    // PCA projection for Figure 7 works on the real embedding matrix.
+    let pca = Pca::fit(&emb, 2, 30);
+    let proj = pca.transform(&emb);
+    assert_eq!(proj.shape(), (60, 2));
+}
+
+#[test]
+fn full_pipeline_mar_euclidean() {
+    let data = small_data();
+    let d = &data.dataset;
+    let outcome = Trainer::new(quick(MarsConfig::mar(2, 12))).fit(d);
+    assert!(outcome.model.check_norm_invariant(1e-3));
+    let report = RankingEvaluator::paper().evaluate(&outcome.model, d);
+    assert!(report.cases > 0);
+    assert!(report.hr_at(20) >= report.hr_at(10));
+}
+
+#[test]
+fn persistence_roundtrip_preserves_scores() {
+    let data = small_data();
+    let d = &data.dataset;
+    let cfg = quick(MarsConfig::mars(2, 8));
+    let model = Trainer::new(cfg.clone()).fit(d).model;
+
+    let mut path = std::env::temp_dir();
+    path.push(format!("mars-e2e-{}.bin", std::process::id()));
+    io::save(&model, &path).unwrap();
+    let loaded = io::load(cfg, &path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    for u in [0u32, 7, 33] {
+        for v in [0u32, 11, 59] {
+            assert_eq!(model.score(u, v), loaded.score(u, v));
+        }
+    }
+    // Loaded model evaluates identically.
+    let ev = RankingEvaluator::paper();
+    let a = ev.evaluate(&model, d);
+    let b = ev.evaluate(&loaded, d);
+    assert_eq!(a.hr, b.hr);
+    assert_eq!(a.ndcg, b.ndcg);
+}
+
+#[test]
+fn profiles_generate_and_train() {
+    // Smallest profile end-to-end: the harness path used by every
+    // table/figure binary.
+    let data = Profile::Delicious.generate(Scale::Small);
+    let d = &data.dataset;
+    assert!(d.split_is_consistent());
+    assert!(d.num_categories > 0);
+    let model = Trainer::new(quick(MarsConfig::mars(2, 8))).fit(d).model;
+    let report = RankingEvaluator::paper().evaluate(&model, d);
+    assert!(report.cases > 100, "expected a real test set");
+    assert!(report.hr_at(10) > 0.0);
+}
+
+#[test]
+fn multifacet_beats_single_space_on_conflict_data() {
+    // The paper's central claim, as a regression test: on data with planted
+    // cross-facet conflicts (independent cluster assignments per facet),
+    // the K-facet model must outrank the single-space model of equal total
+    // dimension. Seeds/budgets chosen so the gap is far from noise.
+    use mars_repro::data::{generate_latent_metric, LatentMetricConfig};
+    let data = generate_latent_metric(
+        "conflict",
+        &LatentMetricConfig {
+            num_users: 250,
+            num_items: 180,
+            num_interactions: 9_000,
+            facets: 2,
+            clusters_per_facet: 6,
+            facet_alpha: 0.2,
+            cluster_alpha: 0.12,
+            seed: 21,
+            ..Default::default()
+        },
+    );
+    let d = &data.dataset;
+    let ev = RankingEvaluator::paper();
+
+    let mut single = MarsConfig::cml_like(24);
+    single.epochs = 12;
+    let single_ndcg = ev
+        .evaluate(&Trainer::new(single).fit(d).model, d)
+        .ndcg_at(10);
+
+    let mut multi = MarsConfig::mars(2, 12); // equal total dimension
+    multi.epochs = 12;
+    let multi_ndcg = ev
+        .evaluate(&Trainer::new(multi).fit(d).model, d)
+        .ndcg_at(10);
+
+    assert!(
+        multi_ndcg > single_ndcg,
+        "multi-facet ({multi_ndcg}) should beat single-space ({single_ndcg}) on conflict data"
+    );
+}
+
+#[test]
+fn evaluation_is_model_agnostic_and_comparable() {
+    // Same candidate sets for every model: two models evaluated twice give
+    // identical reports, and a better scorer gives a better report.
+    let data = small_data();
+    let d = &data.dataset;
+    let ev = RankingEvaluator::paper();
+    let model = Trainer::new(quick(MarsConfig::mars(2, 8))).fit(d).model;
+    let r1 = ev.evaluate(&model, d);
+    let r2 = ev.evaluate(&model, d);
+    assert_eq!(r1.hr, r2.hr);
+    assert_eq!(r1.mrr, r2.mrr);
+}
