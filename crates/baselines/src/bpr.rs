@@ -3,17 +3,18 @@
 //! Matrix factorization trained with the Bayesian personalized ranking
 //! criterion: for triplets `(u, i, j)` with `i` observed and `j` not,
 //! maximize `ln σ(x̂_ui − x̂_uj)` with `x̂_uv = p_u · q_v`, plus L2
-//! regularization. Per-sample SGD as in the reference implementation.
+//! regularization. Runs on the shared batch/accumulate triplet engine
+//! (`common::fit_triplets`); the reference per-sample SGD stays selectable
+//! via [`mars_optim::BatchMode::PerTriplet`].
 //!
 //! No bias terms: the MARS paper specifies "matrix factorization as the
 //! prediction component" (`x̂ = p·q`), matching the DeepRec implementation
 //! it cites for this baseline.
 
-use crate::common::{BaselineConfig, ImplicitRecommender};
+use crate::common::{fit_triplets, BaselineConfig, ImplicitRecommender, TripletUpdate};
 use mars_core::embedding::EmbeddingTable;
-use mars_data::batch::TripletBatcher;
+use mars_data::batch::Triplet;
 use mars_data::dataset::Dataset;
-use mars_data::sampler::{UniformNegativeSampler, UserSampler};
 use mars_data::{ItemId, UserId};
 use mars_metrics::Scorer;
 use mars_tensor::{nonlin, ops};
@@ -54,44 +55,42 @@ impl Scorer for Bpr {
     }
 }
 
+impl TripletUpdate for Bpr {
+    fn dim(&self) -> usize {
+        self.cfg.dim
+    }
+
+    fn triplet_update(&self, t: Triplet, up: &mut [f32], ui: &mut [f32], uj: &mut [f32]) -> bool {
+        let u = self.user.row(t.user as usize);
+        let qi = self.item.row(t.positive as usize);
+        let qj = self.item.row(t.negative as usize);
+        let x_uij = ops::dot(u, qi) - ops::dot(u, qj);
+        // d/dx [−ln σ(x)] = −σ(−x)
+        let coeff = nonlin::sigmoid(-x_uij);
+        let reg = self.cfg.reg;
+        // Ascent updates (p_u, q_i, q_j share p_u), evaluated at the frozen
+        // parameters.
+        for d in 0..self.cfg.dim {
+            up[d] = coeff * (qi[d] - qj[d]) - reg * u[d];
+            ui[d] = coeff * u[d] - reg * qi[d];
+            uj[d] = -coeff * u[d] - reg * qj[d];
+        }
+        true
+    }
+
+    fn apply_user(&mut self, u: usize, lr: f32, upd: &[f32]) {
+        ops::axpy(lr, upd, self.user.row_mut(u));
+    }
+
+    fn apply_item(&mut self, v: usize, lr: f32, upd: &[f32]) {
+        ops::axpy(lr, upd, self.item.row_mut(v));
+    }
+}
+
 impl ImplicitRecommender for Bpr {
     fn fit(&mut self, data: &Dataset) {
-        let x = &data.train;
-        if x.num_interactions() == 0 {
-            self.fitted = true;
-            return;
-        }
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(1));
-        let mut batcher = TripletBatcher::new(
-            UserSampler::uniform(x),
-            UniformNegativeSampler,
-            self.cfg.batch_size,
-        );
-        let batches = batcher.batches_per_epoch(x);
-        let lr = self.cfg.lr;
-        let reg = self.cfg.reg;
-        for _ in 0..self.cfg.epochs {
-            for _ in 0..batches {
-                let batch: Vec<_> = batcher.next_batch(x, &mut rng).to_vec();
-                for t in batch {
-                    let u = t.user as usize;
-                    let i = t.positive as usize;
-                    let j = t.negative as usize;
-                    let x_uij = self.score(t.user, t.positive) - self.score(t.user, t.negative);
-                    // d/dx [−ln σ(x)] = −σ(−x)
-                    let coeff = nonlin::sigmoid(-x_uij);
-                    // Manual three-way update (p_u, q_i, q_j share p_u).
-                    for d in 0..self.cfg.dim {
-                        let pu = self.user.row(u)[d];
-                        let qi = self.item.row(i)[d];
-                        let qj = self.item.row(j)[d];
-                        self.user.row_mut(u)[d] += lr * (coeff * (qi - qj) - reg * pu);
-                        self.item.row_mut(i)[d] += lr * (coeff * pu - reg * qi);
-                        self.item.row_mut(j)[d] += lr * (-coeff * pu - reg * qj);
-                    }
-                }
-            }
-        }
+        let cfg = self.cfg.clone();
+        fit_triplets(self, data, &cfg);
         self.fitted = true;
     }
 
@@ -108,7 +107,13 @@ mod tests {
     #[test]
     fn training_improves_ranking() {
         let data = tiny_dataset();
-        let make = || Bpr::new(BaselineConfig::quick(16), data.num_users(), data.num_items());
+        let make = || {
+            Bpr::new(
+                BaselineConfig::quick(16),
+                data.num_users(),
+                data.num_items(),
+            )
+        };
         improves_over_untrained(make, &data);
     }
 

@@ -9,11 +9,10 @@
 //! we implement — consistent with the `MarsConfig::cml_like` configuration
 //! in `mars-core`.)
 
-use crate::common::{BaselineConfig, ImplicitRecommender};
+use crate::common::{fit_triplets, BaselineConfig, ImplicitRecommender, TripletUpdate};
 use mars_core::embedding::EmbeddingTable;
-use mars_data::batch::TripletBatcher;
+use mars_data::batch::Triplet;
 use mars_data::dataset::Dataset;
-use mars_data::sampler::{UniformNegativeSampler, UserSampler};
 use mars_data::{ItemId, UserId};
 use mars_metrics::Scorer;
 use mars_tensor::ops;
@@ -52,48 +51,47 @@ impl Scorer for Cml {
     }
 }
 
+impl TripletUpdate for Cml {
+    fn dim(&self) -> usize {
+        self.cfg.dim
+    }
+
+    fn triplet_update(&self, t: Triplet, up: &mut [f32], ui: &mut [f32], uj: &mut [f32]) -> bool {
+        let u = self.user.row(t.user as usize);
+        let i = self.item.row(t.positive as usize);
+        let j = self.item.row(t.negative as usize);
+        let d_pos = ops::dist_sq(u, i);
+        let d_neg = ops::dist_sq(u, j);
+        if self.cfg.margin + d_pos - d_neg <= 0.0 {
+            return false; // hinge inactive
+        }
+        // ∂/∂u [d(u,i)² − d(u,j)²] = 2(u−i) − 2(u−j) = 2(j − i); updates are
+        // the descent direction (−gradient), applied as `row += lr · upd`.
+        for d in 0..self.cfg.dim {
+            up[d] = -2.0 * (j[d] - i[d]);
+            ui[d] = -2.0 * (i[d] - u[d]);
+            uj[d] = -2.0 * (u[d] - j[d]);
+        }
+        true
+    }
+
+    fn apply_user(&mut self, u: usize, lr: f32, upd: &[f32]) {
+        let row = self.user.row_mut(u);
+        ops::axpy(lr, upd, row);
+        ops::clip_to_unit_ball(row);
+    }
+
+    fn apply_item(&mut self, v: usize, lr: f32, upd: &[f32]) {
+        let row = self.item.row_mut(v);
+        ops::axpy(lr, upd, row);
+        ops::clip_to_unit_ball(row);
+    }
+}
+
 impl ImplicitRecommender for Cml {
     fn fit(&mut self, data: &Dataset) {
-        let x = &data.train;
-        if x.num_interactions() == 0 {
-            return;
-        }
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(1));
-        let mut batcher = TripletBatcher::new(
-            UserSampler::uniform(x),
-            UniformNegativeSampler,
-            self.cfg.batch_size,
-        );
-        let batches = batcher.batches_per_epoch(x);
-        let lr = self.cfg.lr;
-        let m = self.cfg.margin;
-        for _ in 0..self.cfg.epochs {
-            for _ in 0..batches {
-                let batch: Vec<_> = batcher.next_batch(x, &mut rng).to_vec();
-                for t in batch {
-                    let u = t.user as usize;
-                    let i = t.positive as usize;
-                    let j = t.negative as usize;
-                    let d_pos = ops::dist_sq(self.user.row(u), self.item.row(i));
-                    let d_neg = ops::dist_sq(self.user.row(u), self.item.row(j));
-                    if m + d_pos - d_neg <= 0.0 {
-                        continue; // hinge inactive
-                    }
-                    // ∂/∂u [d(u,i)² − d(u,j)²] = 2(u−i) − 2(u−j) = 2(j − i)
-                    for d in 0..self.cfg.dim {
-                        let uu = self.user.row(u)[d];
-                        let ii = self.item.row(i)[d];
-                        let jj = self.item.row(j)[d];
-                        self.user.row_mut(u)[d] -= lr * 2.0 * (jj - ii);
-                        self.item.row_mut(i)[d] -= lr * 2.0 * (ii - uu);
-                        self.item.row_mut(j)[d] -= lr * 2.0 * (uu - jj);
-                    }
-                    ops::clip_to_unit_ball(self.user.row_mut(u));
-                    ops::clip_to_unit_ball(self.item.row_mut(i));
-                    ops::clip_to_unit_ball(self.item.row_mut(j));
-                }
-            }
-        }
+        let cfg = self.cfg.clone();
+        fit_triplets(self, data, &cfg);
     }
 
     fn name(&self) -> &'static str {
@@ -109,7 +107,13 @@ mod tests {
     #[test]
     fn training_improves_ranking() {
         let data = tiny_dataset();
-        let make = || Cml::new(BaselineConfig::quick(16), data.num_users(), data.num_items());
+        let make = || {
+            Cml::new(
+                BaselineConfig::quick(16),
+                data.num_users(),
+                data.num_items(),
+            )
+        };
         improves_over_untrained(make, &data);
     }
 
@@ -124,7 +128,11 @@ mod tests {
     #[test]
     fn positive_items_end_up_closer() {
         let data = tiny_dataset();
-        let mut m = Cml::new(BaselineConfig::quick(16), data.num_users(), data.num_items());
+        let mut m = Cml::new(
+            BaselineConfig::quick(16),
+            data.num_users(),
+            data.num_items(),
+        );
         m.fit(&data);
         // Averaged over users: distance to a training positive should be
         // smaller than to a random non-interacted item.

@@ -1,7 +1,15 @@
-//! Shared configuration and the training interface all baselines implement.
+//! Shared configuration, the training interface all baselines implement,
+//! and the **batch/accumulate triplet engine** the pairwise models train
+//! on — the same execution model as `mars-core`'s batched trainer, so the
+//! paper's baseline-table comparisons exercise identical machinery.
 
+use mars_data::batch::{Triplet, TripletBatcher};
 use mars_data::dataset::Dataset;
+use mars_data::sampler::{UniformNegativeSampler, UserSampler};
 use mars_metrics::Scorer;
+use mars_optim::{BatchMode, GradAccumulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// Hyperparameters shared by the baselines. Model-specific knobs (memory
 /// slots for LRML, tower widths for NeuMF, …) live on the model structs with
@@ -14,8 +22,9 @@ pub struct BaselineConfig {
     pub lr: f32,
     /// Training epochs (one epoch ≈ one pass over the interactions).
     pub epochs: usize,
-    /// Triplets / samples per batch (controls epoch granularity only; the
-    /// updates are per-sample SGD like the reference implementations).
+    /// Triplets / samples per batch. For models on the shared triplet
+    /// engine this is the gradient-accumulation window in
+    /// [`BatchMode::Batched`]; for the rest it controls epoch granularity.
     pub batch_size: usize,
     /// Hinge margin where applicable.
     pub margin: f32,
@@ -23,6 +32,12 @@ pub struct BaselineConfig {
     pub reg: f32,
     /// Negatives per positive for the pointwise models (NeuMF, MetricF).
     pub negatives_per_positive: usize,
+    /// Update scheduling for engine-based models (BPR, CML): batched
+    /// accumulation (default) or the reference per-sample SGD.
+    pub batch_mode: BatchMode,
+    /// Worker threads for the batched engine (shard-by-user); `0` = all
+    /// cores, `1` = serial.
+    pub threads: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -37,6 +52,8 @@ impl Default for BaselineConfig {
             margin: 0.5,
             reg: 1e-4,
             negatives_per_positive: 4,
+            batch_mode: BatchMode::Batched,
+            threads: 1,
             seed: 42,
         }
     }
@@ -81,6 +98,167 @@ pub trait ImplicitRecommender: Scorer {
     fn name(&self) -> &'static str;
 }
 
+// ---------------------------------------------------------------------------
+// Shared batch/accumulate triplet engine
+// ---------------------------------------------------------------------------
+
+/// A pairwise model trainable by [`fit_triplets`]: it exposes per-triplet
+/// *ascent updates* (the quantity added as `row += lr · upd`, matching the
+/// reference implementations' update conventions) and constraint-aware
+/// appliers for user and item rows.
+pub trait TripletUpdate: Scorer + Sync {
+    /// Embedding dimension (update-row length).
+    fn dim(&self) -> usize;
+
+    /// Writes the updates for `t` against the **current** parameters into
+    /// `up` / `ui` / `uj` (user / positive / negative rows). Returns `false`
+    /// when the example is inactive (e.g. hinge satisfied) and stages
+    /// nothing.
+    fn triplet_update(&self, t: Triplet, up: &mut [f32], ui: &mut [f32], uj: &mut [f32]) -> bool;
+
+    /// Applies an update to user row `u` (plus any projection/constraint).
+    fn apply_user(&mut self, u: usize, lr: f32, upd: &[f32]);
+
+    /// Applies an update to item row `v` (plus any projection/constraint).
+    fn apply_item(&mut self, v: usize, lr: f32, upd: &[f32]);
+}
+
+const ROW_USER: u64 = 0;
+const ROW_ITEM: u64 = 1;
+
+#[inline]
+fn row_key(kind: u64, row: usize) -> u64 {
+    ((row as u64) << 1) | kind
+}
+
+/// Trains `model` on the dataset's train split with the shared engine:
+/// uniform user/negative sampling into [`TripletBatcher`] batches, then —
+/// per [`BaselineConfig::batch_mode`] —
+///
+/// * **PerTriplet**: the reference path, one immediate apply per triplet;
+/// * **Batched**: updates accumulate per row over the batch against frozen
+///   parameters and each touched row is applied once (first-touch order).
+///   With `threads > 1` each batch is sharded by user across a thread scope
+///   and shard accumulators merge in shard order, so training stays
+///   deterministic for a fixed seed and thread count.
+pub fn fit_triplets<M: TripletUpdate>(model: &mut M, data: &Dataset, cfg: &BaselineConfig) {
+    let x = &data.train;
+    if x.num_interactions() == 0 {
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(1));
+    let mut batcher = TripletBatcher::new(
+        UserSampler::uniform(x),
+        UniformNegativeSampler,
+        cfg.batch_size,
+    );
+    let batches = batcher.batches_per_epoch(x);
+    let lr = cfg.lr;
+    let dim = model.dim();
+    let threads = mars_optim::resolve_threads(cfg.threads);
+
+    // Per-worker state: update scratch + accumulator (reused across batches).
+    type Worker = (Vec<f32>, Vec<f32>, Vec<f32>, GradAccumulator);
+    let mut workers: Vec<Worker> = (0..threads)
+        .map(|_| {
+            (
+                vec![0.0; dim],
+                vec![0.0; dim],
+                vec![0.0; dim],
+                GradAccumulator::new(dim),
+            )
+        })
+        .collect();
+    let mut shard_bufs: Vec<Vec<Triplet>> = (0..threads).map(|_| Vec::new()).collect();
+    let mut merged = GradAccumulator::new(dim);
+
+    for _ in 0..cfg.epochs {
+        for _ in 0..batches {
+            // The batcher's internal buffer is borrowed directly — no
+            // per-batch copy on the hot path.
+            match cfg.batch_mode {
+                BatchMode::PerTriplet => {
+                    let (up, ui, uj, _) = &mut workers[0];
+                    for &t in batcher.next_batch(x, &mut rng) {
+                        if model.triplet_update(t, up, ui, uj) {
+                            model.apply_user(t.user as usize, lr, up);
+                            model.apply_item(t.positive as usize, lr, ui);
+                            model.apply_item(t.negative as usize, lr, uj);
+                        }
+                    }
+                }
+                BatchMode::Batched => {
+                    if threads <= 1 {
+                        let (up, ui, uj, acc) = &mut workers[0];
+                        acc.clear();
+                        accumulate_shard(model, batcher.next_batch(x, &mut rng), up, ui, uj, acc);
+                        apply_accumulated(model, acc, lr);
+                    } else {
+                        for buf in &mut shard_bufs {
+                            buf.clear();
+                        }
+                        for &t in batcher.next_batch(x, &mut rng) {
+                            shard_bufs[t.user as usize % threads].push(t);
+                        }
+                        let frozen: &M = model;
+                        std::thread::scope(|scope| {
+                            let mut handles = Vec::with_capacity(threads - 1);
+                            let (head, tail) = workers.split_at_mut(1);
+                            for (i, w) in tail.iter_mut().enumerate() {
+                                let buf = &shard_bufs[i + 1];
+                                handles.push(scope.spawn(move || {
+                                    let (up, ui, uj, acc) = w;
+                                    acc.clear();
+                                    accumulate_shard(frozen, buf, up, ui, uj, acc);
+                                }));
+                            }
+                            let (up, ui, uj, acc) = &mut head[0];
+                            acc.clear();
+                            accumulate_shard(frozen, &shard_bufs[0], up, ui, uj, acc);
+                            for h in handles {
+                                h.join().expect("shard worker panicked");
+                            }
+                        });
+                        merged.clear();
+                        for (_, _, _, acc) in &workers {
+                            merged.merge_from(acc);
+                        }
+                        apply_accumulated(model, &mut merged, lr);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn accumulate_shard<M: TripletUpdate>(
+    model: &M,
+    batch: &[Triplet],
+    up: &mut [f32],
+    ui: &mut [f32],
+    uj: &mut [f32],
+    acc: &mut GradAccumulator,
+) {
+    for &t in batch {
+        if model.triplet_update(t, up, ui, uj) {
+            acc.add(row_key(ROW_USER, t.user as usize), up);
+            acc.add(row_key(ROW_ITEM, t.positive as usize), ui);
+            acc.add(row_key(ROW_ITEM, t.negative as usize), uj);
+        }
+    }
+}
+
+fn apply_accumulated<M: TripletUpdate>(model: &mut M, acc: &mut GradAccumulator, lr: f32) {
+    acc.drain(|key, upd, _| {
+        let row = (key >> 1) as usize;
+        if key & 1 == ROW_USER {
+            model.apply_user(row, lr, upd);
+        } else {
+            model.apply_item(row, lr, upd);
+        }
+    });
+}
+
 /// Shared helpers for the per-model unit tests (compiled only for tests).
 #[cfg(test)]
 pub mod tests_support {
@@ -110,10 +288,7 @@ pub mod tests_support {
     /// Asserts that training strictly improves test HR@10 over the
     /// untrained initialization — the basic sanity check every model must
     /// pass.
-    pub fn improves_over_untrained<M: ImplicitRecommender>(
-        make: impl Fn() -> M,
-        data: &Dataset,
-    ) {
+    pub fn improves_over_untrained<M: ImplicitRecommender>(make: impl Fn() -> M, data: &Dataset) {
         let ev = RankingEvaluator::paper();
         let untrained = make();
         let before = ev.evaluate(&untrained, data).hr_at(10);
@@ -131,6 +306,9 @@ pub mod tests_support {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bpr::Bpr;
+    use crate::cml::Cml;
+    use tests_support::tiny_dataset;
 
     #[test]
     fn default_config_validates() {
@@ -138,13 +316,86 @@ mod tests {
         assert!(BaselineConfig::quick(16).validate().is_ok());
     }
 
+    fn scores(model: &impl Scorer, n_users: u32, n_items: u32) -> Vec<f32> {
+        (0..n_users)
+            .flat_map(|u| (0..n_items).map(move |v| (u, v)))
+            .map(|(u, v)| model.score(u, v))
+            .collect()
+    }
+
+    #[test]
+    fn engine_is_deterministic_per_mode_and_thread_count() {
+        let data = tiny_dataset();
+        for (mode, threads) in [
+            (BatchMode::PerTriplet, 1usize),
+            (BatchMode::Batched, 1),
+            (BatchMode::Batched, 3),
+        ] {
+            let run = || {
+                let cfg = BaselineConfig {
+                    batch_mode: mode,
+                    threads,
+                    epochs: 2,
+                    ..BaselineConfig::quick(8)
+                };
+                let mut m = Bpr::new(cfg, data.num_users(), data.num_items());
+                m.fit(&data);
+                scores(&m, data.num_users() as u32, data.num_items() as u32)
+            };
+            assert_eq!(
+                run(),
+                run(),
+                "mode {mode:?} threads {threads} not deterministic"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_and_per_triplet_both_learn_cml() {
+        let data = tiny_dataset();
+        for mode in [BatchMode::PerTriplet, BatchMode::Batched] {
+            let cfg = BaselineConfig {
+                batch_mode: mode,
+                ..BaselineConfig::quick(16)
+            };
+            tests_support::improves_over_untrained(
+                || Cml::new(cfg.clone(), data.num_users(), data.num_items()),
+                &data,
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_engine_matches_training_quality() {
+        // Threads change float summation order, not the algorithm: the
+        // sharded run must still train to a working model.
+        let data = tiny_dataset();
+        let cfg = BaselineConfig {
+            threads: 4,
+            ..BaselineConfig::quick(16)
+        };
+        tests_support::improves_over_untrained(
+            || Bpr::new(cfg.clone(), data.num_users(), data.num_items()),
+            &data,
+        );
+    }
+
     #[test]
     fn rejects_bad_values() {
-        let bad_dim = BaselineConfig { dim: 0, ..Default::default() };
+        let bad_dim = BaselineConfig {
+            dim: 0,
+            ..Default::default()
+        };
         assert!(bad_dim.validate().is_err());
-        let bad_lr = BaselineConfig { lr: f32::NAN, ..Default::default() };
+        let bad_lr = BaselineConfig {
+            lr: f32::NAN,
+            ..Default::default()
+        };
         assert!(bad_lr.validate().is_err());
-        let bad_negs = BaselineConfig { negatives_per_positive: 0, ..Default::default() };
+        let bad_negs = BaselineConfig {
+            negatives_per_positive: 0,
+            ..Default::default()
+        };
         assert!(bad_negs.validate().is_err());
     }
 }

@@ -38,7 +38,7 @@ pub mod nn;
 pub mod sml;
 pub mod transcf;
 
-pub use common::{BaselineConfig, ImplicitRecommender};
+pub use common::{fit_triplets, BaselineConfig, ImplicitRecommender, TripletUpdate};
 
 /// Every baseline by name, for harness iteration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]

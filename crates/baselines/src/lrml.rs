@@ -73,7 +73,13 @@ impl Lrml {
     /// Computes the induced relation for a pair.
     fn relation(&self, u: usize, v: usize) -> RelationState {
         let d = self.cfg.dim;
-        let had: Vec<f32> = self.user.row(u).iter().zip(self.item.row(v)).map(|(a, b)| a * b).collect();
+        let had: Vec<f32> = self
+            .user
+            .row(u)
+            .iter()
+            .zip(self.item.row(v))
+            .map(|(a, b)| a * b)
+            .collect();
         let mut logits = vec![0.0; MEMORY_SLOTS];
         self.keys.matvec(&had, &mut logits);
         let attention = nonlin::softmax_vec(&logits);
@@ -195,8 +201,13 @@ mod tests {
     #[test]
     fn training_improves_ranking() {
         let data = tiny_dataset();
-        let make =
-            || Lrml::new(BaselineConfig::quick(16), data.num_users(), data.num_items());
+        let make = || {
+            Lrml::new(
+                BaselineConfig::quick(16),
+                data.num_users(),
+                data.num_items(),
+            )
+        };
         improves_over_untrained(make, &data);
     }
 

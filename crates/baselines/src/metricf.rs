@@ -108,8 +108,13 @@ mod tests {
     #[test]
     fn training_improves_ranking() {
         let data = tiny_dataset();
-        let make =
-            || MetricF::new(BaselineConfig::quick(16), data.num_users(), data.num_items());
+        let make = || {
+            MetricF::new(
+                BaselineConfig::quick(16),
+                data.num_users(),
+                data.num_items(),
+            )
+        };
         improves_over_untrained(make, &data);
     }
 
@@ -120,7 +125,11 @@ mod tests {
         // ball boundary); the regression objective's real promise is the
         // relative one: positives end up much closer than negatives.
         let data = tiny_dataset();
-        let mut m = MetricF::new(BaselineConfig::quick(16), data.num_users(), data.num_items());
+        let mut m = MetricF::new(
+            BaselineConfig::quick(16),
+            data.num_users(),
+            data.num_items(),
+        );
         let gap = |m: &MetricF| -> f64 {
             let mut pos = 0.0;
             let mut neg = 0.0;

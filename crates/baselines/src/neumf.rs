@@ -152,8 +152,7 @@ impl Scorer for NeuMf {
         out.reserve(items.len());
         for &v in items {
             for i in 0..d {
-                z[i] =
-                    self.gmf_user.row(user as usize)[i] * self.gmf_item.row(v as usize)[i];
+                z[i] = self.gmf_user.row(user as usize)[i] * self.gmf_item.row(v as usize)[i];
             }
             input[d..].copy_from_slice(self.mlp_item.row(v as usize));
             let t = tower.forward(&input);

@@ -66,8 +66,7 @@ impl Nmf {
 
     /// All factors non-negative (the defining invariant).
     pub fn is_nonnegative(&self) -> bool {
-        self.w.as_slice().iter().all(|&v| v >= 0.0)
-            && self.h.as_slice().iter().all(|&v| v >= 0.0)
+        self.w.as_slice().iter().all(|&v| v >= 0.0) && self.h.as_slice().iter().all(|&v| v >= 0.0)
     }
 }
 
@@ -138,7 +137,13 @@ mod tests {
     #[test]
     fn training_improves_ranking() {
         let data = tiny_dataset();
-        let make = || Nmf::new(BaselineConfig::quick(16), data.num_users(), data.num_items());
+        let make = || {
+            Nmf::new(
+                BaselineConfig::quick(16),
+                data.num_users(),
+                data.num_items(),
+            )
+        };
         improves_over_untrained(make, &data);
     }
 

@@ -271,11 +271,7 @@ mod tests {
         }
         for (x, y) in &data {
             let p = mlp.forward(x)[0];
-            assert!(
-                (p - y).abs() < 0.25,
-                "xor({:?}) = {p}, want {y}",
-                x
-            );
+            assert!((p - y).abs() < 0.25, "xor({:?}) = {p}, want {y}", x);
         }
     }
 

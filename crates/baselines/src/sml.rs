@@ -161,7 +161,13 @@ mod tests {
     #[test]
     fn training_improves_ranking() {
         let data = tiny_dataset();
-        let make = || Sml::new(BaselineConfig::quick(16), data.num_users(), data.num_items());
+        let make = || {
+            Sml::new(
+                BaselineConfig::quick(16),
+                data.num_users(),
+                data.num_items(),
+            )
+        };
         improves_over_untrained(make, &data);
     }
 
@@ -172,8 +178,12 @@ mod tests {
         let before = m.margins().0.to_vec();
         m.fit(&data);
         let (user_m, item_m) = m.margins();
-        assert!(user_m.iter().all(|&v| (MARGIN_MIN..=MARGIN_MAX).contains(&v)));
-        assert!(item_m.iter().all(|&v| (MARGIN_MIN..=MARGIN_MAX).contains(&v)));
+        assert!(user_m
+            .iter()
+            .all(|&v| (MARGIN_MIN..=MARGIN_MAX).contains(&v)));
+        assert!(item_m
+            .iter()
+            .all(|&v| (MARGIN_MIN..=MARGIN_MAX).contains(&v)));
         // At least some margins moved away from the initial value.
         let moved = user_m
             .iter()

@@ -161,11 +161,7 @@ impl ImplicitRecommender for TransCf {
             for _ in 0..batches {
                 let batch: Vec<_> = batcher.next_batch(x, &mut rng).to_vec();
                 for t in batch {
-                    self.step_triplet(
-                        t.user as usize,
-                        t.positive as usize,
-                        t.negative as usize,
-                    );
+                    self.step_triplet(t.user as usize, t.positive as usize, t.negative as usize);
                 }
             }
         }
@@ -187,8 +183,13 @@ mod tests {
     #[test]
     fn training_improves_ranking() {
         let data = tiny_dataset();
-        let make =
-            || TransCf::new(BaselineConfig::quick(16), data.num_users(), data.num_items());
+        let make = || {
+            TransCf::new(
+                BaselineConfig::quick(16),
+                data.num_users(),
+                data.num_items(),
+            )
+        };
         improves_over_untrained(make, &data);
     }
 
@@ -204,7 +205,11 @@ mod tests {
         let items = data.train.items_of(u);
         let mut expect = vec![0.0; 8];
         for &v in items {
-            ops::axpy(1.0 / items.len() as f32, m.item.row(v as usize), &mut expect);
+            ops::axpy(
+                1.0 / items.len() as f32,
+                m.item.row(v as usize),
+                &mut expect,
+            );
         }
         for (a, b) in m.user_nbr.row(u as usize).iter().zip(&expect) {
             assert!((a - b).abs() < 1e-5);
@@ -215,14 +220,8 @@ mod tests {
     fn cold_entities_have_zero_translation() {
         // A user with no interactions gets n_u = 0 ⇒ r_uv = 0 ⇒ the score
         // degrades gracefully to plain CML distance.
-        let data = mars_data::Dataset::leave_one_out(
-            "cold",
-            2,
-            3,
-            &[vec![0, 1, 2], vec![]],
-            vec![],
-            0,
-        );
+        let data =
+            mars_data::Dataset::leave_one_out("cold", 2, 3, &[vec![0, 1, 2], vec![]], vec![], 0);
         let mut m = TransCf::new(BaselineConfig::quick(4), 2, 3);
         m.refresh_neighbourhoods(&data);
         assert!(m.user_nbr.row(1).iter().all(|&v| v == 0.0));

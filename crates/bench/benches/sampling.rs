@@ -42,8 +42,11 @@ fn bench_samplers(c: &mut Criterion) {
 
     group.bench_function("triplet_batch_1000", |b| {
         let mut rng = StdRng::seed_from_u64(5);
-        let mut batcher =
-            TripletBatcher::new(UserSampler::explorative(x, 0.8), UniformNegativeSampler, 1000);
+        let mut batcher = TripletBatcher::new(
+            UserSampler::explorative(x, 0.8),
+            UniformNegativeSampler,
+            1000,
+        );
         b.iter(|| batcher.next_batch(x, &mut rng).len())
     });
 

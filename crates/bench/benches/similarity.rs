@@ -65,5 +65,10 @@ fn bench_score_many(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kernels, bench_cross_facet_score, bench_score_many);
+criterion_group!(
+    benches,
+    bench_kernels,
+    bench_cross_facet_score,
+    bench_score_many
+);
 criterion_main!(benches);

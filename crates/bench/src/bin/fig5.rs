@@ -11,9 +11,7 @@
 //! whichever scores higher).
 
 use mars_baselines::BaselineKind;
-use mars_bench::{
-    datasets, default_epochs, fmt_metric, print_table, run_model, Args, ModelSpec,
-};
+use mars_bench::{datasets, default_epochs, fmt_metric, print_table, run_model, Args, ModelSpec};
 use mars_core::{MarsConfig, Trainer};
 use mars_data::profiles::Profile;
 use mars_metrics::RankingEvaluator;

@@ -58,18 +58,11 @@ fn main() {
             // 2-D PCA projection + CSV dump.
             let pca = Pca::fit(&emb, 2, 60);
             let proj = pca.transform(&emb);
-            let path = out_dir.join(format!(
-                "fig7_{}_k{}.csv",
-                label.to_lowercase(),
-                facet
-            ));
+            let path = out_dir.join(format!("fig7_{}_k{}.csv", label.to_lowercase(), facet));
             let mut f = std::io::BufWriter::new(fs::File::create(&path).unwrap());
             writeln!(f, "item,x,y,category").unwrap();
             for v in 0..proj.rows() {
-                let cat = data.item_categories[v]
-                    .first()
-                    .copied()
-                    .unwrap_or(u16::MAX);
+                let cat = data.item_categories[v].first().copied().unwrap_or(u16::MAX);
                 writeln!(f, "{v},{},{},{cat}", proj.get(v, 0), proj.get(v, 1)).unwrap();
             }
             rows.push(vec![
@@ -84,7 +77,14 @@ fn main() {
     }
     print_table(
         &format!("Figure 7 — category separation per embedding space ({scale:?})"),
-        &["Model", "Facet", "intra-dist", "inter-dist", "inter/intra", "CSV"],
+        &[
+            "Model",
+            "Facet",
+            "intra-dist",
+            "inter-dist",
+            "inter/intra",
+            "CSV",
+        ],
         &rows,
     );
 
@@ -111,9 +111,7 @@ fn main() {
         }
         align_rows.push(row);
     }
-    let group_headers: Vec<String> = (0..align.cols())
-        .map(|g| format!("planted f{g}"))
-        .collect();
+    let group_headers: Vec<String> = (0..align.cols()).map(|g| format!("planted f{g}")).collect();
     let mut headers: Vec<&str> = vec!["MARS space"];
     headers.extend(group_headers.iter().map(|s| s.as_str()));
     print_table(

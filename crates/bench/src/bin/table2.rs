@@ -11,8 +11,7 @@
 
 use mars_baselines::BaselineKind;
 use mars_bench::{
-    datasets, default_epochs, fmt_improvement, fmt_metric, print_table, run_model, Args,
-    ModelSpec,
+    datasets, default_epochs, fmt_improvement, fmt_metric, print_table, run_model, Args, ModelSpec,
 };
 use mars_data::profiles::Profile;
 use mars_metrics::Report;
@@ -94,7 +93,5 @@ fn main() {
             &rows,
         );
     }
-    println!(
-        "\nImp1. = MAR vs best baseline; Imp2. = MARS vs best baseline (paper's convention)."
-    );
+    println!("\nImp1. = MAR vs best baseline; Imp2. = MARS vs best baseline (paper's convention).");
 }

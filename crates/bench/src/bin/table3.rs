@@ -12,9 +12,7 @@
 //! MARS keeps improving.
 
 use mars_baselines::BaselineKind;
-use mars_bench::{
-    datasets, default_epochs, fmt_metric, print_table, run_model, Args, ModelSpec,
-};
+use mars_bench::{datasets, default_epochs, fmt_metric, print_table, run_model, Args, ModelSpec};
 use mars_data::profiles::Profile;
 
 fn main() {

@@ -9,9 +9,7 @@
 //! row); MAR and MARS sweep K = 1..=kmax. Imp1 = MAR over CML, Imp2 = MARS
 //! over CML, Imp3 = MARS over MAR — the paper's three improvement columns.
 
-use mars_bench::{
-    datasets, default_epochs, fmt_improvement, fmt_metric, print_table, Args,
-};
+use mars_bench::{datasets, default_epochs, fmt_improvement, fmt_metric, print_table, Args};
 use mars_core::{MarsConfig, Trainer};
 use mars_data::profiles::Profile;
 use mars_metrics::RankingEvaluator;

@@ -69,11 +69,7 @@ fn main() {
                     "[tune] {} lr={lr} epochs={epochs}: dev nDCG@10 {dev:.4}",
                     d.name
                 );
-                rows.push(vec![
-                    format!("{lr}"),
-                    epochs.to_string(),
-                    fmt_metric(dev),
-                ]);
+                rows.push(vec![format!("{lr}"), epochs.to_string(), fmt_metric(dev)]);
                 if best.as_ref().map(|(b, _)| dev > *b).unwrap_or(true) {
                     best = Some((dev, cfg));
                 }

@@ -69,7 +69,13 @@ impl ModelSpec {
     /// latent-factor count equals the number of metric spaces K (§V-A3:
     /// "The number of latent factors is set to the same as the number of
     /// metric spaces in our proposed models"); everything else uses `dim`.
-    pub fn baseline_paper(kind: BaselineKind, dim: usize, k: usize, epochs: usize, seed: u64) -> Self {
+    pub fn baseline_paper(
+        kind: BaselineKind,
+        dim: usize,
+        k: usize,
+        epochs: usize,
+        seed: u64,
+    ) -> Self {
         let dim = if kind == BaselineKind::Nmf { k } else { dim };
         Self::baseline(kind, dim, epochs, seed)
     }

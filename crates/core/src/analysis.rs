@@ -315,9 +315,10 @@ pub fn segment_items(
                 votes[c][cat as usize] += 1;
             }
         }
-        let majority: Vec<usize> = votes.iter().map(|cnt| ops::argmax(
-            &cnt.iter().map(|&x| x as f32).collect::<Vec<_>>(),
-        )).collect();
+        let majority: Vec<usize> = votes
+            .iter()
+            .map(|cnt| ops::argmax(&cnt.iter().map(|&x| x as f32).collect::<Vec<_>>()))
+            .collect();
         let mut hits = 0usize;
         let mut total = 0usize;
         for (v, &c) in result.assignment.iter().enumerate() {
@@ -328,7 +329,11 @@ pub fn segment_items(
                 }
             }
         }
-        Some(if total == 0 { 0.0 } else { hits as f32 / total as f32 })
+        Some(if total == 0 {
+            0.0
+        } else {
+            hits as f32 / total as f32
+        })
     };
     (result.assignment, purity)
 }
@@ -411,10 +416,12 @@ mod tests {
         // Two hand-built clusters far apart: ratio must exceed 1.
         let mut emb = Matrix::zeros(6, 2);
         for i in 0..3 {
-            emb.row_mut(i).copy_from_slice(&[0.0 + i as f32 * 0.01, 0.0]);
+            emb.row_mut(i)
+                .copy_from_slice(&[0.0 + i as f32 * 0.01, 0.0]);
         }
         for i in 3..6 {
-            emb.row_mut(i).copy_from_slice(&[5.0 + i as f32 * 0.01, 0.0]);
+            emb.row_mut(i)
+                .copy_from_slice(&[5.0 + i as f32 * 0.01, 0.0]);
         }
         let cats: Vec<Vec<u16>> = (0..6).map(|i| vec![(i / 3) as u16]).collect();
         let s = separation_stats(&emb, &cats, 1);

@@ -14,6 +14,7 @@
 //! field flip on this struct.
 
 use mars_data::margin::MarginMode;
+pub use mars_optim::BatchMode;
 
 /// Similarity geometry of the facet spaces.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -97,9 +98,18 @@ pub struct MarsConfig {
     pub theta_lr: f32,
     /// Training epochs (one epoch ≈ one pass over the interactions).
     pub epochs: usize,
-    /// Triplets per batch (paper: 1000; here it only sets eval cadence —
-    /// updates are per-triplet SGD).
+    /// Triplets per mini-batch (paper: 1000). In [`BatchMode::Batched`] this
+    /// is the gradient-accumulation window; in [`BatchMode::PerTriplet`] it
+    /// is ignored (updates are immediate).
     pub batch_size: usize,
+    /// Update scheduling: the batched engine (default) or the seed's
+    /// per-triplet reference path.
+    pub batch_mode: BatchMode,
+    /// Worker threads for the batched engine: each mini-batch is sharded by
+    /// user across this many threads and the shard gradients are merged in
+    /// shard order. `0` = use all available cores. Runs are deterministic
+    /// for a fixed seed **and** thread count.
+    pub threads: usize,
     /// Negatives sampled per positive pair. Eq. 5/8 double-sums over the
     /// negative set; sampling several negatives per positive is the
     /// standard stochastic realization (and matches the update budget of
@@ -144,6 +154,8 @@ impl MarsConfig {
             theta_lr: 0.05,
             epochs: 30,
             batch_size: 1000,
+            batch_mode: BatchMode::Batched,
+            threads: 1,
             negatives_per_positive: 4,
             spectral_clip_every: 512,
             seed: 42,
@@ -212,9 +224,11 @@ impl MarsConfig {
             (OptimKind::Riemannian | OptimKind::CalibratedRiemannian, g, p)
                 if g != Geometry::Spherical || p != FacetParam::Direct =>
             {
-                Err("Riemannian optimizers require Spherical geometry and Direct \
+                Err(
+                    "Riemannian optimizers require Spherical geometry and Direct \
                      parameterization"
-                    .into())
+                        .into(),
+                )
             }
             _ => Ok(()),
         }

@@ -128,7 +128,12 @@ impl FacetTable {
     }
 
     /// Every facet embedding drawn uniformly on the unit sphere.
-    pub fn unit_sphere<R: Rng + ?Sized>(rng: &mut R, rows: usize, facets: usize, dim: usize) -> Self {
+    pub fn unit_sphere<R: Rng + ?Sized>(
+        rng: &mut R,
+        rows: usize,
+        facets: usize,
+        dim: usize,
+    ) -> Self {
         let mut t = Self::zeros(rows, facets, dim);
         for r in 0..rows {
             for k in 0..facets {

@@ -1,0 +1,514 @@
+//! Batched, data-parallel training engine.
+//!
+//! The seed's [`MultiFacetModel::train_triplet`] walks one triplet at a time
+//! and takes an immediate optimizer step per touched row — `3K` steps (and
+//! allocations) per triplet. This module implements the batched alternative:
+//!
+//! 1. **Accumulate** ([`MultiFacetModel::accumulate_batch`]): gradients for
+//!    a whole mini-batch are computed against *frozen* parameters and staged
+//!    in a [`BatchAccum`] keyed by `(table, row, facet)`. Rows touched by
+//!    many triplets (popular items, active users) sum their contributions
+//!    instead of stepping repeatedly. Because this phase takes `&self`, the
+//!    trainer can run several accumulators in parallel over user-sharded
+//!    slices of the batch.
+//! 2. **Finish** ([`MultiFacetModel::finish_batch`]): the facet-separating
+//!    term (Eq. 6/12) is added **once per unique entity** in the batch
+//!    (matching the objective's per-entity sum rather than the reference
+//!    path's per-occurrence stochastic weighting), then every staged row
+//!    takes a single optimizer step through the
+//!    [`mars_optim::Optimizer::apply`] accumulation API — tangent projection
+//!    and angular calibration are evaluated per row on the *summed*
+//!    gradient, so a batch of size 1 reproduces the per-triplet step
+//!    exactly (asserted in `tests/grad_check.rs`).
+//!
+//! Determinism: accumulation order is the batch's triplet order, apply order
+//! is first-touch order, and shard merging ([`BatchAccum::merge_from`])
+//! walks shards in a fixed order — so a run is reproducible for a fixed
+//! seed, batch size and thread count.
+
+use crate::config::{FacetParam, Geometry, MarsConfig, OptimKind};
+use crate::kernels::Scratch;
+use crate::loss::{self, BatchLoss, TripletLoss};
+use crate::model::{MultiFacetModel, Params};
+use mars_data::batch::Triplet;
+use mars_data::UserId;
+use mars_optim::{CalibratedRiemannianSgd, GradAccumulator, Optimizer, RiemannianSgd, Sgd};
+use mars_tensor::{nonlin, ops, rows, Matrix};
+use std::collections::{HashMap, HashSet};
+
+/// Parameter-table tags inside accumulator keys.
+const TAG_USER_FACET: u64 = 1;
+const TAG_ITEM_FACET: u64 = 2;
+const TAG_UNIV_USER: u64 = 3;
+const TAG_UNIV_ITEM: u64 = 4;
+
+/// Packs `(table, row, facet)` into an accumulator key. Rows fit easily:
+/// 40 bits for the row, 16 for the facet index.
+#[inline]
+fn key(tag: u64, row: usize, facet: usize) -> u64 {
+    debug_assert!(facet < (1 << 16));
+    debug_assert!(row < (1 << 40));
+    (tag << 56) | ((row as u64) << 16) | facet as u64
+}
+
+#[inline]
+fn decode(k: u64) -> (u64, usize, usize) {
+    (
+        k >> 56,
+        ((k >> 16) & ((1 << 40) - 1)) as usize,
+        (k & 0xFFFF) as usize,
+    )
+}
+
+/// Staging area for one mini-batch of gradients against a
+/// [`MultiFacetModel`].
+pub struct BatchAccum {
+    /// Facet-row (direct) or universal-row (factored) gradients, dim `D`.
+    rows: GradAccumulator,
+    /// Θ-logit gradients, dim `K`.
+    theta: GradAccumulator,
+    /// Projection-matrix gradients (factored mode only, else empty).
+    dphi: Vec<Matrix>,
+    dpsi: Vec<Matrix>,
+    /// Entities touched this batch, first-touch order (for the
+    /// once-per-entity facet-separation pass).
+    touched: Vec<(u64, usize)>,
+    seen: HashSet<u64>,
+    /// Per-user softmaxed Θ, cached for the batch (logits are frozen).
+    theta_cache: HashMap<UserId, Vec<f32>>,
+}
+
+impl BatchAccum {
+    /// An empty accumulator sized for the model configuration.
+    pub fn new(cfg: &MarsConfig) -> Self {
+        let (dphi, dpsi) = match cfg.parameterization {
+            FacetParam::Factored => (
+                (0..cfg.facets)
+                    .map(|_| Matrix::zeros(cfg.dim, cfg.dim))
+                    .collect(),
+                (0..cfg.facets)
+                    .map(|_| Matrix::zeros(cfg.dim, cfg.dim))
+                    .collect(),
+            ),
+            FacetParam::Direct => (Vec::new(), Vec::new()),
+        };
+        Self {
+            rows: GradAccumulator::new(cfg.dim),
+            theta: GradAccumulator::new(cfg.facets),
+            dphi,
+            dpsi,
+            touched: Vec::new(),
+            seen: HashSet::new(),
+            theta_cache: HashMap::new(),
+        }
+    }
+
+    /// Clears all staged state for a fresh mini-batch.
+    pub fn begin_batch(&mut self) {
+        self.rows.clear();
+        self.theta.clear();
+        for m in self.dphi.iter_mut().chain(self.dpsi.iter_mut()) {
+            m.as_mut_slice().fill(0.0);
+        }
+        self.touched.clear();
+        self.seen.clear();
+        self.theta_cache.clear();
+    }
+
+    /// Folds a shard accumulator into this one, preserving the shard's
+    /// internal order. Merging shards in a fixed order keeps the combined
+    /// first-touch order — and therefore the apply order — deterministic.
+    pub fn merge_from(&mut self, other: &BatchAccum) {
+        self.rows.merge_from(&other.rows);
+        self.theta.merge_from(&other.theta);
+        for (m, o) in self.dphi.iter_mut().zip(&other.dphi) {
+            m.add_scaled(1.0, o);
+        }
+        for (m, o) in self.dpsi.iter_mut().zip(&other.dpsi) {
+            m.add_scaled(1.0, o);
+        }
+        for &(tag, row) in &other.touched {
+            self.touch_entity(tag, row);
+        }
+    }
+
+    fn touch_entity(&mut self, tag: u64, row: usize) {
+        if self.seen.insert(key(tag, row, 0)) {
+            self.touched.push((tag, row));
+        }
+    }
+}
+
+impl MultiFacetModel {
+    /// Computes and stages gradients for `batch` (pairs of triplet and
+    /// per-user margin `γ_u`) against the current — frozen — parameters.
+    ///
+    /// Takes `&self`: shard this over a thread scope for data parallelism,
+    /// then merge the accumulators in shard order. The facet-separating term
+    /// is *not* staged here (see [`MultiFacetModel::finish_batch`]); the
+    /// returned sums carry `facet = 0`.
+    pub fn accumulate_batch(
+        &self,
+        batch: &[(Triplet, f32)],
+        s: &mut Scratch,
+        acc: &mut BatchAccum,
+    ) -> BatchLoss {
+        let cfg = self.config();
+        let k = cfg.facets;
+        let d = cfg.dim;
+        let track_entities = cfg.lambda_facet > 0.0 && k > 1;
+        let mut out = BatchLoss::default();
+
+        for &(t, gamma) in batch {
+            let u = t.user as usize;
+            let p = t.positive as usize;
+            let q = t.negative as usize;
+
+            // Θ_u, softmaxed once per user per batch (logits are frozen).
+            let theta = acc
+                .theta_cache
+                .entry(t.user)
+                .or_insert_with(|| nonlin::softmax_vec(self.theta_logits().row(u)));
+            s.theta.copy_from_slice(theta);
+
+            self.gather_triplet(t, s);
+            let (push, pull) = self.stage_triplet(gamma, s);
+            out.add(TripletLoss {
+                push,
+                pull,
+                facet: 0.0,
+            });
+
+            acc.theta.add(key(TAG_USER_FACET, u, 0), &s.theta_grad);
+            if track_entities {
+                acc.touch_entity(TAG_USER_FACET, u);
+                acc.touch_entity(TAG_ITEM_FACET, p);
+                acc.touch_entity(TAG_ITEM_FACET, q);
+            }
+
+            match self.params() {
+                Params::Direct { .. } => {
+                    for f in 0..k {
+                        acc.rows
+                            .add(key(TAG_USER_FACET, u, f), rows::row(&s.du, d, f));
+                        acc.rows
+                            .add(key(TAG_ITEM_FACET, p, f), rows::row(&s.dp, d, f));
+                        acc.rows
+                            .add(key(TAG_ITEM_FACET, q, f), rows::row(&s.dq, d, f));
+                    }
+                }
+                Params::Factored {
+                    user_emb,
+                    item_emb,
+                    phi,
+                    psi,
+                } => {
+                    // Chain rule to the universal embeddings (projections
+                    // are frozen for the whole batch).
+                    s.univ_u.fill(0.0);
+                    s.univ_p.fill(0.0);
+                    s.univ_q.fill(0.0);
+                    for f in 0..k {
+                        phi[f].matvec(rows::row(&s.du, d, f), &mut s.tmp);
+                        ops::axpy(1.0, &s.tmp, &mut s.univ_u);
+                        psi[f].matvec(rows::row(&s.dp, d, f), &mut s.tmp);
+                        ops::axpy(1.0, &s.tmp, &mut s.univ_p);
+                        psi[f].matvec(rows::row(&s.dq, d, f), &mut s.tmp);
+                        ops::axpy(1.0, &s.tmp, &mut s.univ_q);
+                    }
+                    acc.rows.add(key(TAG_UNIV_USER, u, 0), &s.univ_u);
+                    acc.rows.add(key(TAG_UNIV_ITEM, p, 0), &s.univ_p);
+                    acc.rows.add(key(TAG_UNIV_ITEM, q, 0), &s.univ_q);
+                    // Projection gradients: ∂L/∂φ_k = u ⊗ ∂L/∂u^k.
+                    for f in 0..k {
+                        acc.dphi[f].ger(1.0, user_emb.row(u), rows::row(&s.du, d, f));
+                        acc.dpsi[f].ger(1.0, item_emb.row(p), rows::row(&s.dp, d, f));
+                        acc.dpsi[f].ger(1.0, item_emb.row(q), rows::row(&s.dq, d, f));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Adds the facet-separating gradients — once per unique entity in the
+    /// batch — and applies one optimizer step per staged row. Returns the
+    /// summed facet-separation loss.
+    pub fn finish_batch(&mut self, acc: &mut BatchAccum, lr: f32, s: &mut Scratch) -> f64 {
+        let facet_loss = self.stage_separation(acc, s);
+        self.apply_batch(acc, lr);
+        facet_loss
+    }
+
+    /// One-stop batched update: begin + accumulate + finish. Returns the
+    /// loss sums (facet term counted once per unique entity).
+    pub fn train_batch(
+        &mut self,
+        batch: &[(Triplet, f32)],
+        lr: f32,
+        s: &mut Scratch,
+        acc: &mut BatchAccum,
+    ) -> BatchLoss {
+        acc.begin_batch();
+        let mut out = self.accumulate_batch(batch, s, acc);
+        let facet = self.finish_batch(acc, lr, s);
+        out.facet += facet;
+        out
+    }
+
+    /// Stages the facet-separating term for every unique touched entity
+    /// (first-touch order) and returns the summed loss.
+    fn stage_separation(&self, acc: &mut BatchAccum, s: &mut Scratch) -> f64 {
+        let cfg = self.config();
+        let k = cfg.facets;
+        let d = cfg.dim;
+        if !(cfg.lambda_facet > 0.0 && k > 1) {
+            return 0.0;
+        }
+        let (geometry, alpha, lam) = (cfg.geometry, cfg.alpha, cfg.lambda_facet);
+        let mut total = 0.0f64;
+        // `touched` is appended only in `accumulate_batch` / `merge_from`,
+        // both of which precede this pass; take it to sidestep the borrow.
+        let touched = std::mem::take(&mut acc.touched);
+        for &(tag, row) in &touched {
+            match tag {
+                TAG_USER_FACET => self.gather_user_facets(row as UserId, &mut s.uf),
+                _ => self.gather_item_facets(row as u32, &mut s.uf),
+            }
+            s.du.fill(0.0);
+            total += loss::facet_separation(geometry, alpha, lam, &s.uf, d, &mut s.du) as f64;
+            match self.params() {
+                Params::Direct { .. } => {
+                    for f in 0..k {
+                        acc.rows.add(key(tag, row, f), rows::row(&s.du, d, f));
+                    }
+                }
+                Params::Factored {
+                    user_emb,
+                    item_emb,
+                    phi,
+                    psi,
+                } => {
+                    let (projections, emb, univ_tag) = if tag == TAG_USER_FACET {
+                        (phi, user_emb, TAG_UNIV_USER)
+                    } else {
+                        (psi, item_emb, TAG_UNIV_ITEM)
+                    };
+                    s.univ_u.fill(0.0);
+                    for f in 0..k {
+                        projections[f].matvec(rows::row(&s.du, d, f), &mut s.tmp);
+                        ops::axpy(1.0, &s.tmp, &mut s.univ_u);
+                    }
+                    acc.rows.add(key(univ_tag, row, 0), &s.univ_u);
+                    let dmats = if tag == TAG_USER_FACET {
+                        &mut acc.dphi
+                    } else {
+                        &mut acc.dpsi
+                    };
+                    for f in 0..k {
+                        dmats[f].ger(1.0, emb.row(row), rows::row(&s.du, d, f));
+                    }
+                }
+            }
+        }
+        acc.touched = touched;
+        total
+    }
+
+    /// Applies one step per staged row and clears the accumulator's
+    /// gradient state.
+    fn apply_batch(&mut self, acc: &mut BatchAccum, lr: f32) {
+        let cfg = self.config();
+        let theta_lr = cfg.theta_lr;
+        let optimizer = cfg.optimizer;
+        let geometry = cfg.geometry;
+        let k = cfg.facets;
+
+        // Θ logits: plain SGD on the softmax parameterization.
+        let logits = self.theta_logits_mut();
+        acc.theta.drain(|key, grad, _| {
+            let (_, row, _) = decode(key);
+            ops::axpy(-theta_lr, grad, logits.row_mut(row));
+        });
+
+        match self.params_mut() {
+            Params::Direct {
+                user_facets,
+                item_facets,
+            } => {
+                let mut resolve = |key: u64, step: &mut dyn FnMut(&mut [f32])| {
+                    let (tag, row, facet) = decode(key);
+                    match tag {
+                        TAG_USER_FACET => step(user_facets.facet_mut(row, facet)),
+                        TAG_ITEM_FACET => step(item_facets.facet_mut(row, facet)),
+                        _ => unreachable!("direct mode stages only facet rows"),
+                    }
+                };
+                match (optimizer, geometry) {
+                    (OptimKind::Sgd, Geometry::Euclidean) => {
+                        Sgd::with_max_norm(lr, 1.0).apply(&mut acc.rows, resolve);
+                    }
+                    (OptimKind::Sgd, Geometry::Spherical) => {
+                        // Projected SGD: Euclidean step, renormalize.
+                        let sgd = Sgd::new(lr);
+                        sgd.apply(&mut acc.rows, |key, step| {
+                            resolve(key, &mut |param: &mut [f32]| {
+                                step(param);
+                                ops::normalize(param);
+                            });
+                        });
+                    }
+                    (OptimKind::Riemannian, _) => {
+                        RiemannianSgd::new(lr).apply(&mut acc.rows, resolve);
+                    }
+                    (OptimKind::CalibratedRiemannian, _) => {
+                        CalibratedRiemannianSgd::new(lr).apply(&mut acc.rows, resolve);
+                    }
+                }
+            }
+            Params::Factored {
+                user_emb,
+                item_emb,
+                phi,
+                psi,
+            } => {
+                // Universal embedding steps + ball constraint (Eq. 11).
+                let sgd = Sgd::with_max_norm(lr, 1.0);
+                sgd.apply(&mut acc.rows, |key, step| {
+                    let (tag, row, _) = decode(key);
+                    match tag {
+                        TAG_UNIV_USER => step(user_emb.row_mut(row)),
+                        TAG_UNIV_ITEM => step(item_emb.row_mut(row)),
+                        _ => unreachable!("factored mode stages only universal rows"),
+                    }
+                });
+                for f in 0..k {
+                    phi[f].add_scaled(-lr, &acc.dphi[f]);
+                    psi[f].add_scaled(-lr, &acc.dpsi[f]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MarsConfig;
+
+    fn batch() -> Vec<(Triplet, f32)> {
+        vec![
+            (
+                Triplet {
+                    user: 0,
+                    positive: 1,
+                    negative: 4,
+                },
+                0.5,
+            ),
+            (
+                Triplet {
+                    user: 1,
+                    positive: 1,
+                    negative: 3,
+                },
+                0.4,
+            ),
+            (
+                Triplet {
+                    user: 0,
+                    positive: 2,
+                    negative: 4,
+                },
+                0.5,
+            ),
+        ]
+    }
+
+    #[test]
+    fn batched_training_reduces_loss() {
+        for cfg in [MarsConfig::mars(3, 6), MarsConfig::mar(3, 6)] {
+            let mut m = MultiFacetModel::new(cfg.clone(), 4, 6);
+            let mut s = Scratch::new(3, 6);
+            let mut acc = BatchAccum::new(&cfg);
+            let before: f32 = batch()
+                .iter()
+                .map(|&(t, g)| {
+                    m.triplet_loss(t, g)
+                        .total(cfg.lambda_pull, cfg.lambda_facet)
+                })
+                .sum();
+            for _ in 0..60 {
+                m.train_batch(&batch(), 0.05, &mut s, &mut acc);
+            }
+            let after: f32 = batch()
+                .iter()
+                .map(|&(t, g)| {
+                    m.triplet_loss(t, g)
+                        .total(cfg.lambda_pull, cfg.lambda_facet)
+                })
+                .sum();
+            assert!(after < before, "{}: {before} → {after}", cfg.tag());
+        }
+    }
+
+    #[test]
+    fn batched_training_preserves_sphere() {
+        let cfg = MarsConfig::mars(2, 5);
+        let mut m = MultiFacetModel::new(cfg.clone(), 4, 6);
+        let mut s = Scratch::new(2, 5);
+        let mut acc = BatchAccum::new(&cfg);
+        for _ in 0..40 {
+            m.train_batch(&batch(), 0.1, &mut s, &mut acc);
+        }
+        assert!(m.check_norm_invariant(1e-3));
+    }
+
+    #[test]
+    fn repeated_rows_sum_instead_of_duplicate_steps() {
+        // Items 1 and 4 and user 0 repeat across the batch: staged rows must
+        // dedup to unique (row, facet) pairs.
+        let cfg = MarsConfig::mars(2, 4);
+        let m = MultiFacetModel::new(cfg.clone(), 4, 6);
+        let mut s = Scratch::new(2, 4);
+        let mut acc = BatchAccum::new(&cfg);
+        acc.begin_batch();
+        let bl = m.accumulate_batch(&batch(), &mut s, &mut acc);
+        assert_eq!(bl.count, 3);
+        // Unique entities: users {0,1}, items {1,2,3,4} → 6 × K facet rows.
+        assert_eq!(acc.rows.len(), 6 * 2);
+        // Θ rows: one per unique user.
+        assert_eq!(acc.theta.len(), 2);
+    }
+
+    #[test]
+    fn merge_matches_single_accumulation() {
+        let cfg = MarsConfig::mars(2, 4);
+        let m = MultiFacetModel::new(cfg.clone(), 4, 6);
+        let mut s = Scratch::new(2, 4);
+        let all = batch();
+
+        let mut single = BatchAccum::new(&cfg);
+        single.begin_batch();
+        m.accumulate_batch(&all, &mut s, &mut single);
+
+        // Shard by user (0 → shard a, 1 → shard b), then merge.
+        let shard_a: Vec<_> = all.iter().copied().filter(|(t, _)| t.user == 0).collect();
+        let shard_b: Vec<_> = all.iter().copied().filter(|(t, _)| t.user == 1).collect();
+        let mut a = BatchAccum::new(&cfg);
+        a.begin_batch();
+        m.accumulate_batch(&shard_a, &mut s, &mut a);
+        let mut b = BatchAccum::new(&cfg);
+        b.begin_batch();
+        m.accumulate_batch(&shard_b, &mut s, &mut b);
+        a.merge_from(&b);
+
+        assert_eq!(single.rows.len(), a.rows.len());
+        single.rows.for_each(|key, grad| {
+            let merged = a.rows.grad(key).expect("merged accumulator missing a row");
+            for (x, y) in grad.iter().zip(merged) {
+                assert!((x - y).abs() < 1e-5, "row {key:#x} differs");
+            }
+        });
+    }
+}

@@ -1,18 +1,29 @@
 //! # mars-core
 //!
 //! Reproduction of the MAR / MARS multi-facet metric-learning recommender
-//! (ICDE 2021). The crate provides:
+//! (ICDE 2021), built around a batched, data-parallel training engine. The
+//! crate is layered:
 //!
 //! * [`config::MarsConfig`] — one configuration struct covering MAR, MARS,
-//!   the CML-equivalent `K=1` ablation, and every component toggle the
-//!   paper studies;
-//! * [`model::MultiFacetModel`] — the model: universal/facet embeddings,
-//!   cross-facet similarity (Eq. 4 / Eq. 14), per-triplet training updates
-//!   with the push (Eq. 8/15), pull (Eq. 9/16) and facet-separating
-//!   (Eq. 6/12) losses;
+//!   the CML-equivalent `K=1` ablation, every component toggle the paper
+//!   studies, and the execution-engine knobs ([`config::BatchMode`],
+//!   `threads`);
+//! * [`kernels`] — facet-similarity and ambient-gradient kernels over flat
+//!   `K × D` facet buffers (plus the reusable [`kernels::Scratch`]);
+//! * [`loss`] — the push (Eq. 8/15), pull (Eq. 9/16) and facet-separating
+//!   (Eq. 6/12) terms with their upstream coefficients;
+//! * [`model::MultiFacetModel`] — parameters (universal/factored or direct
+//!   facet embeddings), cross-facet similarity (Eq. 4 / Eq. 14), scoring,
+//!   and the per-triplet **reference** update path;
+//! * [`engine`] — the batched path: gradients for a mini-batch accumulate
+//!   against frozen parameters in an [`engine::BatchAccum`] and every
+//!   touched row takes one optimizer step; numerically equivalent to the
+//!   reference path at batch size 1 (`tests/grad_check.rs`);
 //! * [`trainer::Trainer`] — the epoch loop wiring in adaptive margins
-//!   (Eq. 7), explorative sampling (Eq. 10), dev-set tracking and the
-//!   projection constraints;
+//!   (Eq. 7), explorative sampling (Eq. 10), dev-set tracking, the
+//!   projection constraints, and — in batched mode — user-sharded
+//!   data-parallel execution over a thread scope with deterministic
+//!   shard-order merging;
 //! * [`analysis`] — the facet case-study machinery behind the paper's
 //!   Figure 7 and Tables V/VI;
 //! * [`io`] — seed-free binary persistence of trained models.
@@ -51,10 +62,18 @@
 pub mod analysis;
 pub mod config;
 pub mod embedding;
+pub mod engine;
 pub mod io;
+pub mod kernels;
+pub mod loss;
 pub mod model;
 pub mod trainer;
 
-pub use config::{FacetParam, Geometry, MarsConfig, NegativeSampling, OptimKind, UserSampling};
-pub use model::{MultiFacetModel, Scratch, TripletLoss};
+pub use config::{
+    BatchMode, FacetParam, Geometry, MarsConfig, NegativeSampling, OptimKind, UserSampling,
+};
+pub use engine::BatchAccum;
+pub use kernels::Scratch;
+pub use loss::{BatchLoss, TripletLoss};
+pub use model::MultiFacetModel;
 pub use trainer::{TrainOutcome, Trainer};

@@ -13,6 +13,15 @@
 //!   factored form seeds the initialization, mirroring how the paper wires
 //!   MAR's architecture into MARS.
 //!
+//! The numerical layers live in sibling modules: [`crate::kernels`] holds
+//! the facet-similarity and ambient-gradient kernels (and the [`Scratch`]
+//! buffers), [`crate::loss`] the push / pull / facet-separating terms, and
+//! [`crate::engine`] the batched gradient-accumulation path
+//! ([`MultiFacetModel::train_batch`]). This module keeps the parameters,
+//! scoring, and the per-triplet **reference** update path
+//! ([`MultiFacetModel::train_triplet`]) that the batched engine is asserted
+//! equivalent to at batch size 1.
+//!
 //! ### Interpretive notes (divergences from the paper's notation)
 //!
 //! 1. **Sphere constraints + shared projections.** Eq. 15 writes the MARS
@@ -35,11 +44,17 @@
 
 use crate::config::{FacetParam, Geometry, MarsConfig, OptimKind};
 use crate::embedding::{EmbeddingTable, FacetTable};
+use crate::kernels;
+use crate::loss;
+// Re-exported here for compatibility with the pre-split layout, where this
+// module defined both types.
+pub use crate::kernels::Scratch;
+pub use crate::loss::TripletLoss;
 use mars_data::batch::Triplet;
 use mars_data::{ItemId, UserId};
 use mars_metrics::Scorer;
 use mars_optim::{CalibratedRiemannianSgd, Optimizer, RiemannianSgd, Sgd};
-use mars_tensor::{init, nonlin, ops, Matrix};
+use mars_tensor::{init, nonlin, ops, rows, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -58,65 +73,6 @@ pub enum Params {
         user_facets: FacetTable,
         item_facets: FacetTable,
     },
-}
-
-/// Reusable per-triplet work buffers; one per trainer, zero allocation per
-/// step (perf-book: workhorse collections).
-pub struct Scratch {
-    /// Facet embeddings of the user / positive / negative.
-    pub uf: Vec<Vec<f32>>,
-    pub pf: Vec<Vec<f32>>,
-    pub qf: Vec<Vec<f32>>,
-    /// Facet-embedding gradients.
-    pub du: Vec<Vec<f32>>,
-    pub dp: Vec<Vec<f32>>,
-    pub dq: Vec<Vec<f32>>,
-    /// Softmaxed facet weights of the user.
-    pub theta: Vec<f32>,
-    /// Per-facet similarities to the positive / negative.
-    pub gp: Vec<f32>,
-    pub gq: Vec<f32>,
-    /// Θ-gradient staging.
-    pub theta_upstream: Vec<f32>,
-    pub theta_grad: Vec<f32>,
-    /// Generic D-sized temporary.
-    pub tmp: Vec<f32>,
-}
-
-impl Scratch {
-    /// Allocates buffers for `k` facets of dimension `d`.
-    pub fn new(k: usize, d: usize) -> Self {
-        let vecs = || vec![vec![0.0; d]; k];
-        Self {
-            uf: vecs(),
-            pf: vecs(),
-            qf: vecs(),
-            du: vecs(),
-            dp: vecs(),
-            dq: vecs(),
-            theta: vec![0.0; k],
-            gp: vec![0.0; k],
-            gq: vec![0.0; k],
-            theta_upstream: vec![0.0; k],
-            theta_grad: vec![0.0; k],
-            tmp: vec![0.0; d],
-        }
-    }
-}
-
-/// Per-triplet loss breakdown returned by [`MultiFacetModel::train_triplet`].
-#[derive(Clone, Copy, Debug, Default)]
-pub struct TripletLoss {
-    pub push: f32,
-    pub pull: f32,
-    pub facet: f32,
-}
-
-impl TripletLoss {
-    /// Weighted total (the quantity being minimized).
-    pub fn total(&self, lambda_pull: f32, lambda_facet: f32) -> f32 {
-        self.push + lambda_pull * self.pull + lambda_facet * self.facet
-    }
 }
 
 /// The MAR / MARS model.
@@ -279,14 +235,29 @@ impl MultiFacetModel {
         }
     }
 
+    /// Writes all `K` facet embeddings of user `u` into a flat `K × D`
+    /// buffer.
+    pub(crate) fn gather_user_facets(&self, u: UserId, out: &mut [f32]) {
+        let d = self.cfg.dim;
+        for f in 0..self.cfg.facets {
+            self.user_facet(u, f, rows::row_mut(out, d, f));
+        }
+    }
+
+    /// Writes all `K` facet embeddings of item `v` into a flat `K × D`
+    /// buffer.
+    pub(crate) fn gather_item_facets(&self, v: ItemId, out: &mut [f32]) {
+        let d = self.cfg.dim;
+        for f in 0..self.cfg.facets {
+            self.item_facet(v, f, rows::row_mut(out, d, f));
+        }
+    }
+
     /// Facet-specific similarity `g_k` for the configured geometry
     /// (Eq. 3 Euclidean, Eq. 13 spherical).
     #[inline]
     pub fn facet_similarity(&self, a: &[f32], b: &[f32]) -> f32 {
-        match self.cfg.geometry {
-            Geometry::Euclidean => -ops::dist_sq(a, b),
-            Geometry::Spherical => ops::cosine(a, b),
-        }
+        kernels::facet_similarity(self.cfg.geometry, a, b)
     }
 
     /// Cross-facet similarity `g(u, v) = Σ_k θ_u^k g_k(u^k, v^k)`
@@ -307,12 +278,56 @@ impl MultiFacetModel {
     }
 
     // ------------------------------------------------------------------
-    // Training
+    // Training (per-triplet reference path)
     // ------------------------------------------------------------------
+
+    /// Gathers the triplet's facet sets into the scratch buffers.
+    pub(crate) fn gather_triplet(&self, t: Triplet, s: &mut Scratch) {
+        self.gather_user_facets(t.user, &mut s.uf);
+        self.gather_item_facets(t.positive, &mut s.pf);
+        self.gather_item_facets(t.negative, &mut s.qf);
+    }
+
+    /// Shared gradient staging for both training paths. Expects `s.theta`
+    /// and the gathered facet sets (`s.uf/pf/qf`) to be filled; computes the
+    /// similarity gradients into `s.du/dp/dq` (overwriting) and the Θ-logit
+    /// gradient into `s.theta_grad`. Returns `(push, pull)`.
+    pub(crate) fn stage_triplet(&self, gamma: f32, s: &mut Scratch) -> (f32, f32) {
+        let geometry = self.cfg.geometry;
+        let d = self.cfg.dim;
+        let k = self.cfg.facets;
+
+        kernels::similarities(geometry, &s.uf, &s.pf, d, &mut s.gp);
+        kernels::similarities(geometry, &s.uf, &s.qf, d, &mut s.gq);
+        let s_p = ops::dot(&s.theta, &s.gp);
+        let s_q = ops::dot(&s.theta, &s.gq);
+
+        let (push, pull, c_p, c_q) = loss::push_pull(gamma, s_p, s_q, self.cfg.lambda_pull);
+        for f in 0..k {
+            s.w_p[f] = c_p * s.theta[f];
+            s.w_q[f] = c_q * s.theta[f];
+        }
+        kernels::similarity_gradients(
+            geometry, &s.w_p, &s.w_q, &s.uf, &s.pf, &s.qf, &mut s.du, &mut s.dp, &mut s.dq, d,
+        );
+
+        // Θ logits gradient through the softmax parameterization.
+        for f in 0..k {
+            s.theta_upstream[f] = c_p * s.gp[f] + c_q * s.gq[f];
+        }
+        nonlin::softmax_backward(&s.theta, &s.theta_upstream, &mut s.theta_grad);
+
+        (push, pull)
+    }
 
     /// Applies one SGD/RSGD update for the triplet `(u, v⁺, v⁻)` with the
     /// user's adaptive margin `gamma`, learning rate `lr`. Returns the loss
     /// breakdown *before* the update.
+    ///
+    /// This is the seed's reference path — one immediate optimizer step per
+    /// row per triplet. The batched engine
+    /// ([`MultiFacetModel::train_batch`]) is asserted numerically equivalent
+    /// to it at batch size 1.
     pub fn train_triplet(
         &mut self,
         t: Triplet,
@@ -320,84 +335,33 @@ impl MultiFacetModel {
         lr: f32,
         s: &mut Scratch,
     ) -> TripletLoss {
-        let k = self.cfg.facets;
         let u = t.user as usize;
+        let d = self.cfg.dim;
+        let k = self.cfg.facets;
 
-        // 1. Gather facet embeddings into scratch.
-        for f in 0..k {
-            self.user_facet(t.user, f, &mut s.uf[f]);
-            self.item_facet(t.positive, f, &mut s.pf[f]);
-            self.item_facet(t.negative, f, &mut s.qf[f]);
-        }
-
-        // 2. Per-facet similarities and softmax weights.
-        for f in 0..k {
-            s.gp[f] = self.facet_similarity(&s.uf[f], &s.pf[f]);
-            s.gq[f] = self.facet_similarity(&s.uf[f], &s.qf[f]);
-        }
+        self.gather_triplet(t, s);
         nonlin::softmax(self.theta_logits.row(u), &mut s.theta);
-        let s_p: f32 = (0..k).map(|f| s.theta[f] * s.gp[f]).sum();
-        let s_q: f32 = (0..k).map(|f| s.theta[f] * s.gq[f]).sum();
+        let (push, pull) = self.stage_triplet(gamma, s);
 
-        // 3. Loss pieces (Eq. 8 push with adaptive margin, Eq. 9 pull).
-        let hinge_arg = gamma - s_p + s_q;
-        let active = hinge_arg > 0.0;
-        let push = hinge_arg.max(0.0);
-        let pull = -s_p;
-
-        // dL/ds_p and dL/ds_q.
-        let c_p = if active { -1.0 } else { 0.0 } - self.cfg.lambda_pull;
-        let c_q = if active { 1.0 } else { 0.0 };
-
-        // 4. Facet-embedding gradients from the similarity terms.
-        for f in 0..k {
-            let w_p = c_p * s.theta[f];
-            let w_q = c_q * s.theta[f];
-            ops::zero(&mut s.du[f]);
-            ops::zero(&mut s.dp[f]);
-            ops::zero(&mut s.dq[f]);
-            match self.cfg.geometry {
-                Geometry::Euclidean => {
-                    // g = −‖u−v‖² ⇒ ∂g/∂u = −2(u−v), ∂g/∂v = 2(u−v).
-                    for i in 0..s.uf[f].len() {
-                        let diff_p = s.uf[f][i] - s.pf[f][i];
-                        let diff_q = s.uf[f][i] - s.qf[f][i];
-                        s.du[f][i] = w_p * (-2.0 * diff_p) + w_q * (-2.0 * diff_q);
-                        s.dp[f][i] = w_p * 2.0 * diff_p;
-                        s.dq[f][i] = w_q * 2.0 * diff_q;
-                    }
-                }
-                Geometry::Spherical => {
-                    // Ambient bilinear gradient (see module docs note 2):
-                    // ∂(uᵀv)/∂u = v.
-                    ops::axpy(w_p, &s.pf[f], &mut s.du[f]);
-                    ops::axpy(w_q, &s.qf[f], &mut s.du[f]);
-                    ops::axpy(w_p, &s.uf[f], &mut s.dp[f]);
-                    ops::axpy(w_q, &s.uf[f], &mut s.dq[f]);
-                }
-            }
-        }
-
-        // 5. Facet-separating loss over this triplet's entities (Eq. 6/12).
+        // Facet-separating loss over this triplet's entities (Eq. 6/12) —
+        // the reference path counts every occurrence.
         let mut facet_loss = 0.0;
         if self.cfg.lambda_facet > 0.0 && k > 1 {
-            facet_loss += self.facet_separation(&s.uf, &mut s.du);
-            facet_loss += self.facet_separation(&s.pf, &mut s.dp);
-            facet_loss += self.facet_separation(&s.qf, &mut s.dq);
+            let geometry = self.cfg.geometry;
+            let (alpha, lam) = (self.cfg.alpha, self.cfg.lambda_facet);
+            facet_loss += loss::facet_separation(geometry, alpha, lam, &s.uf, d, &mut s.du);
+            facet_loss += loss::facet_separation(geometry, alpha, lam, &s.pf, d, &mut s.dp);
+            facet_loss += loss::facet_separation(geometry, alpha, lam, &s.qf, d, &mut s.dq);
         }
 
-        // 6. Θ logits update (plain SGD on the softmax parameterization).
-        for f in 0..k {
-            s.theta_upstream[f] = c_p * s.gp[f] + c_q * s.gq[f];
-        }
-        nonlin::softmax_backward(&s.theta, &s.theta_upstream, &mut s.theta_grad);
+        // Θ logits update (plain SGD on the softmax parameterization).
         ops::axpy(
             -self.cfg.theta_lr,
             &s.theta_grad,
             self.theta_logits.row_mut(u),
         );
 
-        // 7. Parameter updates.
+        // Parameter updates.
         self.apply_updates(t, lr, s);
 
         TripletLoss {
@@ -407,48 +371,7 @@ impl MultiFacetModel {
         }
     }
 
-    /// Adds the facet-separating gradients for one entity's facet set into
-    /// `grads` and returns the loss value.
-    ///
-    /// Euclidean (Eq. 6): `(1/α)·softplus(−α·‖f_i − f_j‖²)` per pair —
-    /// decreasing in the distance, so minimizing spreads the facets.
-    /// Spherical: `(1/α)·softplus(+α·cos(f_i, f_j))` (see module docs note
-    /// 3) — decreasing in the angle.
-    fn facet_separation(&self, facets: &[Vec<f32>], grads: &mut [Vec<f32>]) -> f32 {
-        let alpha = self.cfg.alpha;
-        let lam = self.cfg.lambda_facet;
-        let k = facets.len();
-        let mut loss = 0.0;
-        for i in 0..k {
-            for j in (i + 1)..k {
-                match self.cfg.geometry {
-                    Geometry::Euclidean => {
-                        let d2 = ops::dist_sq(&facets[i], &facets[j]);
-                        loss += nonlin::softplus(-alpha * d2) / alpha;
-                        // ∂/∂d² [(1/α)softplus(−αd²)] = −σ(−αd²)
-                        let coeff = -nonlin::sigmoid(-alpha * d2);
-                        // ∂d²/∂f_i = 2(f_i − f_j)
-                        for idx in 0..facets[i].len() {
-                            let diff = facets[i][idx] - facets[j][idx];
-                            grads[i][idx] += lam * coeff * 2.0 * diff;
-                            grads[j][idx] -= lam * coeff * 2.0 * diff;
-                        }
-                    }
-                    Geometry::Spherical => {
-                        let c = ops::dot(&facets[i], &facets[j]);
-                        loss += nonlin::softplus(alpha * c) / alpha;
-                        let coeff = nonlin::sigmoid(alpha * c);
-                        // Ambient bilinear gradient of cos.
-                        ops::axpy(lam * coeff, &facets[j], &mut grads[i]);
-                        ops::axpy(lam * coeff, &facets[i], &mut grads[j]);
-                    }
-                }
-            }
-        }
-        loss
-    }
-
-    /// Routes the staged gradients into the parameters.
+    /// Routes the staged gradients into the parameters (immediate steps).
     fn apply_updates(&mut self, t: Triplet, lr: f32, s: &mut Scratch) {
         let k = self.cfg.facets;
         let dim = self.cfg.dim;
@@ -476,9 +399,18 @@ impl MultiFacetModel {
                     }
                 };
                 for f in 0..k {
-                    step(user_facets.facet_mut(t.user as usize, f), &s.du[f]);
-                    step(item_facets.facet_mut(t.positive as usize, f), &s.dp[f]);
-                    step(item_facets.facet_mut(t.negative as usize, f), &s.dq[f]);
+                    step(
+                        user_facets.facet_mut(t.user as usize, f),
+                        rows::row(&s.du, dim, f),
+                    );
+                    step(
+                        item_facets.facet_mut(t.positive as usize, f),
+                        rows::row(&s.dp, dim, f),
+                    );
+                    step(
+                        item_facets.facet_mut(t.negative as usize, f),
+                        rows::row(&s.dq, dim, f),
+                    );
                 }
             }
             Params::Factored {
@@ -492,28 +424,28 @@ impl MultiFacetModel {
                 let q = t.negative as usize;
                 // Chain rule to universal embeddings first (projections must
                 // still hold their pre-update values).
-                let mut d_univ_u = vec![0.0; dim];
-                let mut d_univ_p = vec![0.0; dim];
-                let mut d_univ_q = vec![0.0; dim];
+                s.univ_u.fill(0.0);
+                s.univ_p.fill(0.0);
+                s.univ_q.fill(0.0);
                 for f in 0..k {
-                    phi[f].matvec(&s.du[f], &mut s.tmp);
-                    ops::axpy(1.0, &s.tmp, &mut d_univ_u);
-                    psi[f].matvec(&s.dp[f], &mut s.tmp);
-                    ops::axpy(1.0, &s.tmp, &mut d_univ_p);
-                    psi[f].matvec(&s.dq[f], &mut s.tmp);
-                    ops::axpy(1.0, &s.tmp, &mut d_univ_q);
+                    phi[f].matvec(rows::row(&s.du, dim, f), &mut s.tmp);
+                    ops::axpy(1.0, &s.tmp, &mut s.univ_u);
+                    psi[f].matvec(rows::row(&s.dp, dim, f), &mut s.tmp);
+                    ops::axpy(1.0, &s.tmp, &mut s.univ_p);
+                    psi[f].matvec(rows::row(&s.dq, dim, f), &mut s.tmp);
+                    ops::axpy(1.0, &s.tmp, &mut s.univ_q);
                 }
                 // Projection gradients: ∂L/∂φ_k = u ⊗ ∂L/∂u^k.
                 for f in 0..k {
-                    phi[f].ger(-lr, user_emb.row(u), &s.du[f]);
-                    psi[f].ger(-lr, item_emb.row(p), &s.dp[f]);
-                    psi[f].ger(-lr, item_emb.row(q), &s.dq[f]);
+                    phi[f].ger(-lr, user_emb.row(u), rows::row(&s.du, dim, f));
+                    psi[f].ger(-lr, item_emb.row(p), rows::row(&s.dp, dim, f));
+                    psi[f].ger(-lr, item_emb.row(q), rows::row(&s.dq, dim, f));
                 }
                 // Universal embedding steps + ball constraint (Eq. 11).
                 let sgd = Sgd::with_max_norm(lr, 1.0);
-                sgd.step(user_emb.row_mut(u), &d_univ_u);
-                sgd.step(item_emb.row_mut(p), &d_univ_p);
-                sgd.step(item_emb.row_mut(q), &d_univ_q);
+                sgd.step(user_emb.row_mut(u), &s.univ_u);
+                sgd.step(item_emb.row_mut(p), &s.univ_p);
+                sgd.step(item_emb.row_mut(q), &s.univ_q);
             }
         }
     }
@@ -547,9 +479,12 @@ impl MultiFacetModel {
                 },
                 Geometry::Euclidean,
             ) => user_facets.max_norm() <= 1.0 + tol && item_facets.max_norm() <= 1.0 + tol,
-            (Params::Factored { user_emb, item_emb, .. }, _) => {
-                user_emb.max_row_norm() <= 1.0 + tol && item_emb.max_row_norm() <= 1.0 + tol
-            }
+            (
+                Params::Factored {
+                    user_emb, item_emb, ..
+                },
+                _,
+            ) => user_emb.max_row_norm() <= 1.0 + tol && item_emb.max_row_norm() <= 1.0 + tol,
         }
     }
 
@@ -558,31 +493,28 @@ impl MultiFacetModel {
     pub fn triplet_loss(&self, t: Triplet, gamma: f32) -> TripletLoss {
         let k = self.cfg.facets;
         let d = self.cfg.dim;
-        let mut uf = vec![vec![0.0; d]; k];
-        let mut pf = vec![vec![0.0; d]; k];
-        let mut qf = vec![vec![0.0; d]; k];
-        for f in 0..k {
-            self.user_facet(t.user, f, &mut uf[f]);
-            self.item_facet(t.positive, f, &mut pf[f]);
-            self.item_facet(t.negative, f, &mut qf[f]);
-        }
+        let geometry = self.cfg.geometry;
+        let mut uf = vec![0.0; k * d];
+        let mut pf = vec![0.0; k * d];
+        let mut qf = vec![0.0; k * d];
+        self.gather_user_facets(t.user, &mut uf);
+        self.gather_item_facets(t.positive, &mut pf);
+        self.gather_item_facets(t.negative, &mut qf);
         let theta = self.theta(t.user);
         let mut s_p = 0.0;
         let mut s_q = 0.0;
         for f in 0..k {
-            s_p += theta[f] * self.facet_similarity(&uf[f], &pf[f]);
-            s_q += theta[f] * self.facet_similarity(&uf[f], &qf[f]);
+            s_p += theta[f] * self.facet_similarity(rows::row(&uf, d, f), rows::row(&pf, d, f));
+            s_q += theta[f] * self.facet_similarity(rows::row(&uf, d, f), rows::row(&qf, d, f));
         }
         let push = (gamma - s_p + s_q).max(0.0);
         let pull = -s_p;
         let mut facet = 0.0;
         if k > 1 {
-            let mut sink_u = vec![vec![0.0; d]; k];
-            let mut sink_p = vec![vec![0.0; d]; k];
-            let mut sink_q = vec![vec![0.0; d]; k];
-            facet += self.facet_separation(&uf, &mut sink_u);
-            facet += self.facet_separation(&pf, &mut sink_p);
-            facet += self.facet_separation(&qf, &mut sink_q);
+            let mut sink = vec![0.0; k * d];
+            facet += loss::facet_separation(geometry, self.cfg.alpha, 0.0, &uf, d, &mut sink);
+            facet += loss::facet_separation(geometry, self.cfg.alpha, 0.0, &pf, d, &mut sink);
+            facet += loss::facet_separation(geometry, self.cfg.alpha, 0.0, &qf, d, &mut sink);
         }
         TripletLoss { push, pull, facet }
     }
@@ -629,9 +561,7 @@ impl Scorer for MultiFacetModel {
         let d = self.cfg.dim;
         let theta = self.theta(user);
         let mut uf = vec![0.0; k * d];
-        for f in 0..k {
-            self.user_facet(user, f, &mut uf[f * d..(f + 1) * d]);
-        }
+        self.gather_user_facets(user, &mut uf);
         let mut vf = vec![0.0; d];
         out.clear();
         out.reserve(items.len());
@@ -639,7 +569,7 @@ impl Scorer for MultiFacetModel {
             let mut sum = 0.0;
             for f in 0..k {
                 self.item_facet(v, f, &mut vf);
-                sum += theta[f] * self.facet_similarity(&uf[f * d..(f + 1) * d], &vf);
+                sum += theta[f] * self.facet_similarity(rows::row(&uf, d, f), &vf);
             }
             out.push(sum);
         }
@@ -678,7 +608,7 @@ mod tests {
     fn recommend_excludes_seen_and_ranks_descending() {
         let mut m = mars_model();
         let mut s = Scratch::new(3, 6);
-        for _ in 0..100 {
+        for _ in 0..300 {
             m.train_triplet(triplet(), 0.5, 0.05, &mut s);
         }
         let seen: Vec<ItemId> = vec![0, 3];

@@ -1,14 +1,34 @@
 //! Training loop for MAR / MARS.
 //!
 //! Wires the data-layer pieces (adaptive margins, explorative sampling,
-//! triplet batching) into the per-triplet updates of
-//! [`MultiFacetModel::train_triplet`], tracks losses and optional dev-set
-//! metrics per epoch, and enforces the factored-mode projection constraint
-//! at the cadence the config requests.
+//! triplet sampling) into parameter updates, tracks losses and optional
+//! dev-set metrics per epoch, and enforces the factored-mode projection
+//! constraint at the cadence the config requests.
+//!
+//! Two execution engines, selected by [`MarsConfig::batch_mode`]:
+//!
+//! * [`BatchMode::PerTriplet`] — the seed's reference path: one immediate
+//!   optimizer step per row per triplet
+//!   ([`MultiFacetModel::train_triplet`]).
+//! * [`BatchMode::Batched`] — the default: triplets stream into mini-batches
+//!   of [`MarsConfig::batch_size`]; gradients accumulate against frozen
+//!   parameters and each touched row takes one step per batch
+//!   ([`MultiFacetModel::train_batch`]). With [`MarsConfig::threads`] > 1
+//!   each batch is sharded **by user** across a `std::thread::scope`, the
+//!   per-shard accumulators are merged in shard order, and the merged batch
+//!   is applied once — so runs are reproducible for a fixed seed, batch
+//!   size and thread count.
+//!
+//! Triplet *sampling* is identical in both modes (one serial RNG stream), so
+//! switching engines changes update scheduling, never the data order.
 
-use crate::config::{MarsConfig, NegativeSampling, UserSampling};
-use crate::model::{MultiFacetModel, Scratch};
+use crate::config::{BatchMode, MarsConfig, NegativeSampling, UserSampling};
+use crate::engine::BatchAccum;
+use crate::kernels::Scratch;
+use crate::loss::BatchLoss;
+use crate::model::MultiFacetModel;
 
+use mars_data::batch::Triplet;
 use mars_data::dataset::Dataset;
 use mars_data::margin::compute_margins;
 use mars_data::sampler::{
@@ -25,7 +45,9 @@ pub struct EpochStats {
     pub epoch: usize,
     /// Mean weighted triplet loss over the epoch.
     pub mean_loss: f32,
-    /// Mean push / pull / facet components (unweighted).
+    /// Mean push / pull / facet components (unweighted). In batched mode
+    /// the facet term is counted once per unique entity per batch rather
+    /// than once per triplet occurrence.
     pub mean_push: f32,
     pub mean_pull: f32,
     pub mean_facet: f32,
@@ -48,6 +70,27 @@ pub struct Trainer {
     schedule: LrSchedule,
     /// Evaluate on the dev split every N epochs (0 = never).
     dev_eval_every: usize,
+}
+
+/// Either negative sampler behind one static dispatch (cold per triplet;
+/// a small enum keeps it allocation-free).
+enum Neg {
+    Uniform(UniformNegativeSampler),
+    Popularity(PopularityNegativeSampler),
+}
+
+impl NegativeSampler for Neg {
+    fn sample_negative<R: rand::Rng + ?Sized>(
+        &self,
+        x: &mars_data::Interactions,
+        u: mars_data::UserId,
+        rng: &mut R,
+    ) -> Option<mars_data::ItemId> {
+        match self {
+            Neg::Uniform(s) => s.sample_negative(x, u, rng),
+            Neg::Popularity(s) => s.sample_negative(x, u, rng),
+        }
+    }
 }
 
 impl Trainer {
@@ -74,11 +117,7 @@ impl Trainer {
 
     /// Trains a fresh model on `data.train` and returns it with history.
     pub fn fit(&self, data: &Dataset) -> TrainOutcome {
-        let model = MultiFacetModel::new(
-            self.cfg.clone(),
-            data.num_users(),
-            data.num_items(),
-        );
+        let model = MultiFacetModel::new(self.cfg.clone(), data.num_users(), data.num_items());
         self.fit_from(model, data)
     }
 
@@ -103,26 +142,6 @@ impl Trainer {
             UserSampling::Uniform => UserSampler::uniform(x),
             UserSampling::Explorative => UserSampler::explorative(x, cfg.beta_explore),
         };
-
-        // The negative-sampler enum dispatch is cold (once per batch item);
-        // boxing would also work but a small enum keeps it allocation-free.
-        enum Neg {
-            Uniform(UniformNegativeSampler),
-            Popularity(PopularityNegativeSampler),
-        }
-        impl NegativeSampler for Neg {
-            fn sample_negative<R: rand::Rng + ?Sized>(
-                &self,
-                x: &mars_data::Interactions,
-                u: mars_data::UserId,
-                rng: &mut R,
-            ) -> Option<mars_data::ItemId> {
-                match self {
-                    Neg::Uniform(s) => s.sample_negative(x, u, rng),
-                    Neg::Popularity(s) => s.sample_negative(x, u, rng),
-                }
-            }
-        }
         let neg = match cfg.negative_sampling {
             NegativeSampling::Uniform => Neg::Uniform(UniformNegativeSampler),
             NegativeSampling::Popularity => {
@@ -131,26 +150,36 @@ impl Trainer {
         };
 
         let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0x5EED));
-        let mut scratch = Scratch::new(cfg.facets, cfg.dim);
         let dev_eval = RankingEvaluator::new(EvalConfig {
             num_negatives: 100,
             cutoffs: vec![10],
             seed: 777,
         });
 
+        // Worker state is only needed by the batched engine; the per-triplet
+        // reference path must not pay for per-thread accumulators.
+        let mut shards = match cfg.batch_mode {
+            BatchMode::Batched => Some(Shards::new(cfg, mars_optim::resolve_threads(cfg.threads))),
+            BatchMode::PerTriplet => None,
+        };
+        let mut scratch = Scratch::new(cfg.facets, cfg.dim);
+        let mut clip = ClipCadence {
+            every: cfg.spectral_clip_every,
+            since: 0,
+        };
+
         // One epoch visits as many positives as there are interactions;
         // each positive is contrasted against `negatives_per_positive`
         // sampled negatives (the stochastic form of Eq. 5/8's double sum).
         let positives_per_epoch = x.num_interactions().max(1);
+        let batch_size = cfg.batch_size.max(1);
+        let mut buf: Vec<(Triplet, f32)> = Vec::with_capacity(batch_size);
         let mut history = Vec::with_capacity(cfg.epochs);
-        let mut steps_since_clip = 0usize;
+
         for epoch in 0..cfg.epochs {
             let lr = self.schedule.lr(cfg.lr, epoch, cfg.epochs);
-            let mut sum_total = 0.0f64;
-            let mut sum_push = 0.0f64;
-            let mut sum_pull = 0.0f64;
-            let mut sum_facet = 0.0f64;
-            let mut count = 0usize;
+            let mut sums = BatchLoss::default();
+
             for _ in 0..positives_per_epoch {
                 let u = user_sampler.sample(&mut rng);
                 let vp = mars_data::sampler::sample_positive(x, u, &mut rng);
@@ -159,30 +188,38 @@ impl Trainer {
                     let Some(vq) = neg.sample_negative(x, u, &mut rng) else {
                         break;
                     };
-                    let t = mars_data::batch::Triplet {
+                    let t = Triplet {
                         user: u,
                         positive: vp,
                         negative: vq,
                     };
-                    let loss = model.train_triplet(t, gamma, lr, &mut scratch);
-                    sum_total +=
-                        loss.total(cfg.lambda_pull, cfg.lambda_facet) as f64;
-                    sum_push += loss.push as f64;
-                    sum_pull += loss.pull as f64;
-                    sum_facet += loss.facet as f64;
-                    count += 1;
-                    steps_since_clip += 1;
-                    if cfg.spectral_clip_every > 0
-                        && steps_since_clip >= cfg.spectral_clip_every
-                    {
-                        model.enforce_projection_constraint();
-                        steps_since_clip = 0;
+                    match cfg.batch_mode {
+                        BatchMode::PerTriplet => {
+                            let l = model.train_triplet(t, gamma, lr, &mut scratch);
+                            sums.add(l);
+                            clip.tick(1, &mut model);
+                        }
+                        BatchMode::Batched => {
+                            buf.push((t, gamma));
+                            if buf.len() == batch_size {
+                                let shards = shards.as_mut().expect("batched mode has shards");
+                                run_batch(&mut model, &buf, lr, &mut scratch, shards, &mut sums);
+                                clip.tick(buf.len(), &mut model);
+                                buf.clear();
+                            }
+                        }
                     }
                 }
             }
+            if !buf.is_empty() {
+                let shards = shards.as_mut().expect("batched mode has shards");
+                run_batch(&mut model, &buf, lr, &mut scratch, shards, &mut sums);
+                clip.tick(buf.len(), &mut model);
+                buf.clear();
+            }
             model.enforce_projection_constraint();
 
-            let n = count.max(1) as f64;
+            let n = sums.count.max(1) as f64;
             let dev_hr10 = if self.dev_eval_every > 0
                 && (epoch + 1) % self.dev_eval_every == 0
                 && !data.dev.is_empty()
@@ -193,10 +230,10 @@ impl Trainer {
             };
             history.push(EpochStats {
                 epoch,
-                mean_loss: (sum_total / n) as f32,
-                mean_push: (sum_push / n) as f32,
-                mean_pull: (sum_pull / n) as f32,
-                mean_facet: (sum_facet / n) as f32,
+                mean_loss: (sums.total(cfg.lambda_pull, cfg.lambda_facet) / n) as f32,
+                mean_push: (sums.push / n) as f32,
+                mean_pull: (sums.pull / n) as f32,
+                mean_facet: (sums.facet / n) as f32,
                 dev_hr10,
             });
         }
@@ -207,6 +244,107 @@ impl Trainer {
         );
         TrainOutcome { model, history }
     }
+}
+
+/// Spectral-clip cadence bookkeeping (factored mode; no-op for direct).
+struct ClipCadence {
+    every: usize,
+    since: usize,
+}
+
+impl ClipCadence {
+    fn tick(&mut self, steps: usize, model: &mut MultiFacetModel) {
+        if self.every == 0 {
+            return;
+        }
+        self.since += steps;
+        if self.since >= self.every {
+            model.enforce_projection_constraint();
+            self.since = 0;
+        }
+    }
+}
+
+/// Per-shard worker state for the data-parallel batch path.
+struct Shards {
+    /// Shard count (= effective thread count).
+    n: usize,
+    /// Triplet slices, refilled per batch.
+    bufs: Vec<Vec<(Triplet, f32)>>,
+    /// One (scratch, accumulator) pair per worker, reused across batches.
+    state: Vec<(Scratch, BatchAccum)>,
+    /// Merge target.
+    merged: BatchAccum,
+}
+
+impl Shards {
+    fn new(cfg: &MarsConfig, threads: usize) -> Self {
+        let n = threads.max(1);
+        Self {
+            n,
+            bufs: (0..n).map(|_| Vec::new()).collect(),
+            state: (0..n)
+                .map(|_| (Scratch::new(cfg.facets, cfg.dim), BatchAccum::new(cfg)))
+                .collect(),
+            merged: BatchAccum::new(cfg),
+        }
+    }
+}
+
+/// Executes one mini-batch: single-threaded fast path, or shard-by-user →
+/// parallel accumulate → ordered merge → single apply.
+fn run_batch(
+    model: &mut MultiFacetModel,
+    batch: &[(Triplet, f32)],
+    lr: f32,
+    scratch: &mut Scratch,
+    shards: &mut Shards,
+    sums: &mut BatchLoss,
+) {
+    if shards.n <= 1 {
+        let (s0, acc0) = &mut shards.state[0];
+        let bl = model.train_batch(batch, lr, s0, acc0);
+        sums.merge(&bl);
+        return;
+    }
+
+    for buf in &mut shards.bufs {
+        buf.clear();
+    }
+    for &(t, gamma) in batch {
+        shards.bufs[t.user as usize % shards.n].push((t, gamma));
+    }
+
+    let mut losses = vec![BatchLoss::default(); shards.n];
+    {
+        let frozen: &MultiFacetModel = model;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(shards.n - 1);
+            let (head, tail) = shards.state.split_at_mut(1);
+            for (i, state) in tail.iter_mut().enumerate() {
+                let buf = &shards.bufs[i + 1];
+                handles.push(scope.spawn(move || {
+                    state.1.begin_batch();
+                    frozen.accumulate_batch(buf, &mut state.0, &mut state.1)
+                }));
+            }
+            let (s0, acc0) = &mut head[0];
+            acc0.begin_batch();
+            losses[0] = frozen.accumulate_batch(&shards.bufs[0], s0, acc0);
+            for (i, h) in handles.into_iter().enumerate() {
+                losses[i + 1] = h.join().expect("shard worker panicked");
+            }
+        });
+    }
+
+    // Deterministic merge: fixed shard order.
+    shards.merged.begin_batch();
+    for (i, (_, acc)) in shards.state.iter().enumerate() {
+        shards.merged.merge_from(acc);
+        sums.merge(&losses[i]);
+    }
+    let facet = model.finish_batch(&mut shards.merged, lr, scratch);
+    sums.facet += facet;
 }
 
 #[cfg(test)]
@@ -257,6 +395,18 @@ mod tests {
     }
 
     #[test]
+    fn per_triplet_reference_mode_still_trains() {
+        let data = small_data();
+        let mut cfg = quick_cfg(MarsConfig::mars(2, 8));
+        cfg.batch_mode = BatchMode::PerTriplet;
+        let out = Trainer::new(cfg).fit(&data.dataset);
+        let first = out.history.first().unwrap().mean_loss;
+        let last = out.history.last().unwrap().mean_loss;
+        assert!(last < first, "loss did not decrease: {first} → {last}");
+        assert!(out.model.check_norm_invariant(1e-3));
+    }
+
+    #[test]
     fn trained_model_beats_untrained_on_dev() {
         let data = small_data();
         let cfg = quick_cfg(MarsConfig::mars(2, 8));
@@ -303,6 +453,24 @@ mod tests {
             a.history.last().unwrap().mean_loss,
             b.history.last().unwrap().mean_loss
         );
+    }
+
+    #[test]
+    fn sharded_training_is_deterministic_per_thread_count() {
+        let data = small_data();
+        let mut cfg = quick_cfg(MarsConfig::mars(2, 8));
+        cfg.epochs = 2;
+        cfg.threads = 4;
+        let a = Trainer::new(cfg.clone()).fit(&data.dataset);
+        let b = Trainer::new(cfg).fit(&data.dataset);
+        for (u, v) in [(0u32, 0u32), (7, 11), (30, 42)] {
+            assert_eq!(a.model.score(u, v), b.model.score(u, v));
+        }
+        assert_eq!(
+            a.history.last().unwrap().mean_loss,
+            b.history.last().unwrap().mean_loss
+        );
+        assert!(a.model.check_norm_invariant(1e-3));
     }
 
     #[test]

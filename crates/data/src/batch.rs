@@ -97,7 +97,10 @@ mod tests {
         assert_eq!(batch.len(), 32);
         for t in batch {
             assert!(x.contains(t.user, t.positive), "positive must be observed");
-            assert!(!x.contains(t.user, t.negative), "negative must be unobserved");
+            assert!(
+                !x.contains(t.user, t.negative),
+                "negative must be unobserved"
+            );
         }
     }
 

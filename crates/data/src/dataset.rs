@@ -142,8 +142,14 @@ mod tests {
     #[test]
     fn last_goes_to_test_second_last_to_dev() {
         let d = split();
-        assert_eq!(d.test, vec![HeldOut { user: 0, item: 3 }, HeldOut { user: 2, item: 4 }]);
-        assert_eq!(d.dev, vec![HeldOut { user: 0, item: 2 }, HeldOut { user: 2, item: 0 }]);
+        assert_eq!(
+            d.test,
+            vec![HeldOut { user: 0, item: 3 }, HeldOut { user: 2, item: 4 }]
+        );
+        assert_eq!(
+            d.dev,
+            vec![HeldOut { user: 0, item: 2 }, HeldOut { user: 2, item: 0 }]
+        );
     }
 
     #[test]

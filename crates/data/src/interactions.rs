@@ -192,10 +192,8 @@ impl Interactions {
     pub fn without_pairs(&self, remove: &[(UserId, ItemId)]) -> Self {
         use std::collections::HashSet;
         let removal: HashSet<(UserId, ItemId)> = remove.iter().cloned().collect();
-        let kept: Vec<(UserId, ItemId)> = self
-            .iter_pairs()
-            .filter(|p| !removal.contains(p))
-            .collect();
+        let kept: Vec<(UserId, ItemId)> =
+            self.iter_pairs().filter(|p| !removal.contains(p)).collect();
         Self::from_pairs(self.num_users, self.num_items, &kept)
     }
 }

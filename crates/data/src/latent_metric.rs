@@ -108,8 +108,7 @@ pub fn generate_latent_metric(
     let cluster_table = AliasTable::new(&cluster_weights);
     // z[v][f] = cluster of item v in facet f.
     let mut assignment = vec![vec![0u16; f_count]; cfg.num_items];
-    let mut members: Vec<Vec<Vec<ItemId>>> =
-        vec![vec![Vec::new(); c_count]; f_count];
+    let mut members: Vec<Vec<Vec<ItemId>>> = vec![vec![Vec::new(); c_count]; f_count];
     let mut item_categories: Vec<Vec<u16>> = Vec::with_capacity(cfg.num_items);
     for v in 0..cfg.num_items {
         let mut labels = Vec::with_capacity(f_count);
@@ -141,9 +140,7 @@ pub fn generate_latent_metric(
                 .iter()
                 .map(|items| {
                     let w: Vec<f32> = (0..items.len())
-                        .map(|r| {
-                            (1.0 / (1.0 + r as f64).powf(cfg.item_popularity_exp)) as f32
-                        })
+                        .map(|r| (1.0 / (1.0 + r as f64).powf(cfg.item_popularity_exp)) as f32)
                         .collect();
                     AliasTable::new(&w)
                 })
@@ -303,9 +300,7 @@ mod tests {
     #[test]
     fn reaches_target_volume() {
         let s = generate_latent_metric("t", &tiny());
-        let total = s.dataset.train.num_interactions()
-            + s.dataset.dev.len()
-            + s.dataset.test.len();
+        let total = s.dataset.train.num_interactions() + s.dataset.dev.len() + s.dataset.test.len();
         assert!(total >= 1500, "only {total} interactions generated");
     }
 }

@@ -149,7 +149,10 @@ pub fn load_lines<'a>(
             None => line.split_ascii_whitespace().collect(),
         };
         if fields.len() <= max_col {
-            warnings.push((lineno, format!("expected ≥ {} fields, got {}", max_col + 1, fields.len())));
+            warnings.push((
+                lineno,
+                format!("expected ≥ {} fields, got {}", max_col + 1, fields.len()),
+            ));
             continue;
         }
         if let Some((col, threshold)) = opts.rating {
@@ -194,14 +197,8 @@ pub fn load_lines<'a>(
     for &(u, v, _) in &events {
         histories[u as usize].push(v);
     }
-    let dataset = Dataset::leave_one_out(
-        name,
-        user_ids.len(),
-        item_ids.len(),
-        &histories,
-        vec![],
-        0,
-    );
+    let dataset =
+        Dataset::leave_one_out(name, user_ids.len(), item_ids.len(), &histories, vec![], 0);
     Loaded {
         dataset,
         user_ids,
@@ -216,7 +213,13 @@ mod tests {
 
     #[test]
     fn whitespace_pairs_roundtrip() {
-        let text = ["alice item1", "alice item2", "bob item2", "alice item3", "alice item4"];
+        let text = [
+            "alice item1",
+            "alice item2",
+            "bob item2",
+            "alice item3",
+            "alice item4",
+        ];
         let loaded = load_lines("t", text.into_iter(), &LoadOptions::default());
         assert!(loaded.warnings.is_empty());
         assert_eq!(loaded.user_ids, vec!["alice", "bob"]);
@@ -262,7 +265,12 @@ mod tests {
         // as user=c item=notanumber (no rating column).
         assert_eq!(loaded.warnings.len(), 1);
         assert_eq!(loaded.warnings[0].0, 2);
-        assert_eq!(loaded.dataset.train.num_interactions() + loaded.dataset.dev.len() + loaded.dataset.test.len(), 5);
+        assert_eq!(
+            loaded.dataset.train.num_interactions()
+                + loaded.dataset.dev.len()
+                + loaded.dataset.test.len(),
+            5
+        );
     }
 
     #[test]

@@ -111,7 +111,10 @@ pub enum UserSampler {
     /// Uniform over users that have at least one training interaction.
     Uniform { eligible: Vec<UserId> },
     /// Explorative sampling of Eq. 10: `Pr(u) ∝ freq(u)^β`.
-    Explorative { eligible: Vec<UserId>, table: AliasTable },
+    Explorative {
+        eligible: Vec<UserId>,
+        table: AliasTable,
+    },
 }
 
 impl UserSampler {
@@ -217,11 +220,7 @@ mod tests {
     fn popularity_negative_prefers_popular() {
         // Item 0 very popular among other users, item 5 cold. For user 1
         // (positive: item 5 only... make item 5 not positive for u2).
-        let x = Interactions::from_pairs(
-            4,
-            6,
-            &[(0, 0), (1, 0), (2, 0), (3, 0), (0, 1), (1, 5)],
-        );
+        let x = Interactions::from_pairs(4, 6, &[(0, 0), (1, 0), (2, 0), (3, 0), (0, 1), (1, 5)]);
         let s = PopularityNegativeSampler::new(&x, 1.0);
         let mut rng = StdRng::seed_from_u64(4);
         let mut count0 = 0;

@@ -149,7 +149,9 @@ impl SyntheticDataset {
         // Shuffle ranks so user id order is not activity order.
         let mut rank_of_user: Vec<usize> = (0..cfg.num_users).collect();
         shuffle(&mut rank_of_user, &mut rng);
-        let user_weights: Vec<f32> = (0..cfg.num_users).map(|u| activity[rank_of_user[u]]).collect();
+        let user_weights: Vec<f32> = (0..cfg.num_users)
+            .map(|u| activity[rank_of_user[u]])
+            .collect();
         let user_table = AliasTable::new(&user_weights);
 
         // --- Interaction sampling ----------------------------------------
@@ -224,9 +226,7 @@ fn gamma_sample<R: Rng + ?Sized>(rng: &mut R, alpha: f64) -> f64 {
         }
         let v3 = v * v * v;
         let u: f64 = rng.gen::<f64>();
-        if u < 1.0 - 0.0331 * x * x * x * x
-            || u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln())
-        {
+        if u < 1.0 - 0.0331 * x * x * x * x || u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln()) {
             return d * v3;
         }
     }

@@ -101,13 +101,78 @@ proptest! {
     }
 
     #[test]
+    fn alias_empirical_frequencies_match_weights(
+        weights in proptest::collection::vec(0.0f32..10.0, 2..10),
+        seed in 0u64..20,
+    ) {
+        // Enough mass to make the target distribution well-defined.
+        let total: f32 = weights.iter().sum();
+        if total < 0.5 {
+            return Ok(());
+        }
+        let t = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let draws = 30_000;
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let expect = (w / total) as f64;
+            let freq = counts[i] as f64 / draws as f64;
+            prop_assert!(
+                (freq - expect).abs() < 0.02,
+                "outcome {i}: empirical {freq:.4} vs target {expect:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn alias_all_zero_support_stays_uniform(
+        n in 1usize..20,
+        seed in 0u64..20,
+    ) {
+        // Degenerate all-zero weights: the documented fallback is uniform
+        // over the same support.
+        let t = AliasTable::new(&vec![0.0f32; n]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let draws = 8_000 * n;
+        let mut counts = vec![0usize; n];
+        for _ in 0..draws {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        let expect = 1.0 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / draws as f64;
+            prop_assert!(
+                (freq - expect).abs() < 0.02,
+                "outcome {i}: empirical {freq:.4} vs uniform {expect:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn alias_single_outcome_always_sampled(
+        weight in 0.0f32..100.0,
+        seed in 0u64..50,
+    ) {
+        // Single-outcome supports (including weight 0) must stay valid and
+        // always return index 0.
+        let t = AliasTable::new(&[weight]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            prop_assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
     fn alias_never_samples_zero_weight_when_support_mixed(
         nonzero in 1usize..8,
         seed in 0u64..50,
     ) {
         // First `nonzero` outcomes have weight 1, the rest 0.
         let mut weights = vec![1.0f32; nonzero];
-        weights.extend(std::iter::repeat(0.0).take(8 - nonzero.min(8)));
+        weights.extend(std::iter::repeat_n(0.0, 8 - nonzero.min(8)));
         let t = AliasTable::new(&weights);
         let mut rng = StdRng::seed_from_u64(seed);
         for _ in 0..200 {

@@ -1,0 +1,244 @@
+//! Mini-batch gradient accumulation.
+//!
+//! The batched training engine computes gradients for a whole mini-batch of
+//! triplets against *frozen* parameters and applies **one** optimizer step
+//! per touched parameter row — instead of the seed's immediate per-triplet
+//! steps. [`GradAccumulator`] is the staging area: rows are identified by an
+//! opaque `u64` key (the caller encodes table/row/facet), gradients for the
+//! same key sum, and iteration order is **first-touch order**, which makes
+//! the apply phase deterministic and lets sharded producers be merged in a
+//! fixed shard order (see [`GradAccumulator::merge_from`]).
+//!
+//! The accumulator owns a scratch row so the Riemannian optimizers can run
+//! their tangent-projection + retraction step without allocating
+//! ([`crate::Optimizer::step_buffered`]).
+
+use std::collections::HashMap;
+
+/// How a trainer schedules parameter updates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BatchMode {
+    /// The seed's reference path: one optimizer step per triplet per row,
+    /// applied immediately. Kept selectable for A/B checks and the
+    /// batch-size-1 equivalence tests.
+    PerTriplet,
+    /// Batched execution: gradients accumulate over a mini-batch and each
+    /// touched row takes a single step with its summed gradient.
+    #[default]
+    Batched,
+}
+
+/// Resolves a configured worker-thread count: `0` means "all available
+/// cores", anything else is taken literally (min 1). Shared by every
+/// sharded engine in the workspace so the auto-detection rule cannot
+/// drift between them.
+pub fn resolve_threads(configured: usize) -> usize {
+    match configured {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+    .max(1)
+}
+
+/// Staging area for mini-batch gradients, keyed by opaque row ids.
+#[derive(Clone, Debug, Default)]
+pub struct GradAccumulator {
+    dim: usize,
+    /// Key → slot index into `keys` / `grads`.
+    slots: HashMap<u64, u32>,
+    /// Keys in first-touch order (the deterministic apply order).
+    keys: Vec<u64>,
+    /// Flat `len() × dim` gradient rows, parallel to `keys`.
+    grads: Vec<f32>,
+    /// Scratch row for allocation-free optimizer steps.
+    tmp: Vec<f32>,
+}
+
+impl GradAccumulator {
+    /// An empty accumulator for gradient rows of length `dim`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "accumulator dim must be ≥ 1");
+        Self {
+            dim,
+            slots: HashMap::new(),
+            keys: Vec::new(),
+            grads: Vec::new(),
+            tmp: vec![0.0; dim],
+        }
+    }
+
+    /// Gradient row length.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of distinct rows touched so far this batch.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether no row has been touched this batch.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Clears all staged gradients (capacity is kept).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.keys.clear();
+        self.grads.clear();
+    }
+
+    /// Adds `alpha · grad` into the row keyed `key`, creating it (zeroed) on
+    /// first touch.
+    pub fn add_scaled(&mut self, key: u64, alpha: f32, grad: &[f32]) {
+        debug_assert_eq!(grad.len(), self.dim, "gradient has wrong length");
+        let slot = *self.slots.entry(key).or_insert_with(|| {
+            let s = self.keys.len() as u32;
+            self.keys.push(key);
+            self.grads.resize(self.grads.len() + self.dim, 0.0);
+            s
+        }) as usize;
+        let row = &mut self.grads[slot * self.dim..(slot + 1) * self.dim];
+        if alpha == 1.0 {
+            for (r, &g) in row.iter_mut().zip(grad) {
+                *r += g;
+            }
+        } else {
+            for (r, &g) in row.iter_mut().zip(grad) {
+                *r += alpha * g;
+            }
+        }
+    }
+
+    /// Adds `grad` into the row keyed `key` (see [`Self::add_scaled`]).
+    #[inline]
+    pub fn add(&mut self, key: u64, grad: &[f32]) {
+        self.add_scaled(key, 1.0, grad);
+    }
+
+    /// The staged gradient for `key`, if that row was touched.
+    pub fn grad(&self, key: u64) -> Option<&[f32]> {
+        self.slots
+            .get(&key)
+            .map(|&s| &self.grads[s as usize * self.dim..(s as usize + 1) * self.dim])
+    }
+
+    /// Folds another accumulator's rows into this one, preserving `other`'s
+    /// internal order. Merging shard accumulators in a fixed shard order
+    /// yields a deterministic combined first-touch order.
+    pub fn merge_from(&mut self, other: &GradAccumulator) {
+        debug_assert_eq!(self.dim, other.dim, "accumulator dim mismatch");
+        for (i, &key) in other.keys.iter().enumerate() {
+            self.add(key, &other.grads[i * self.dim..(i + 1) * self.dim]);
+        }
+    }
+
+    /// Visits every `(key, grad)` pair in first-touch order without
+    /// consuming the batch.
+    pub fn for_each(&self, mut f: impl FnMut(u64, &[f32])) {
+        for (i, &key) in self.keys.iter().enumerate() {
+            f(key, &self.grads[i * self.dim..(i + 1) * self.dim]);
+        }
+    }
+
+    /// Visits every `(key, grad, scratch)` triple in first-touch order and
+    /// then clears the batch. The scratch row is the accumulator's internal
+    /// buffer for [`crate::Optimizer::step_buffered`].
+    pub fn drain(&mut self, mut f: impl FnMut(u64, &[f32], &mut [f32])) {
+        let mut tmp = std::mem::take(&mut self.tmp);
+        for (i, &key) in self.keys.iter().enumerate() {
+            f(key, &self.grads[i * self.dim..(i + 1) * self.dim], &mut tmp);
+        }
+        self.tmp = tmp;
+        self.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_per_key_and_keeps_first_touch_order() {
+        let mut acc = GradAccumulator::new(2);
+        acc.add(7, &[1.0, 0.0]);
+        acc.add(3, &[0.0, 1.0]);
+        acc.add(7, &[1.0, 1.0]);
+        assert_eq!(acc.len(), 2);
+        assert_eq!(acc.grad(7), Some(&[2.0, 1.0][..]));
+        assert_eq!(acc.grad(3), Some(&[0.0, 1.0][..]));
+        let mut order = Vec::new();
+        acc.for_each(|k, _| order.push(k));
+        assert_eq!(order, vec![7, 3]);
+    }
+
+    #[test]
+    fn add_scaled_scales() {
+        let mut acc = GradAccumulator::new(2);
+        acc.add_scaled(0, 0.5, &[2.0, 4.0]);
+        assert_eq!(acc.grad(0), Some(&[1.0, 2.0][..]));
+    }
+
+    #[test]
+    fn drain_clears_and_reuses() {
+        let mut acc = GradAccumulator::new(1);
+        acc.add(1, &[5.0]);
+        let mut seen = 0;
+        acc.drain(|k, g, tmp| {
+            assert_eq!(k, 1);
+            assert_eq!(g, &[5.0]);
+            assert_eq!(tmp.len(), 1);
+            seen += 1;
+        });
+        assert_eq!(seen, 1);
+        assert!(acc.is_empty());
+        acc.add(1, &[3.0]);
+        assert_eq!(acc.grad(1), Some(&[3.0][..]));
+    }
+
+    #[test]
+    fn merge_preserves_shard_order() {
+        let mut a = GradAccumulator::new(1);
+        a.add(10, &[1.0]);
+        let mut b = GradAccumulator::new(1);
+        b.add(20, &[2.0]);
+        b.add(10, &[1.0]);
+        a.merge_from(&b);
+        assert_eq!(a.grad(10), Some(&[2.0][..]));
+        let mut order = Vec::new();
+        a.for_each(|k, _| order.push(k));
+        assert_eq!(order, vec![10, 20]);
+    }
+
+    #[test]
+    fn batch_mode_default_is_batched() {
+        assert_eq!(BatchMode::default(), BatchMode::Batched);
+    }
+
+    #[test]
+    fn optimizer_batch_api_round_trip() {
+        // The trait-level batch lifecycle (begin_batch → accumulate →
+        // apply): two contributions to one row collapse into a single SGD
+        // step with the summed gradient.
+        use crate::{Optimizer, Sgd};
+        let opt = Sgd::new(0.5);
+        let mut acc = GradAccumulator::new(2);
+        let mut param = vec![1.0f32, 2.0];
+        opt.begin_batch(&mut acc);
+        opt.accumulate(&mut acc, 9, &[1.0, 0.0]);
+        opt.accumulate(&mut acc, 9, &[1.0, 2.0]);
+        opt.apply(&mut acc, |key, step| {
+            assert_eq!(key, 9);
+            step(&mut param);
+        });
+        // x ← x − 0.5·(g1 + g2) = [1,2] − 0.5·[2,2] = [0,1].
+        assert_eq!(param, vec![0.0, 1.0]);
+        assert!(acc.is_empty(), "apply must clear the batch");
+    }
+}

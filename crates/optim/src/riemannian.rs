@@ -46,14 +46,21 @@ impl RiemannianSgd {
 
 impl Optimizer for RiemannianSgd {
     fn step(&self, param: &mut [f32], grad: &[f32]) {
+        let mut tangent = grad.to_vec();
+        self.step_buffered(param, grad, &mut tangent);
+    }
+
+    /// Allocation-free variant for the batched apply path: `tmp` holds the
+    /// tangent vector.
+    fn step_buffered(&self, param: &mut [f32], grad: &[f32], tmp: &mut [f32]) {
         debug_assert!(
             sphere::is_on_sphere(param, 1e-3),
             "RSGD parameter left the sphere before the step"
         );
-        let mut tangent = grad.to_vec();
-        sphere::project_to_tangent(param, &mut tangent);
-        ops::scale(&mut tangent, -self.lr);
-        sphere::exp_map(param, &tangent);
+        tmp.copy_from_slice(grad);
+        sphere::project_to_tangent(param, tmp);
+        ops::scale(tmp, -self.lr);
+        sphere::exp_map(param, tmp);
     }
 
     fn lr(&self) -> f32 {
@@ -94,15 +101,22 @@ impl CalibratedRiemannianSgd {
 
 impl Optimizer for CalibratedRiemannianSgd {
     fn step(&self, param: &mut [f32], grad: &[f32]) {
+        let mut tangent = grad.to_vec();
+        self.step_buffered(param, grad, &mut tangent);
+    }
+
+    /// Allocation-free variant for the batched apply path: `tmp` holds the
+    /// tangent vector.
+    fn step_buffered(&self, param: &mut [f32], grad: &[f32], tmp: &mut [f32]) {
         debug_assert!(
             sphere::is_on_sphere(param, 1e-3),
             "calibrated RSGD parameter left the sphere before the step"
         );
         let mult = Self::calibration(param, grad);
-        let mut tangent = grad.to_vec();
-        sphere::project_to_tangent(param, &mut tangent);
-        ops::scale(&mut tangent, -self.lr * mult);
-        sphere::retract(param, &tangent);
+        tmp.copy_from_slice(grad);
+        sphere::project_to_tangent(param, tmp);
+        ops::scale(tmp, -self.lr * mult);
+        sphere::retract(param, tmp);
     }
 
     fn lr(&self) -> f32 {

@@ -26,14 +26,17 @@ pub fn project_to_tangent(x: &[f32], z: &mut [f32]) {
 /// rather than normalizing a zero vector.
 pub fn retract(x: &mut [f32], z: &[f32]) {
     debug_assert_eq!(x.len(), z.len());
-    let mut moved = x.to_vec();
-    ops::axpy(1.0, z, &mut moved);
-    let n = ops::norm(&moved);
+    let mut norm_sq = 0.0f32;
+    for (xi, zi) in x.iter().zip(z) {
+        let m = xi + zi;
+        norm_sq += m * m;
+    }
+    let n = norm_sq.sqrt();
     if n <= 1e-12 {
         return;
     }
-    for (xi, mi) in x.iter_mut().zip(&moved) {
-        *xi = mi / n;
+    for (xi, zi) in x.iter_mut().zip(z) {
+        *xi = (*xi + zi) / n;
     }
 }
 

@@ -34,6 +34,7 @@ pub mod matrix;
 pub mod nonlin;
 pub mod ops;
 pub mod pca;
+pub mod rows;
 pub mod stats;
 
 pub use matrix::Matrix;

@@ -78,7 +78,11 @@ pub fn softmax(logits: &[f32], out: &mut [f32]) {
     let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
     let mut sum = 0.0;
     for (o, &l) in out.iter_mut().zip(logits) {
-        let e = if max.is_finite() { (l - max).exp() } else { 1.0 };
+        let e = if max.is_finite() {
+            (l - max).exp()
+        } else {
+            1.0
+        };
         *o = e;
         sum += e;
     }

@@ -1,0 +1,126 @@
+//! Fused kernels over *row sets* — flat `k × dim` buffers holding `k`
+//! vectors contiguously.
+//!
+//! The batched training engine gathers the facet embeddings of a triplet's
+//! entities into such buffers (one row per facet) and needs the same
+//! primitives as [`crate::ops`] applied row-wise: per-row dot products /
+//! squared distances behind all `K` facet similarities in one call
+//! ([`dot_rows`] for the spherical geometry, [`dist_sq_rows`] for the
+//! Euclidean one) and fused multi-row `axpy` ([`axpy_rows`]) for the
+//! spherical gradient accumulation. The Euclidean gradient keeps a single
+//! fused three-output loop in `mars-core::kernels` — one pass over the
+//! buffers beats three kernel calls there.
+
+use crate::ops;
+
+/// Asserts (debug) that `buf` holds a whole number of `dim`-sized rows and
+/// returns that row count.
+#[inline]
+pub fn row_count(buf: &[f32], dim: usize) -> usize {
+    debug_assert!(dim > 0, "row kernels need dim ≥ 1");
+    debug_assert_eq!(
+        buf.len() % dim,
+        0,
+        "buffer length {} is not a multiple of dim {}",
+        buf.len(),
+        dim
+    );
+    buf.len() / dim
+}
+
+/// Row `r` of a flat `k × dim` buffer.
+#[inline]
+pub fn row(buf: &[f32], dim: usize, r: usize) -> &[f32] {
+    &buf[r * dim..(r + 1) * dim]
+}
+
+/// Mutable row `r` of a flat `k × dim` buffer.
+#[inline]
+pub fn row_mut(buf: &mut [f32], dim: usize, r: usize) -> &mut [f32] {
+    &mut buf[r * dim..(r + 1) * dim]
+}
+
+/// Per-row dot products: `out[r] = a_r · b_r` for every row `r`.
+pub fn dot_rows(a: &[f32], b: &[f32], dim: usize, out: &mut [f32]) {
+    let k = row_count(a, dim);
+    debug_assert_eq!(a.len(), b.len(), "dot_rows: buffer mismatch");
+    debug_assert_eq!(out.len(), k, "dot_rows: out has wrong length");
+    for (r, o) in out.iter_mut().enumerate() {
+        *o = ops::dot(row(a, dim, r), row(b, dim, r));
+    }
+}
+
+/// Per-row squared Euclidean distances: `out[r] = ‖a_r − b_r‖²`.
+pub fn dist_sq_rows(a: &[f32], b: &[f32], dim: usize, out: &mut [f32]) {
+    let k = row_count(a, dim);
+    debug_assert_eq!(a.len(), b.len(), "dist_sq_rows: buffer mismatch");
+    debug_assert_eq!(out.len(), k, "dist_sq_rows: out has wrong length");
+    for (r, o) in out.iter_mut().enumerate() {
+        *o = ops::dist_sq(row(a, dim, r), row(b, dim, r));
+    }
+}
+
+/// Fused multi-row axpy with one coefficient per row:
+/// `y_r ← y_r + alpha[r] · x_r` for every row `r`.
+///
+/// With `alpha` holding the per-facet loss weights (`c · θ_u^k`), one call
+/// accumulates a triplet's contribution to all `K` spherical facet
+/// gradients.
+pub fn axpy_rows(alpha: &[f32], x: &[f32], y: &mut [f32], dim: usize) {
+    let k = row_count(x, dim);
+    debug_assert_eq!(x.len(), y.len(), "axpy_rows: buffer mismatch");
+    debug_assert_eq!(alpha.len(), k, "axpy_rows: alpha has wrong length");
+    for (r, &a) in alpha.iter().enumerate() {
+        if a != 0.0 {
+            ops::axpy(a, row(x, dim, r), row_mut(y, dim, r));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_rows_matches_per_row_dot() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // rows [1,2,3] and [4,5,6] at dim 3
+        let b = [1.0, 0.0, -1.0, 2.0, 2.0, 2.0];
+        let mut out = [0.0; 2];
+        dot_rows(&a, &b, 3, &mut out);
+        assert_eq!(out, [-2.0, 30.0]);
+    }
+
+    #[test]
+    fn dist_sq_rows_matches_per_row() {
+        let a = [0.0, 0.0, 3.0, 4.0];
+        let b = [1.0, 1.0, 0.0, 0.0];
+        let mut out = [0.0; 2];
+        dist_sq_rows(&a, &b, 2, &mut out);
+        assert_eq!(out, [2.0, 25.0]);
+    }
+
+    #[test]
+    fn axpy_rows_uses_per_row_alpha() {
+        let x = [1.0, 1.0, 2.0, 2.0];
+        let mut y = [0.0, 0.0, 10.0, 10.0];
+        axpy_rows(&[2.0, -1.0], &x, &mut y, 2);
+        assert_eq!(y, [2.0, 2.0, 8.0, 8.0]);
+    }
+
+    #[test]
+    fn axpy_rows_skips_zero_alpha() {
+        let x = [f32::NAN, f32::NAN];
+        let mut y = [1.0, 1.0];
+        axpy_rows(&[0.0], &x, &mut y, 2);
+        assert_eq!(y, [1.0, 1.0]);
+    }
+
+    #[test]
+    fn row_accessors() {
+        let mut buf = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(row_count(&buf, 3), 2);
+        assert_eq!(row(&buf, 3, 1), &[3.0, 4.0, 5.0]);
+        row_mut(&mut buf, 3, 0)[0] = 9.0;
+        assert_eq!(buf[0], 9.0);
+    }
+}

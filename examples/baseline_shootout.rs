@@ -38,14 +38,39 @@ fn main() {
             let mut model = $model;
             model.fit(d);
             let report = ev.evaluate(&model, d);
-            println!("{:<8} HR@10 {:.4}  nDCG@10 {:.4}", $name, report.hr_at(10), report.ndcg_at(10));
+            println!(
+                "{:<8} HR@10 {:.4}  nDCG@10 {:.4}",
+                $name,
+                report.hr_at(10),
+                report.ndcg_at(10)
+            );
             results.push(($name, report));
         }};
     }
     bench!("BPR", Bpr::new(cfg.clone(), n, m));
     // Paper convention: NMF's factor count = number of metric spaces (4).
-    bench!("NMF", Nmf::new(BaselineConfig { dim: 4, ..cfg.clone() }, n, m));
-    bench!("NeuMF", NeuMf::new(BaselineConfig { lr: 0.02, ..cfg.clone() }, n, m));
+    bench!(
+        "NMF",
+        Nmf::new(
+            BaselineConfig {
+                dim: 4,
+                ..cfg.clone()
+            },
+            n,
+            m
+        )
+    );
+    bench!(
+        "NeuMF",
+        NeuMf::new(
+            BaselineConfig {
+                lr: 0.02,
+                ..cfg.clone()
+            },
+            n,
+            m
+        )
+    );
     bench!("CML", Cml::new(cfg.clone(), n, m));
     bench!("MetricF", MetricF::new(cfg.clone(), n, m));
     bench!("TransCF", TransCf::new(cfg.clone(), n, m));
@@ -55,12 +80,22 @@ fn main() {
     let mut mar = MarsConfig::mar(4, 32);
     mar.epochs = 15;
     let mar_report = ev.evaluate(&Trainer::new(mar).fit(d).model, d);
-    println!("{:<8} HR@10 {:.4}  nDCG@10 {:.4}", "MAR", mar_report.hr_at(10), mar_report.ndcg_at(10));
+    println!(
+        "{:<8} HR@10 {:.4}  nDCG@10 {:.4}",
+        "MAR",
+        mar_report.hr_at(10),
+        mar_report.ndcg_at(10)
+    );
 
     let mut mars = MarsConfig::mars(4, 32);
     mars.epochs = 15;
     let mars_report = ev.evaluate(&Trainer::new(mars).fit(d).model, d);
-    println!("{:<8} HR@10 {:.4}  nDCG@10 {:.4}", "MARS", mars_report.hr_at(10), mars_report.ndcg_at(10));
+    println!(
+        "{:<8} HR@10 {:.4}  nDCG@10 {:.4}",
+        "MARS",
+        mars_report.hr_at(10),
+        mars_report.ndcg_at(10)
+    );
 
     let best_base = results
         .iter()

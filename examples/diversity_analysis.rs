@@ -19,7 +19,6 @@ use mars_repro::data::profiles::{Profile, Scale};
 use mars_repro::metrics::beyond_accuracy::{
     catalogue_coverage, exposure_gini, intra_list_diversity,
 };
-use mars_repro::metrics::Scorer;
 use mars_repro::tensor::ops;
 
 fn main() {
@@ -74,7 +73,10 @@ fn main() {
     };
 
     let mean_div = |lists: &[Vec<u32>], dist: &mut dyn FnMut(u32, u32) -> f32| -> f32 {
-        let sum: f32 = lists.iter().map(|l| intra_list_diversity(l, &mut *dist)).sum();
+        let sum: f32 = lists
+            .iter()
+            .map(|l| intra_list_diversity(l, &mut *dist))
+            .sum();
         sum / lists.len().max(1) as f32
     };
 

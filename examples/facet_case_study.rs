@@ -46,7 +46,10 @@ fn main() {
         println!(
             "user {u} ({} interactions): θ = {:?}",
             d.train.user_degree(u),
-            p.theta.iter().map(|t| format!("{t:.2}")).collect::<Vec<_>>()
+            p.theta
+                .iter()
+                .map(|t| format!("{t:.2}"))
+                .collect::<Vec<_>>()
         );
         let cats: Vec<String> = p
             .category_counts

@@ -69,9 +69,15 @@ fn main() {
     scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     println!("\ntop-5 recommendations for user {user}:");
     for (v, s) in scored.iter().take(5) {
-        println!("  item {v:>4}  score {s:.4}  categories {:?}", d.item_categories[*v as usize]);
+        println!(
+            "  item {v:>4}  score {s:.4}  categories {:?}",
+            d.item_categories[*v as usize]
+        );
     }
 
     // 5. Peek at the learned facet weights — the user's preference profile.
-    println!("\nfacet weights θ_u of user {user}: {:?}", model.theta(user));
+    println!(
+        "\nfacet weights θ_u of user {user}: {:?}",
+        model.theta(user)
+    );
 }

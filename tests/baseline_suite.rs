@@ -38,7 +38,14 @@ fn all_baselines_train_and_rank_above_chance() {
     let mut models: Vec<Box<dyn ImplicitRecommender>> = vec![
         Box::new(Bpr::new(cfg.clone(), 70, 60)),
         Box::new(Nmf::new(cfg.clone(), 70, 60)),
-        Box::new(NeuMf::new(BaselineConfig { lr: 0.02, ..cfg.clone() }, 70, 60)),
+        Box::new(NeuMf::new(
+            BaselineConfig {
+                lr: 0.02,
+                ..cfg.clone()
+            },
+            70,
+            60,
+        )),
         Box::new(Cml::new(cfg.clone(), 70, 60)),
         Box::new(MetricF::new(cfg.clone(), 70, 60)),
         Box::new(TransCf::new(cfg.clone(), 70, 60)),
