@@ -49,6 +49,17 @@ impl Scorer for Cml {
     fn score(&self, user: UserId, item: ItemId) -> f32 {
         -ops::dist_sq(self.user.row(user as usize), self.item.row(item as usize))
     }
+
+    fn score_block(&self, user: UserId, items: &[ItemId], out: &mut Vec<f32>) {
+        crate::common::fused_score_block(
+            crate::common::BlockKernel::NegDistSq,
+            self.user.row(user as usize),
+            self.item.as_slice(),
+            self.cfg.dim,
+            items,
+            out,
+        );
+    }
 }
 
 impl TripletUpdate for Cml {
@@ -123,6 +134,29 @@ mod tests {
         let mut m = Cml::new(BaselineConfig::quick(8), data.num_users(), data.num_items());
         m.fit(&data);
         assert!(m.max_norm() <= 1.0 + 1e-5, "max norm {}", m.max_norm());
+    }
+
+    #[test]
+    fn score_block_is_bit_identical_to_score_many() {
+        let data = tiny_dataset();
+        let mut m = Cml::new(BaselineConfig::quick(8), data.num_users(), data.num_items());
+        m.fit(&data);
+        let items: Vec<u32> = (0..data.num_items() as u32).rev().collect();
+        let (mut many, mut block) = (Vec::new(), Vec::new());
+        for u in 0..data.num_users() as u32 {
+            m.score_many(u, &items, &mut many);
+            m.score_block(u, &items, &mut block);
+            assert_eq!(
+                many.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                block.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "user {u} diverged"
+            );
+            // The full Scorer contract: `score` must agree bitwise too (the
+            // sequential protocol scores positives through it).
+            for (idx, &v) in items.iter().enumerate() {
+                assert_eq!(m.score(u, v).to_bits(), block[idx].to_bits());
+            }
+        }
     }
 
     #[test]

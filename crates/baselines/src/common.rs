@@ -8,6 +8,7 @@ use mars_data::dataset::Dataset;
 use mars_data::sampler::{UniformNegativeSampler, UserSampler};
 use mars_metrics::Scorer;
 use mars_optim::{BatchMode, GradAccumulator};
+use mars_runtime::{shard_items, WorkerPool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -110,6 +111,11 @@ pub trait TripletUpdate: Scorer + Sync {
     /// Embedding dimension (update-row length).
     fn dim(&self) -> usize;
 
+    /// Called once at the start of every epoch, before any triplet of that
+    /// epoch is drawn. Models with epoch-scoped caches (TransCF's lazy
+    /// neighbourhood means) refresh them here; the default is a no-op.
+    fn begin_epoch(&mut self, _data: &Dataset) {}
+
     /// Writes the updates for `t` against the **current** parameters into
     /// `up` / `ui` / `uj` (user / positive / negative rows). Returns `false`
     /// when the example is inactive (e.g. hinge satisfied) and stages
@@ -138,9 +144,10 @@ fn row_key(kind: u64, row: usize) -> u64 {
 /// * **PerTriplet**: the reference path, one immediate apply per triplet;
 /// * **Batched**: updates accumulate per row over the batch against frozen
 ///   parameters and each touched row is applied once (first-touch order).
-///   With `threads > 1` each batch is sharded by user across a thread scope
-///   and shard accumulators merge in shard order, so training stays
-///   deterministic for a fixed seed and thread count.
+///   With `threads > 1` each batch is sharded by user across a persistent
+///   [`mars_runtime::WorkerPool`] (created once for the whole fit, no
+///   per-batch spawn/join) and shard accumulators merge in shard order, so
+///   training stays deterministic for a fixed seed and thread count.
 pub fn fit_triplets<M: TripletUpdate>(model: &mut M, data: &Dataset, cfg: &BaselineConfig) {
     let x = &data.train;
     if x.num_interactions() == 0 {
@@ -155,80 +162,137 @@ pub fn fit_triplets<M: TripletUpdate>(model: &mut M, data: &Dataset, cfg: &Basel
     let batches = batcher.batches_per_epoch(x);
     let lr = cfg.lr;
     let dim = model.dim();
-    let threads = mars_optim::resolve_threads(cfg.threads);
 
-    // Per-worker state: update scratch + accumulator (reused across batches).
-    type Worker = (Vec<f32>, Vec<f32>, Vec<f32>, GradAccumulator);
-    let mut workers: Vec<Worker> = (0..threads)
-        .map(|_| {
-            (
-                vec![0.0; dim],
-                vec![0.0; dim],
-                vec![0.0; dim],
-                GradAccumulator::new(dim),
-            )
-        })
-        .collect();
-    let mut shard_bufs: Vec<Vec<Triplet>> = (0..threads).map(|_| Vec::new()).collect();
-    let mut merged = GradAccumulator::new(dim);
-
-    for _ in 0..cfg.epochs {
-        for _ in 0..batches {
-            // The batcher's internal buffer is borrowed directly — no
-            // per-batch copy on the hot path.
-            match cfg.batch_mode {
-                BatchMode::PerTriplet => {
-                    let (up, ui, uj, _) = &mut workers[0];
-                    for &t in batcher.next_batch(x, &mut rng) {
-                        if model.triplet_update(t, up, ui, uj) {
-                            model.apply_user(t.user as usize, lr, up);
-                            model.apply_item(t.positive as usize, lr, ui);
-                            model.apply_item(t.negative as usize, lr, uj);
-                        }
-                    }
-                }
-                BatchMode::Batched => {
-                    if threads <= 1 {
-                        let (up, ui, uj, acc) = &mut workers[0];
-                        acc.clear();
-                        accumulate_shard(model, batcher.next_batch(x, &mut rng), up, ui, uj, acc);
-                        apply_accumulated(model, acc, lr);
-                    } else {
-                        for buf in &mut shard_bufs {
-                            buf.clear();
-                        }
-                        for &t in batcher.next_batch(x, &mut rng) {
-                            shard_bufs[t.user as usize % threads].push(t);
-                        }
-                        let frozen: &M = model;
-                        std::thread::scope(|scope| {
-                            let mut handles = Vec::with_capacity(threads - 1);
-                            let (head, tail) = workers.split_at_mut(1);
-                            for (i, w) in tail.iter_mut().enumerate() {
-                                let buf = &shard_bufs[i + 1];
-                                handles.push(scope.spawn(move || {
-                                    let (up, ui, uj, acc) = w;
-                                    acc.clear();
-                                    accumulate_shard(frozen, buf, up, ui, uj, acc);
-                                }));
-                            }
-                            let (up, ui, uj, acc) = &mut head[0];
-                            acc.clear();
-                            accumulate_shard(frozen, &shard_bufs[0], up, ui, uj, acc);
-                            for h in handles {
-                                h.join().expect("shard worker panicked");
-                            }
-                        });
-                        merged.clear();
-                        for (_, _, _, acc) in &workers {
-                            merged.merge_from(acc);
-                        }
-                        apply_accumulated(model, &mut merged, lr);
+    // The reference path never shards: no pool, no accumulators — just the
+    // three update rows (mirrors the trainer, which also gates its worker
+    // state on the batch mode).
+    if cfg.batch_mode == BatchMode::PerTriplet {
+        let (mut up, mut ui, mut uj) = (vec![0.0; dim], vec![0.0; dim], vec![0.0; dim]);
+        for _ in 0..cfg.epochs {
+            model.begin_epoch(data);
+            for _ in 0..batches {
+                // The batcher's internal buffer is borrowed directly — no
+                // per-batch copy on the hot path.
+                for &t in batcher.next_batch(x, &mut rng) {
+                    if model.triplet_update(t, &mut up, &mut ui, &mut uj) {
+                        model.apply_user(t.user as usize, lr, &up);
+                        model.apply_item(t.positive as usize, lr, &ui);
+                        model.apply_item(t.negative as usize, lr, &uj);
                     }
                 }
             }
         }
+        return;
     }
+
+    let pool = WorkerPool::with_threads(cfg.threads);
+    let threads = pool.workers();
+
+    // Per-worker state: triplet slice + update scratch + accumulator, all
+    // reused across batches.
+    struct Shard {
+        buf: Vec<Triplet>,
+        up: Vec<f32>,
+        ui: Vec<f32>,
+        uj: Vec<f32>,
+        acc: GradAccumulator,
+    }
+    let mut shards: Vec<Shard> = (0..threads)
+        .map(|_| Shard {
+            buf: Vec::new(),
+            up: vec![0.0; dim],
+            ui: vec![0.0; dim],
+            uj: vec![0.0; dim],
+            acc: GradAccumulator::new(dim),
+        })
+        .collect();
+    let mut merged = GradAccumulator::new(dim);
+
+    for _ in 0..cfg.epochs {
+        model.begin_epoch(data);
+        for _ in 0..batches {
+            if threads <= 1 {
+                let Shard {
+                    up, ui, uj, acc, ..
+                } = &mut shards[0];
+                acc.clear();
+                accumulate_shard(model, batcher.next_batch(x, &mut rng), up, ui, uj, acc);
+                apply_accumulated(model, acc, lr);
+            } else {
+                shard_items(
+                    batcher.next_batch(x, &mut rng),
+                    shards.iter_mut().map(|s| &mut s.buf),
+                    |t| t.user as usize,
+                );
+                let frozen: &M = model;
+                pool.scatter(&mut shards, |_, sh| {
+                    sh.acc.clear();
+                    accumulate_shard(
+                        frozen,
+                        &sh.buf,
+                        &mut sh.up,
+                        &mut sh.ui,
+                        &mut sh.uj,
+                        &mut sh.acc,
+                    );
+                });
+                // Deterministic merge: fixed shard order.
+                merged.clear();
+                for sh in &shards {
+                    merged.merge_from(&sh.acc);
+                }
+                apply_accumulated(model, &mut merged, lr);
+            }
+        }
+    }
+}
+
+/// Runs `f` with a thread-local scratch buffer — the gather block
+/// [`fused_score_block`] reuses across calls, so the batched evaluator's
+/// hot path stays allocation-free per pair (evaluation worker threads are
+/// persistent, so the buffers amortize across the whole run).
+fn with_block_scratch<R>(f: impl FnOnce(&mut Vec<f32>) -> R) -> R {
+    thread_local! {
+        static BLOCK: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
+    }
+    BLOCK.with(|b| f(&mut b.borrow_mut()))
+}
+
+/// Row kernel a [`fused_score_block`] call scores with.
+pub(crate) enum BlockKernel {
+    /// `user · item` (inner-product models: BPR).
+    Dot,
+    /// `−‖user − item‖²` (metric models: CML, SML).
+    NegDistSq,
+}
+
+/// The shared batched-scoring path behind the baselines' `score_block`
+/// overrides: gather the candidate rows into a reusable thread-local block,
+/// then one fused one-vs-rows kernel pass. Bit-identical to the per-item
+/// `score` loop — the kernels call the same `ops` primitives on the same
+/// values, and negation of identical values is identical.
+pub(crate) fn fused_score_block(
+    kernel: BlockKernel,
+    user_row: &[f32],
+    item_table: &[f32],
+    dim: usize,
+    items: &[mars_data::ItemId],
+    out: &mut Vec<f32>,
+) {
+    with_block_scratch(|block| {
+        mars_tensor::rows::gather_rows(item_table, dim, items.iter().map(|&v| v as usize), block);
+        out.clear();
+        out.resize(items.len(), 0.0);
+        match kernel {
+            BlockKernel::Dot => mars_tensor::rows::dot_one_rows(user_row, block, out),
+            BlockKernel::NegDistSq => {
+                mars_tensor::rows::dist_sq_one_rows(user_row, block, out);
+                for s in out.iter_mut() {
+                    *s = -*s;
+                }
+            }
+        }
+    });
 }
 
 fn accumulate_shard<M: TripletUpdate>(
@@ -288,7 +352,10 @@ pub mod tests_support {
     /// Asserts that training strictly improves test HR@10 over the
     /// untrained initialization — the basic sanity check every model must
     /// pass.
-    pub fn improves_over_untrained<M: ImplicitRecommender>(make: impl Fn() -> M, data: &Dataset) {
+    pub fn improves_over_untrained<M: ImplicitRecommender + Sync>(
+        make: impl Fn() -> M,
+        data: &Dataset,
+    ) {
         let ev = RankingEvaluator::paper();
         let untrained = make();
         let before = ev.evaluate(&untrained, data).hr_at(10);

@@ -18,12 +18,17 @@
 //! neighbourhood" approximation that keeps an epoch `O(nnz·d)`; gradients
 //! flow to `u`, `i`, `j` directly and to the neighbourhood *sources*
 //! through the elementwise product.
+//!
+//! Runs on the shared batch/accumulate triplet engine
+//! (`common::fit_triplets`) like BPR and CML: the per-epoch neighbourhood
+//! refresh plugs into [`TripletUpdate::begin_epoch`], and within an epoch
+//! the caches are frozen, so the per-triplet updates factor cleanly into
+//! the engine's frozen-parameter accumulate phase.
 
-use crate::common::{BaselineConfig, ImplicitRecommender};
+use crate::common::{fit_triplets, BaselineConfig, ImplicitRecommender, TripletUpdate};
 use mars_core::embedding::EmbeddingTable;
-use mars_data::batch::TripletBatcher;
+use mars_data::batch::Triplet;
 use mars_data::dataset::Dataset;
-use mars_data::sampler::{UniformNegativeSampler, UserSampler};
 use mars_data::{ItemId, UserId};
 use mars_metrics::Scorer;
 use mars_tensor::ops;
@@ -105,34 +110,57 @@ impl TransCf {
         }
         s
     }
+}
 
-    /// Hinge step on a triplet: descend `[m + d(u,i)² − d(u,j)²]₊`.
-    fn step_triplet(&mut self, u: usize, i: usize, j: usize) {
+impl TripletUpdate for TransCf {
+    fn dim(&self) -> usize {
+        self.cfg.dim
+    }
+
+    fn begin_epoch(&mut self, data: &Dataset) {
+        // Lazy-neighbourhood approximation: caches are rebuilt once per
+        // epoch and frozen within it.
+        self.refresh_neighbourhoods(data);
+    }
+
+    fn triplet_update(&self, t: Triplet, up: &mut [f32], ui: &mut [f32], uj: &mut [f32]) -> bool {
+        let u = t.user as usize;
+        let i = t.positive as usize;
+        let j = t.negative as usize;
         let d_pos = self.translated_dist_sq(u, i);
         let d_neg = self.translated_dist_sq(u, j);
         if self.cfg.margin + d_pos - d_neg <= 0.0 {
-            return;
+            return false; // hinge inactive
         }
-        let lr = self.cfg.lr;
-        let dim = self.cfg.dim;
-        for d in 0..dim {
-            let uu = self.user.row(u)[d];
-            let ii = self.item.row(i)[d];
-            let jj = self.item.row(j)[d];
-            let nu = self.user_nbr.row(u)[d];
-            let ni = self.item_nbr.row(i)[d];
-            let nj = self.item_nbr.row(j)[d];
+        let uu = self.user.row(u);
+        let ii = self.item.row(i);
+        let jj = self.item.row(j);
+        let nu = self.user_nbr.row(u);
+        let ni = self.item_nbr.row(i);
+        let nj = self.item_nbr.row(j);
+        for d in 0..self.cfg.dim {
             // diff_p = u + nu·ni − i ; diff_n = u + nu·nj − j
-            let diff_p = uu + nu * ni - ii;
-            let diff_n = uu + nu * nj - jj;
-            // ∂/∂u (d_pos² − d_neg²) = 2(diff_p − diff_n)
-            self.user.row_mut(u)[d] -= lr * 2.0 * (diff_p - diff_n);
-            self.item.row_mut(i)[d] -= lr * 2.0 * (-diff_p);
-            self.item.row_mut(j)[d] -= lr * 2.0 * diff_n;
+            let diff_p = uu[d] + nu[d] * ni[d] - ii[d];
+            let diff_n = uu[d] + nu[d] * nj[d] - jj[d];
+            // Ascent updates (−gradient of the hinge), applied as
+            // `row += lr · upd`: ∂/∂u (d_pos² − d_neg²) = 2(diff_p − diff_n).
+            up[d] = -2.0 * (diff_p - diff_n);
+            ui[d] = 2.0 * diff_p;
+            uj[d] = -2.0 * diff_n;
         }
-        ops::clip_to_unit_ball(self.user.row_mut(u));
-        ops::clip_to_unit_ball(self.item.row_mut(i));
-        ops::clip_to_unit_ball(self.item.row_mut(j));
+        true
+    }
+
+    fn apply_user(&mut self, u: usize, lr: f32, upd: &[f32]) {
+        let row = self.user.row_mut(u);
+        ops::axpy(lr, upd, row);
+        ops::clip_to_unit_ball(row);
+    }
+
+    fn apply_item(&mut self, v: usize, lr: f32, upd: &[f32]) {
+        let row = self.item.row_mut(v);
+        ops::axpy(lr, upd, row);
+        ops::clip_to_unit_ball(row);
     }
 }
 
@@ -144,29 +172,10 @@ impl Scorer for TransCf {
 
 impl ImplicitRecommender for TransCf {
     fn fit(&mut self, data: &Dataset) {
-        let x = &data.train;
-        if x.num_interactions() == 0 {
-            self.refresh_neighbourhoods(data);
-            return;
-        }
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(1));
-        let mut batcher = TripletBatcher::new(
-            UserSampler::uniform(x),
-            UniformNegativeSampler,
-            self.cfg.batch_size,
-        );
-        let batches = batcher.batches_per_epoch(x);
-        for _ in 0..self.cfg.epochs {
-            self.refresh_neighbourhoods(data);
-            for _ in 0..batches {
-                let batch: Vec<_> = batcher.next_batch(x, &mut rng).to_vec();
-                for t in batch {
-                    self.step_triplet(t.user as usize, t.positive as usize, t.negative as usize);
-                }
-            }
-        }
+        let cfg = self.cfg.clone();
+        fit_triplets(self, data, &cfg);
         // Final refresh so scoring uses neighbourhoods consistent with the
-        // final embeddings.
+        // final embeddings (also covers the empty-train early return).
         self.refresh_neighbourhoods(data);
     }
 
@@ -178,7 +187,7 @@ impl ImplicitRecommender for TransCf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::common::tests_support::{improves_over_untrained, tiny_dataset};
+    use crate::common::tests_support::{self, improves_over_untrained, tiny_dataset};
 
     #[test]
     fn training_improves_ranking() {
@@ -236,5 +245,41 @@ mod tests {
         m.fit(&data);
         assert!(m.user.max_row_norm() <= 1.0 + 1e-5);
         assert!(m.item.max_row_norm() <= 1.0 + 1e-5);
+    }
+
+    #[test]
+    fn both_engine_modes_learn_and_are_deterministic() {
+        // TransCF rides the shared triplet engine: the reference per-triplet
+        // path and the batched path must both train a working model, and
+        // each must reproduce exactly for a fixed seed and thread count.
+        use mars_optim::BatchMode;
+        let data = tiny_dataset();
+        for (mode, threads) in [
+            (BatchMode::PerTriplet, 1usize),
+            (BatchMode::Batched, 1),
+            (BatchMode::Batched, 3),
+        ] {
+            let cfg = BaselineConfig {
+                batch_mode: mode,
+                threads,
+                ..BaselineConfig::quick(16)
+            };
+            tests_support::improves_over_untrained(
+                || TransCf::new(cfg.clone(), data.num_users(), data.num_items()),
+                &data,
+            );
+            let run = || {
+                let mut m = TransCf::new(cfg.clone(), data.num_users(), data.num_items());
+                m.fit(&data);
+                (0..data.num_users() as u32)
+                    .map(|u| m.score(u, 0))
+                    .collect::<Vec<f32>>()
+            };
+            assert_eq!(
+                run(),
+                run(),
+                "mode {mode:?} threads {threads} not deterministic"
+            );
+        }
     }
 }

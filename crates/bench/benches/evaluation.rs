@@ -1,0 +1,168 @@
+//! Evaluation-throughput bench: the seed's sequential one-pair-at-a-time
+//! ranking protocol vs the batched engine (pre-drawn negatives + fused
+//! `score_block`) vs batched + worker-pool parallelism, on a trained MARS
+//! model.
+//!
+//! Run with `cargo bench --bench evaluation`. Results are printed as a
+//! table and written to `BENCH_eval.json` at the workspace root (same shape
+//! as `BENCH_training.json`) so the speedup is recorded alongside the code
+//! that produced it.
+//!
+//! All three variants are asserted to produce the *same* `Report` — the
+//! batched engine's bit-identity guarantee — so the numbers compare equal
+//! work, not approximations.
+
+use mars_core::{MarsConfig, Trainer};
+use mars_data::{SyntheticConfig, SyntheticDataset};
+use mars_metrics::{EvalConfig, RankingEvaluator, Report};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn main() {
+    // Catalogue sized so evaluation — not training — dominates: thousands
+    // of leave-one-out cases, each ranking the held-out item against 100
+    // sampled negatives (the paper's §V-A2 protocol).
+    let data = SyntheticDataset::generate(
+        "bench-evaluation",
+        &SyntheticConfig {
+            num_users: 6_000,
+            num_items: 1_500,
+            num_interactions: 60_000,
+            num_categories: 4,
+            seed: 11,
+            ..Default::default()
+        },
+    );
+
+    let mut cfg = MarsConfig::mars(4, 32);
+    cfg.epochs = 1;
+    cfg.batch_size = 1024;
+    cfg.seed = 11;
+    let model = Trainer::new(cfg).fit(&data.dataset).model;
+    let pairs = data.dataset.test.len();
+    let threads_detected = mars_runtime::resolve_threads(0);
+
+    let eval_cfg = |threads: usize| EvalConfig {
+        num_negatives: 100,
+        cutoffs: vec![10, 20],
+        seed: 2021,
+        threads,
+    };
+
+    struct Measurement {
+        name: &'static str,
+        threads: usize,
+        seconds: f64,
+        pairs_per_sec: f64,
+        report: Report,
+    }
+
+    type Variant<'a> = (&'static str, usize, Box<dyn Fn() -> Report + 'a>);
+    let variants: Vec<Variant<'_>> = vec![
+        (
+            "sequential",
+            1,
+            Box::new(|| {
+                RankingEvaluator::new(eval_cfg(1)).evaluate_pairs_sequential(
+                    &model,
+                    &data.dataset,
+                    &data.dataset.test,
+                )
+            }),
+        ),
+        (
+            "batched",
+            1,
+            Box::new(|| RankingEvaluator::new(eval_cfg(1)).evaluate(&model, &data.dataset)),
+        ),
+        (
+            "batched_parallel",
+            threads_detected,
+            Box::new(|| RankingEvaluator::new(eval_cfg(0)).evaluate(&model, &data.dataset)),
+        ),
+    ];
+
+    let mut results: Vec<Measurement> = Vec::new();
+    for (name, threads, run) in &variants {
+        // Warm-up, then best-of-three measured runs.
+        let report = run();
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t = Instant::now();
+            let r = run();
+            best = best.min(t.elapsed().as_secs_f64());
+            assert_eq!(r, report, "{name}: evaluation must be reproducible");
+        }
+        let m = Measurement {
+            name,
+            threads: *threads,
+            seconds: best,
+            pairs_per_sec: report.cases as f64 / best,
+            report,
+        };
+        println!(
+            "{:<18} threads={:<2} {:>8.3}s  {:>10.0} pairs/s  (HR@10 {:.4}, {} cases)",
+            m.name,
+            m.threads,
+            m.seconds,
+            m.pairs_per_sec,
+            m.report.hr_at(10),
+            m.report.cases
+        );
+        results.push(m);
+    }
+
+    // The engines must agree exactly — the bench compares identical work.
+    for m in &results[1..] {
+        assert_eq!(
+            m.report, results[0].report,
+            "{}: batched engine diverged from the sequential protocol",
+            m.name
+        );
+    }
+
+    let baseline = results[0].seconds;
+    let mut json = String::from("{\n  \"bench\": \"evaluation_throughput\",\n");
+    let _ = writeln!(
+        json,
+        "  \"dataset\": {{\"users\": 6000, \"items\": 1500, \"test_pairs\": {pairs}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"model\": \"MARS\", \"facets\": 4, \"dim\": 32, \"num_negatives\": 100, \"cutoffs\": [10, 20]}},"
+    );
+    let _ = writeln!(json, "  \"threads_detected\": {threads_detected},");
+    json.push_str("  \"variants\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        // Be honest when the "parallel" variant could not actually fan out:
+        // on a 1-core machine it degenerates to the serial batched engine.
+        let note = if m.name == "batched_parallel" && m.threads <= 1 {
+            ", \"note\": \"only 1 core available; parallel path degenerated to serial batched\""
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"threads\": {}, \"seconds\": {:.4}, \"pairs_per_sec\": {:.0}, \"speedup_vs_sequential\": {:.2}{}}}{}",
+            m.name,
+            m.threads,
+            m.seconds,
+            m.pairs_per_sec,
+            baseline / m.seconds,
+            note,
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json");
+    std::fs::write(path, &json).expect("write BENCH_eval.json");
+    println!("\nwrote {path}");
+    for m in &results[1..] {
+        println!(
+            "speedup {} vs sequential: {:.2}x",
+            m.name,
+            baseline / m.seconds
+        );
+    }
+}

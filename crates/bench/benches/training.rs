@@ -117,6 +117,14 @@ fn main() {
         "  \"config\": {{\"model\": \"MARS\", \"facets\": 4, \"dim\": 32, \"epochs\": {}, \"batch_size\": {}}},",
         base.epochs, base.batch_size
     );
+    // Cores actually detected on the bench machine, so the per-variant
+    // thread counts below can be read in context (the `*_parallel` variant
+    // uses exactly this many workers).
+    let _ = writeln!(
+        json,
+        "  \"threads_detected\": {},",
+        mars_optim::resolve_threads(0)
+    );
     json.push_str("  \"variants\": [\n");
     for (i, m) in results.iter().enumerate() {
         // Be honest when the "parallel" variant could not actually shard:

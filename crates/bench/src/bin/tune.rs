@@ -37,6 +37,10 @@ fn main() {
         num_negatives: 100,
         cutoffs: vec![10],
         seed: 777,
+        // The sweep re-evaluates the small dev split once per config; keep
+        // it serial rather than spinning a worker pool per call (the
+        // trainer's own dev eval makes the same choice).
+        threads: 1,
     });
     let test_eval = RankingEvaluator::paper();
 

@@ -171,7 +171,9 @@ pub fn train_multifacet(cfg: MarsConfig, data: &Dataset) -> mars_core::MultiFace
 }
 
 /// Evaluates any scorer with the paper protocol (exposed for benches).
-pub fn evaluate<S: Scorer>(model: &S, data: &Dataset) -> Report {
+/// `Sync` because the batched evaluator may fan users out across the
+/// worker pool.
+pub fn evaluate<S: Scorer + Sync>(model: &S, data: &Dataset) -> Report {
     RankingEvaluator::paper().evaluate(model, data)
 }
 

@@ -174,6 +174,17 @@ impl FacetTable {
         &mut self.data[start..start + self.dim]
     }
 
+    /// All `K` facet embeddings of entity `r` as one contiguous
+    /// `facets × dim` row block — zero-copy input for the
+    /// `mars-tensor::rows` kernels (batched scoring borrows item blocks
+    /// straight from the table).
+    #[inline]
+    pub fn entity(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        let per = self.facets * self.dim;
+        &self.data[r * per..(r + 1) * per]
+    }
+
     /// Flat buffer.
     #[inline]
     pub fn as_slice(&self) -> &[f32] {

@@ -574,6 +574,72 @@ impl Scorer for MultiFacetModel {
             out.push(sum);
         }
     }
+
+    fn score_block(&self, user: UserId, items: &[ItemId], out: &mut Vec<f32>) {
+        // Batched-evaluation hot path. In the direct parameterization both
+        // facet tables store each entity's K facets contiguously, so every
+        // candidate's whole facet set is scored by one fused
+        // `kernels::similarities` call (mars-tensor::rows dot/dist kernels)
+        // on *borrowed* blocks — no per-facet gather copies. Bit-identical
+        // to `score_many` by the kernels' bitwise-agreement guarantee and
+        // the identical facet-order reduction.
+        match &self.params {
+            Params::Direct {
+                user_facets,
+                item_facets,
+            } => {
+                let k = self.cfg.facets;
+                let d = self.cfg.dim;
+                let theta = self.theta(user);
+                let ub = user_facets.entity(user as usize);
+                let mut sims = vec![0.0; k];
+                out.clear();
+                out.reserve(items.len());
+                match self.cfg.geometry {
+                    Geometry::Spherical => {
+                        // `ops::cosine` recomputes ‖u^k‖ per candidate;
+                        // across a 101-candidate block the user-side norms
+                        // are loop-invariant, so hoist them. Same ops on
+                        // the same inputs (norm, dot, the zero guard, the
+                        // clamp) ⇒ the per-facet values stay bit-identical
+                        // to `facet_similarity`.
+                        let mut na = vec![0.0; k];
+                        for (f, n) in na.iter_mut().enumerate() {
+                            *n = ops::norm(rows::row(ub, d, f));
+                        }
+                        for &v in items {
+                            let vb = item_facets.entity(v as usize);
+                            rows::dot_rows(ub, vb, d, &mut sims);
+                            let mut sum = 0.0;
+                            for f in 0..k {
+                                let nb = ops::norm(rows::row(vb, d, f));
+                                let sim = if na[f] <= f32::MIN_POSITIVE || nb <= f32::MIN_POSITIVE {
+                                    0.0
+                                } else {
+                                    (sims[f] / (na[f] * nb)).clamp(-1.0, 1.0)
+                                };
+                                sum += theta[f] * sim;
+                            }
+                            out.push(sum);
+                        }
+                    }
+                    Geometry::Euclidean => {
+                        for &v in items {
+                            rows::dist_sq_rows(ub, item_facets.entity(v as usize), d, &mut sims);
+                            let mut sum = 0.0;
+                            for f in 0..k {
+                                sum += theta[f] * -sims[f];
+                            }
+                            out.push(sum);
+                        }
+                    }
+                }
+            }
+            // Factored mode projects facets on the fly; the shared-user-work
+            // path is already the best available order of operations.
+            Params::Factored { .. } => self.score_many(user, items, out),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -677,6 +743,37 @@ mod tests {
                     "item {v}: batch {} vs single {single}",
                     batch[i]
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn score_block_is_bit_identical_to_score_many() {
+        // The batched evaluator's exactness rests on this: the fused
+        // direct-mode block path and the per-facet score_many path must
+        // agree to the last bit, for both geometries (plus the factored
+        // fallback, trivially).
+        let mut direct_euclidean = MarsConfig::mar(3, 6);
+        direct_euclidean.seed = 9;
+        for m in [
+            mar_model(),
+            mars_model(),
+            MultiFacetModel::new(direct_euclidean, 4, 8),
+        ] {
+            let items: Vec<ItemId> = (0..8).rev().collect();
+            let mut many = Vec::new();
+            let mut block = Vec::new();
+            for u in 0..4 {
+                m.score_many(u, &items, &mut many);
+                m.score_block(u, &items, &mut block);
+                let many_bits: Vec<u32> = many.iter().map(|v| v.to_bits()).collect();
+                let block_bits: Vec<u32> = block.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(many_bits, block_bits, "user {u} diverged");
+                // The full Scorer contract: `score` must agree bitwise too
+                // (the sequential protocol scores positives through it).
+                for (idx, &v) in items.iter().enumerate() {
+                    assert_eq!(m.score(u, v).to_bits(), block_bits[idx], "item {v}");
+                }
             }
         }
     }

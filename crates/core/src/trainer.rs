@@ -14,10 +14,12 @@
 //!   of [`MarsConfig::batch_size`]; gradients accumulate against frozen
 //!   parameters and each touched row takes one step per batch
 //!   ([`MultiFacetModel::train_batch`]). With [`MarsConfig::threads`] > 1
-//!   each batch is sharded **by user** across a `std::thread::scope`, the
-//!   per-shard accumulators are merged in shard order, and the merged batch
-//!   is applied once — so runs are reproducible for a fixed seed, batch
-//!   size and thread count.
+//!   each batch is sharded **by user** across a persistent
+//!   [`mars_runtime::WorkerPool`] living for the whole `fit()` (no per-batch
+//!   spawn/join), the per-shard accumulators are merged in shard order, and
+//!   the merged batch is applied once — so runs are reproducible for a
+//!   fixed seed, batch size and thread count (see the determinism contract
+//!   in the `mars-runtime` module docs).
 //!
 //! Triplet *sampling* is identical in both modes (one serial RNG stream), so
 //! switching engines changes update scheduling, never the data order.
@@ -36,6 +38,7 @@ use mars_data::sampler::{
 };
 use mars_metrics::{EvalConfig, RankingEvaluator};
 use mars_optim::LrSchedule;
+use mars_runtime::WorkerPool;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -154,6 +157,10 @@ impl Trainer {
             num_negatives: 100,
             cutoffs: vec![10],
             seed: 777,
+            // Dev eval runs between epochs while the trainer's own pool is
+            // idle, but the splits are small — keep it serial rather than
+            // spinning a second pool per epoch.
+            threads: 1,
         });
 
         // Worker state is only needed by the batched engine; the per-triplet
@@ -265,34 +272,44 @@ impl ClipCadence {
     }
 }
 
-/// Per-shard worker state for the data-parallel batch path.
+/// One worker's state for the data-parallel batch path: its triplet slice
+/// (refilled per batch) plus scratch and accumulator (reused across
+/// batches).
+struct Shard {
+    buf: Vec<(Triplet, f32)>,
+    scratch: Scratch,
+    acc: BatchAccum,
+}
+
+/// Per-shard worker state + the persistent pool for the data-parallel batch
+/// path. Created once per `fit()`; every mini-batch reuses the same worker
+/// threads (`mars-runtime` replaces PR 1's per-batch `thread::scope`).
 struct Shards {
-    /// Shard count (= effective thread count).
-    n: usize,
-    /// Triplet slices, refilled per batch.
-    bufs: Vec<Vec<(Triplet, f32)>>,
-    /// One (scratch, accumulator) pair per worker, reused across batches.
-    state: Vec<(Scratch, BatchAccum)>,
+    pool: WorkerPool,
+    shards: Vec<Shard>,
     /// Merge target.
     merged: BatchAccum,
 }
 
 impl Shards {
     fn new(cfg: &MarsConfig, threads: usize) -> Self {
-        let n = threads.max(1);
+        let pool = WorkerPool::new(threads);
         Self {
-            n,
-            bufs: (0..n).map(|_| Vec::new()).collect(),
-            state: (0..n)
-                .map(|_| (Scratch::new(cfg.facets, cfg.dim), BatchAccum::new(cfg)))
+            shards: (0..pool.workers())
+                .map(|_| Shard {
+                    buf: Vec::new(),
+                    scratch: Scratch::new(cfg.facets, cfg.dim),
+                    acc: BatchAccum::new(cfg),
+                })
                 .collect(),
+            pool,
             merged: BatchAccum::new(cfg),
         }
     }
 }
 
 /// Executes one mini-batch: single-threaded fast path, or shard-by-user →
-/// parallel accumulate → ordered merge → single apply.
+/// scatter over the persistent pool → ordered merge → single apply.
 fn run_batch(
     model: &mut MultiFacetModel,
     batch: &[(Triplet, f32)],
@@ -301,47 +318,33 @@ fn run_batch(
     shards: &mut Shards,
     sums: &mut BatchLoss,
 ) {
-    if shards.n <= 1 {
-        let (s0, acc0) = &mut shards.state[0];
-        let bl = model.train_batch(batch, lr, s0, acc0);
+    let n = shards.shards.len();
+    if n <= 1 {
+        let sh = &mut shards.shards[0];
+        let bl = model.train_batch(batch, lr, &mut sh.scratch, &mut sh.acc);
         sums.merge(&bl);
         return;
     }
 
-    for buf in &mut shards.bufs {
-        buf.clear();
-    }
-    for &(t, gamma) in batch {
-        shards.bufs[t.user as usize % shards.n].push((t, gamma));
-    }
+    // Value-based sharding (user id, not worker availability) keeps runs
+    // reproducible; see the mars-runtime determinism contract.
+    mars_runtime::shard_items(
+        batch,
+        shards.shards.iter_mut().map(|s| &mut s.buf),
+        |(t, _)| t.user as usize,
+    );
 
-    let mut losses = vec![BatchLoss::default(); shards.n];
-    {
-        let frozen: &MultiFacetModel = model;
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(shards.n - 1);
-            let (head, tail) = shards.state.split_at_mut(1);
-            for (i, state) in tail.iter_mut().enumerate() {
-                let buf = &shards.bufs[i + 1];
-                handles.push(scope.spawn(move || {
-                    state.1.begin_batch();
-                    frozen.accumulate_batch(buf, &mut state.0, &mut state.1)
-                }));
-            }
-            let (s0, acc0) = &mut head[0];
-            acc0.begin_batch();
-            losses[0] = frozen.accumulate_batch(&shards.bufs[0], s0, acc0);
-            for (i, h) in handles.into_iter().enumerate() {
-                losses[i + 1] = h.join().expect("shard worker panicked");
-            }
-        });
-    }
+    let frozen: &MultiFacetModel = model;
+    let losses = shards.pool.scatter(&mut shards.shards, |_, sh| {
+        sh.acc.begin_batch();
+        frozen.accumulate_batch(&sh.buf, &mut sh.scratch, &mut sh.acc)
+    });
 
     // Deterministic merge: fixed shard order.
     shards.merged.begin_batch();
-    for (i, (_, acc)) in shards.state.iter().enumerate() {
-        shards.merged.merge_from(acc);
-        sums.merge(&losses[i]);
+    for (sh, loss) in shards.shards.iter().zip(&losses) {
+        shards.merged.merge_from(&sh.acc);
+        sums.merge(loss);
     }
     let facet = model.finish_batch(&mut shards.merged, lr, scratch);
     sums.facet += facet;

@@ -20,6 +20,17 @@ use mars_data::{ItemId, UserId};
 ///
 /// Implementations must be deterministic during evaluation (train first,
 /// then score).
+///
+/// **Bitwise-agreement contract:** all three scoring entry points must
+/// produce bit-identical values for the same `(user, item)` — `score`,
+/// `score_many`, and `score_block` may reorganize the computation (hoist
+/// loop-invariant work, fuse kernels) but not its float semantics. The
+/// batched evaluation engine is asserted bit-identical to the sequential
+/// protocol, and the two paths mix entry points freely (sequential scores
+/// the held-out item via `score` and the negatives via `score_many`;
+/// batched scores the whole candidate block via `score_block`), so a model
+/// whose entry points disagree in even the last bit can flip a rank on a
+/// near-tie and silently break that guarantee.
 pub trait Scorer {
     /// Preference score of `user` for `item`.
     fn score(&self, user: UserId, item: ItemId) -> f32;
@@ -30,5 +41,20 @@ pub trait Scorer {
     fn score_many(&self, user: UserId, items: &[ItemId], out: &mut Vec<f32>) {
         out.clear();
         out.extend(items.iter().map(|&v| self.score(user, v)));
+    }
+
+    /// Scores one user against a whole candidate *block* — the batched
+    /// evaluator's hot path (one call per 101-candidate leave-one-out
+    /// case). The default delegates to [`Scorer::score_many`]; models whose
+    /// parameters admit fused row kernels (MARS over contiguous facet
+    /// blocks, the metric baselines over `mars-tensor::rows`) override this
+    /// with a gather-free / fused implementation.
+    ///
+    /// **Contract:** must be bit-identical to [`Scorer::score_many`] on the
+    /// same inputs — the evaluator's batched path is asserted to reproduce
+    /// the sequential protocol exactly, which holds only if the two scoring
+    /// entry points agree bitwise.
+    fn score_block(&self, user: UserId, items: &[ItemId], out: &mut Vec<f32>) {
+        self.score_many(user, items, out)
     }
 }

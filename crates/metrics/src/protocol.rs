@@ -6,13 +6,28 @@
 //! drawn from a per-evaluation seed so every model in a comparison ranks
 //! against the *same* candidates — without that, small models differences
 //! drown in sampling noise.
+//!
+//! ## Execution engines
+//!
+//! [`RankingEvaluator::evaluate_pairs`] runs the **batched** engine: all
+//! negative candidate sets are pre-drawn up front (one serial RNG pass in
+//! pair order — the exact draw sequence of the sequential protocol), each
+//! user's full candidate block is scored in one [`Scorer::score_block`]
+//! call, and pairs fan out across a `mars-runtime` worker pool. Each pair's
+//! outcome is recorded into its own positional slot and the metric sums are
+//! reduced serially in pair order, so the batched engine — serial *or*
+//! parallel — is **bit-identical** to the sequential reference
+//! ([`RankingEvaluator::evaluate_pairs_sequential`], the seed's one-pair-at-
+//! a-time walk, kept for A/B checks and the evaluation benchmark).
 
 use crate::ranking::{auc_from_rank, hit_ratio_at, mrr_from_rank, ndcg_at, rank_of_positive};
 use crate::Scorer;
 use mars_data::dataset::{Dataset, HeldOut};
-use mars_data::ItemId;
+use mars_data::{ItemId, UserId};
+use mars_runtime::{chunk_ranges, WorkerPool};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
 
 /// Evaluation configuration.
 #[derive(Clone, Debug)]
@@ -23,6 +38,9 @@ pub struct EvalConfig {
     pub cutoffs: Vec<usize>,
     /// Seed for negative sampling — shared across models in a comparison.
     pub seed: u64,
+    /// Worker threads for the batched evaluator: `0` = all cores, `1` =
+    /// serial. Results are bit-identical at every thread count.
+    pub threads: usize,
 }
 
 impl Default for EvalConfig {
@@ -31,12 +49,13 @@ impl Default for EvalConfig {
             num_negatives: 100,
             cutoffs: vec![10, 20],
             seed: 2021,
+            threads: 0,
         }
     }
 }
 
 /// Aggregated evaluation results.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Report {
     /// `(cutoff, mean HR@cutoff)` in the order of [`EvalConfig::cutoffs`].
     pub hr: Vec<(usize, f32)>,
@@ -70,6 +89,33 @@ impl Report {
     }
 }
 
+/// All pre-drawn negative candidate sets of an evaluation, flat. Pair `i`'s
+/// candidates are `items[offsets[i]..offsets[i + 1]]`.
+struct DrawnNegatives {
+    items: Vec<ItemId>,
+    offsets: Vec<usize>,
+}
+
+impl DrawnNegatives {
+    #[inline]
+    fn get(&self, i: usize) -> &[ItemId] {
+        &self.items[self.offsets[i]..self.offsets[i + 1]]
+    }
+}
+
+/// The per-pair outcome the parallel workers record: `(rank, negatives)`;
+/// `None` when the pair was skipped (user interacted with the whole
+/// catalogue). All metrics are pure functions of this record, so the
+/// reduction can run serially in pair order after the parallel phase.
+type PairOutcome = Option<(usize, usize)>;
+
+/// One worker's slice of the evaluation: which pair indices it owns and the
+/// outcomes it produced (positionally aligned with that range).
+struct EvalShard {
+    range: std::ops::Range<usize>,
+    out: Vec<PairOutcome>,
+}
+
 /// Runs the sampled-negatives leave-one-out protocol.
 pub struct RankingEvaluator {
     config: EvalConfig,
@@ -85,37 +131,96 @@ impl RankingEvaluator {
 
     /// Paper defaults: 100 negatives, cutoffs {10, 20}, seed 2021.
     pub fn paper() -> Self {
-        Self::new(EvalConfig {
-            num_negatives: 100,
-            cutoffs: vec![10, 20],
-            seed: 2021,
-        })
+        Self::new(EvalConfig::default())
     }
 
     /// Evaluates `model` on the dataset's test pairs.
-    pub fn evaluate<S: Scorer + ?Sized>(&self, model: &S, data: &Dataset) -> Report {
+    pub fn evaluate<S: Scorer + Sync + ?Sized>(&self, model: &S, data: &Dataset) -> Report {
         self.evaluate_pairs(model, data, &data.test)
     }
 
     /// Evaluates on the dev pairs (for tuning / early stopping).
-    pub fn evaluate_dev<S: Scorer + ?Sized>(&self, model: &S, data: &Dataset) -> Report {
+    pub fn evaluate_dev<S: Scorer + Sync + ?Sized>(&self, model: &S, data: &Dataset) -> Report {
         self.evaluate_pairs(model, data, &data.dev)
     }
 
-    /// Evaluates on an explicit list of held-out pairs.
-    pub fn evaluate_pairs<S: Scorer + ?Sized>(
+    /// Evaluates on an explicit list of held-out pairs with the batched
+    /// engine (see the module docs), spinning up a worker pool per
+    /// [`EvalConfig::threads`].
+    pub fn evaluate_pairs<S: Scorer + Sync + ?Sized>(
         &self,
         model: &S,
         data: &Dataset,
         pairs: &[HeldOut],
     ) -> Report {
-        let cutoffs = &self.config.cutoffs;
-        let mut hr_acc = vec![0.0f64; cutoffs.len()];
-        let mut ndcg_acc = vec![0.0f64; cutoffs.len()];
-        let mut mrr_acc = 0.0f64;
-        let mut auc_acc = 0.0f64;
-        let mut cases = 0usize;
+        let pool = WorkerPool::with_threads(self.config.threads);
+        self.evaluate_pairs_on(model, data, pairs, &pool)
+    }
 
+    /// The batched engine on a caller-provided pool (reused across calls —
+    /// the grouped evaluation and repeated dev evals share one pool).
+    pub fn evaluate_pairs_on<S: Scorer + Sync + ?Sized>(
+        &self,
+        model: &S,
+        data: &Dataset,
+        pairs: &[HeldOut],
+        pool: &WorkerPool,
+    ) -> Report {
+        // Phase 1 (serial): pre-draw every candidate set, in pair order,
+        // from the per-evaluation seed — the exact RNG stream of the
+        // sequential protocol.
+        let drawn = self.predraw_negatives(data, pairs);
+
+        // Phase 2 (parallel): score each pair's full candidate block and
+        // record its (rank, #negatives) outcome into its positional slot.
+        let mut shards: Vec<EvalShard> = chunk_ranges(pairs.len(), pool.workers())
+            .into_iter()
+            .map(|range| EvalShard {
+                out: Vec::with_capacity(range.len()),
+                range,
+            })
+            .collect();
+        pool.scatter(&mut shards, |_, sh| {
+            let mut scores: Vec<f32> = Vec::with_capacity(self.config.num_negatives + 1);
+            let mut block: Vec<ItemId> = Vec::with_capacity(self.config.num_negatives + 1);
+            sh.out.clear();
+            for i in sh.range.clone() {
+                let h = &pairs[i];
+                let negatives = drawn.get(i);
+                if negatives.is_empty() {
+                    sh.out.push(None);
+                    continue;
+                }
+                // One fused call over the user's full candidate block —
+                // held-out item first, then its negatives — so the per-user
+                // scoring setup (Θ softmax, facet gather, norms) is paid
+                // once per 101 candidates.
+                block.clear();
+                block.push(h.item);
+                block.extend_from_slice(negatives);
+                model.score_block(h.user, &block, &mut scores);
+                sh.out.push(Some((
+                    rank_of_positive(scores[0], &scores[1..]),
+                    negatives.len(),
+                )));
+            }
+        });
+
+        // Phase 3 (serial): reduce in pair order — shards are contiguous
+        // in-order chunks, so this is the sequential accumulation order.
+        self.reduce(shards.iter().flat_map(|sh| sh.out.iter().copied()))
+    }
+
+    /// The seed's sequential reference protocol: one held-out pair at a
+    /// time through scalar [`Scorer::score_many`] calls, negatives drawn
+    /// on the fly. Kept as the A/B baseline for the batched engine (the
+    /// equivalence is asserted in tests and measured in `BENCH_eval.json`).
+    pub fn evaluate_pairs_sequential<S: Scorer + ?Sized>(
+        &self,
+        model: &S,
+        data: &Dataset,
+        pairs: &[HeldOut],
+    ) -> Report {
         // Reusable buffers (perf-book: workhorse collections).
         let mut negatives: Vec<ItemId> = Vec::with_capacity(self.config.num_negatives);
         let mut scores: Vec<f32> = Vec::with_capacity(self.config.num_negatives);
@@ -123,20 +228,41 @@ impl RankingEvaluator {
         // models and runs.
         let mut rng = StdRng::seed_from_u64(self.config.seed);
 
-        for h in pairs {
+        let outcomes = pairs.iter().map(|h| {
             self.sample_negatives(data, h, &mut negatives, &mut rng);
             if negatives.is_empty() {
-                continue; // user interacted with the whole catalogue
+                return None; // user interacted with the whole catalogue
             }
             let pos_score = model.score(h.user, h.item);
             model.score_many(h.user, &negatives, &mut scores);
-            let rank = rank_of_positive(pos_score, &scores);
+            Some((rank_of_positive(pos_score, &scores), negatives.len()))
+        });
+        // Funnel through the same reduction as the batched engine so the
+        // two paths share their float accumulation operation-for-operation.
+        let collected: Vec<PairOutcome> = outcomes.collect();
+        self.reduce(collected.into_iter())
+    }
+
+    /// Folds per-pair outcomes into a [`Report`], in iteration order. Both
+    /// engines funnel through this, so their float accumulation is
+    /// literally the same code.
+    fn reduce(&self, outcomes: impl Iterator<Item = PairOutcome>) -> Report {
+        let cutoffs = &self.config.cutoffs;
+        let mut hr_acc = vec![0.0f64; cutoffs.len()];
+        let mut ndcg_acc = vec![0.0f64; cutoffs.len()];
+        let mut mrr_acc = 0.0f64;
+        let mut auc_acc = 0.0f64;
+        let mut cases = 0usize;
+        for outcome in outcomes {
+            let Some((rank, num_negatives)) = outcome else {
+                continue;
+            };
             for (i, &k) in cutoffs.iter().enumerate() {
                 hr_acc[i] += hit_ratio_at(rank, k) as f64;
                 ndcg_acc[i] += ndcg_at(rank, k) as f64;
             }
             mrr_acc += mrr_from_rank(rank) as f64;
-            auc_acc += auc_from_rank(rank, negatives.len()) as f64;
+            auc_acc += auc_from_rank(rank, num_negatives) as f64;
             cases += 1;
         }
 
@@ -171,8 +297,9 @@ impl RankingEvaluator {
     ///
     /// `edges` are ascending upper bounds; a user with degree `d` falls
     /// into the first bucket with `d <= edge`, the rest into a final
-    /// overflow bucket. Returns `(label, report)` pairs.
-    pub fn evaluate_by_user_degree<S: Scorer + ?Sized>(
+    /// overflow bucket. Returns `(label, report)` pairs. All buckets run
+    /// through the batched engine on one shared worker pool.
+    pub fn evaluate_by_user_degree<S: Scorer + Sync + ?Sized>(
         &self,
         model: &S,
         data: &Dataset,
@@ -191,6 +318,7 @@ impl RankingEvaluator {
             let deg = data.train.user_degree(h.user);
             buckets[bucket_of(deg)].push(*h);
         }
+        let pool = WorkerPool::with_threads(self.config.threads);
         let mut out = Vec::with_capacity(buckets.len());
         let mut lower = 0usize;
         for (i, pairs) in buckets.iter().enumerate() {
@@ -201,9 +329,66 @@ impl RankingEvaluator {
             } else {
                 format!(">{}", edges[edges.len() - 1])
             };
-            out.push((label, self.evaluate_pairs(model, data, pairs)));
+            out.push((label, self.evaluate_pairs_on(model, data, pairs, &pool)));
         }
         out
+    }
+
+    /// Pre-draws the negative candidate set of every pair, in pair order,
+    /// with one RNG stream — producing **exactly** the sets that
+    /// [`Self::sample_negatives`] draws pair-by-pair in the sequential
+    /// protocol. The per-user dev/test lookups are precomputed once (the
+    /// sequential path re-scans both splits per pair), which changes no
+    /// accept/reject decision and therefore no RNG draw.
+    fn predraw_negatives(&self, data: &Dataset, pairs: &[HeldOut]) -> DrawnNegatives {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        // First occurrence wins — `Iterator::find` semantics of the
+        // sequential path.
+        let mut dev_of: HashMap<UserId, ItemId> = HashMap::new();
+        for d in &data.dev {
+            dev_of.entry(d.user).or_insert(d.item);
+        }
+        let mut test_of: HashMap<UserId, ItemId> = HashMap::new();
+        for d in &data.test {
+            test_of.entry(d.user).or_insert(d.item);
+        }
+
+        let n = data.num_items();
+        let want = self.config.num_negatives;
+        let budget = want * 128;
+        let mut items: Vec<ItemId> = Vec::with_capacity(pairs.len() * want);
+        let mut offsets: Vec<usize> = Vec::with_capacity(pairs.len() + 1);
+        offsets.push(0);
+        // Already-drawn test, O(1) per draw: `picked[v]` holds the index of
+        // the last pair that accepted item `v`, replacing the sequential
+        // path's linear `out.contains` scan with the same accept/reject
+        // answer (so the RNG stream is untouched).
+        let mut picked: Vec<u32> = vec![u32::MAX; n];
+        for (pair_idx, h) in pairs.iter().enumerate() {
+            let start = items.len();
+            let dev_item = dev_of.get(&h.user).copied();
+            let test_item = test_of.get(&h.user).copied();
+            let known = data.train.user_degree(h.user) + 2;
+            if known < n {
+                let mut attempts = 0usize;
+                while items.len() - start < want && attempts < budget {
+                    attempts += 1;
+                    let v = rng.gen_range(0..n) as ItemId;
+                    if v == h.item
+                        || Some(v) == dev_item
+                        || Some(v) == test_item
+                        || data.train.contains(h.user, v)
+                        || picked[v as usize] == pair_idx as u32
+                    {
+                        continue;
+                    }
+                    picked[v as usize] = pair_idx as u32;
+                    items.push(v);
+                }
+            }
+            offsets.push(items.len());
+        }
+        DrawnNegatives { items, offsets }
     }
 
     /// Samples `num_negatives` distinct items the user never touched in any
@@ -271,12 +456,34 @@ mod tests {
         }
     }
 
+    /// Deterministic pseudo-random scorer with no structure — makes ranks
+    /// (and thus every metric) sensitive to any scoring discrepancy.
+    struct Hashing;
+    impl Scorer for Hashing {
+        fn score(&self, user: UserId, item: ItemId) -> f32 {
+            let mut h = (user as u64) << 32 | item as u64;
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xff51afd7ed558ccd);
+            h ^= h >> 33;
+            (h % 10_000) as f32 / 10_000.0
+        }
+    }
+
     fn toy_dataset() -> Dataset {
         // 4 users × 50 items, each with history [u, u+1, ..., u+5].
         let histories: Vec<Vec<ItemId>> = (0..4u32)
             .map(|u| (0..6).map(|i| u * 10 + i).collect())
             .collect();
         Dataset::leave_one_out("toy", 4, 50, &histories, vec![], 0)
+    }
+
+    /// A larger dataset so parallel evaluation actually spreads over
+    /// several shards.
+    fn wide_dataset() -> Dataset {
+        let histories: Vec<Vec<ItemId>> = (0..60u32)
+            .map(|u| (0..8).map(|i| (u * 7 + i * 3) % 200).collect())
+            .collect();
+        Dataset::leave_one_out("wide", 60, 200, &histories, vec![], 0)
     }
 
     #[test]
@@ -290,6 +497,7 @@ mod tests {
             num_negatives: 20,
             cutoffs: vec![1, 10],
             seed: 7,
+            threads: 1,
         })
         .evaluate(&Oracle { target }, &data);
         assert_eq!(report.cases, 4);
@@ -307,6 +515,7 @@ mod tests {
             num_negatives: 20,
             cutoffs: vec![10],
             seed: 7,
+            threads: 1,
         })
         .evaluate(&Constant, &data);
         assert_eq!(report.hr_at(10), 0.0);
@@ -324,6 +533,7 @@ mod tests {
             num_negatives: 30,
             cutoffs: vec![10],
             seed: 3,
+            threads: 1,
         });
         let mut rng = StdRng::seed_from_u64(3);
         let mut negs = Vec::new();
@@ -344,12 +554,68 @@ mod tests {
     }
 
     #[test]
+    fn predrawn_negatives_match_sequential_draws_exactly() {
+        // The batched engine's phase 1 must reproduce the sequential RNG
+        // stream set-for-set — this is what makes the engines bit-identical.
+        for data in [toy_dataset(), wide_dataset()] {
+            let ev = RankingEvaluator::new(EvalConfig {
+                num_negatives: 25,
+                cutoffs: vec![10],
+                seed: 13,
+                threads: 1,
+            });
+            let drawn = ev.predraw_negatives(&data, &data.test);
+            let mut rng = StdRng::seed_from_u64(13);
+            let mut negs = Vec::new();
+            for (i, h) in data.test.iter().enumerate() {
+                ev.sample_negatives(&data, h, &mut negs, &mut rng);
+                assert_eq!(drawn.get(i), &negs[..], "pair {i} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_and_parallel_reports_are_bit_identical_to_sequential() {
+        // The acceptance gate of the batched engine: same seed ⇒ the exact
+        // same Report, across scorers, thread counts and datasets.
+        for data in [toy_dataset(), wide_dataset()] {
+            let mut target = vec![0; data.num_users()];
+            for h in &data.test {
+                target[h.user as usize] = h.item;
+            }
+            let scorers: Vec<Box<dyn Scorer + Sync>> = vec![
+                Box::new(Hashing),
+                Box::new(Constant),
+                Box::new(Oracle { target }),
+            ];
+            for scorer in &scorers {
+                for threads in [1usize, 2, 4, 7] {
+                    let ev = RankingEvaluator::new(EvalConfig {
+                        num_negatives: 40,
+                        cutoffs: vec![5, 10, 20],
+                        seed: 99,
+                        threads,
+                    });
+                    let sequential =
+                        ev.evaluate_pairs_sequential(scorer.as_ref(), &data, &data.test);
+                    let batched = ev.evaluate_pairs(scorer.as_ref(), &data, &data.test);
+                    assert_eq!(
+                        sequential, batched,
+                        "batched engine diverged at {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn same_seed_same_report() {
         let data = toy_dataset();
         let cfg = EvalConfig {
             num_negatives: 25,
             cutoffs: vec![5, 10],
             seed: 11,
+            threads: 0,
         };
         let a = RankingEvaluator::new(cfg.clone()).evaluate(&Constant, &data);
         let b = RankingEvaluator::new(cfg).evaluate(&Constant, &data);
@@ -379,6 +645,7 @@ mod tests {
             num_negatives: 10,
             cutoffs: vec![10],
             seed: 5,
+            threads: 2,
         });
         let groups = ev.evaluate_by_user_degree(&Constant, &data, &[2, 5]);
         assert_eq!(groups.len(), 3);

@@ -28,20 +28,6 @@ pub enum BatchMode {
     Batched,
 }
 
-/// Resolves a configured worker-thread count: `0` means "all available
-/// cores", anything else is taken literally (min 1). Shared by every
-/// sharded engine in the workspace so the auto-detection rule cannot
-/// drift between them.
-pub fn resolve_threads(configured: usize) -> usize {
-    match configured {
-        0 => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
-        n => n,
-    }
-    .max(1)
-}
-
 /// Staging area for mini-batch gradients, keyed by opaque row ids.
 #[derive(Clone, Debug, Default)]
 pub struct GradAccumulator {

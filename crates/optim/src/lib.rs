@@ -25,7 +25,11 @@ pub mod sphere;
 
 pub mod riemannian;
 
-pub use accum::{resolve_threads, BatchMode, GradAccumulator};
+pub use accum::{BatchMode, GradAccumulator};
+// The thread-count convention moved to `mars-runtime` with the worker pool;
+// re-exported here so existing `mars_optim::resolve_threads` callers keep
+// compiling.
+pub use mars_runtime::resolve_threads;
 pub use riemannian::{CalibratedRiemannianSgd, RiemannianSgd};
 pub use schedule::LrSchedule;
 pub use sgd::Sgd;

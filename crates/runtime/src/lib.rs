@@ -1,0 +1,416 @@
+//! # mars-runtime
+//!
+//! Persistent worker-pool execution runtime shared by every data-parallel
+//! engine in the workspace: the batched trainer (`mars-core`), the shared
+//! baseline triplet engine (`mars-baselines`) and the batched ranking
+//! evaluator (`mars-metrics`).
+//!
+//! PR 1's engines re-spawned a `std::thread::scope` for every mini-batch, so
+//! the spawn/join cost recurred once per batch (and the evaluator had no
+//! parallelism at all). [`WorkerPool`] replaces that: worker threads are
+//! created **once** — typically for the whole `fit()` or the whole
+//! evaluation — and every [`WorkerPool::scatter`] call reuses them.
+//!
+//! ## Determinism contract
+//!
+//! Parallel callers stay reproducible because of two ordering guarantees
+//! that this crate provides and the engines rely on:
+//!
+//! 1. **Shard-order scatter/merge.** [`WorkerPool::scatter`] runs one
+//!    closure per shard and returns the results **in shard order**,
+//!    regardless of which worker finished first. Callers that fold shard
+//!    accumulators (`BatchAccum::merge_from`, `GradAccumulator::merge_from`,
+//!    the evaluator's per-pair records) therefore always merge in the same
+//!    fixed order, so float summation order — and every downstream apply —
+//!    is a pure function of the sharding, never of thread scheduling.
+//! 2. **Scheduling-independent sharding.** [`shard_items`] and
+//!    [`chunk_ranges`] partition work by *value* (`shard_fn(item) % shards`)
+//!    or by *position* (contiguous chunks), both independent of the worker
+//!    count actually available. Together with (1), a run is bit-identical
+//!    for a fixed seed and shard count on any machine.
+//!
+//! Downstream, the optimizer applies each shard-merged batch in
+//! **first-touch order** (see `mars-optim::GradAccumulator`); this crate's
+//! shard-order guarantee is what makes that first-touch order well defined
+//! under parallelism. The batched evaluator instead records per-pair results
+//! into positional slots and reduces them serially in pair order, which
+//! makes parallel evaluation bit-identical to the sequential protocol.
+//!
+//! ## Degenerate single-thread mode
+//!
+//! A pool built with one thread spawns **no** background workers: `scatter`
+//! runs every shard inline on the caller, in shard order. One-core CI and
+//! `threads = 1` configs therefore execute exactly the code path of a
+//! multi-core run minus the thread hops — same sharding, same merge order,
+//! same results.
+//!
+//! Shutdown is graceful: dropping the pool closes the job channels and
+//! joins every worker.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::thread;
+
+/// Resolves a configured worker-thread count: `0` means "all available
+/// cores", anything else is taken literally (min 1). Shared by every
+/// sharded engine in the workspace so the auto-detection rule cannot
+/// drift between them.
+pub fn resolve_threads(configured: usize) -> usize {
+    match configured {
+        0 => thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+    .max(1)
+}
+
+/// A type-erased job shipped to a worker thread. The `'static` bound is a
+/// fiction maintained by [`WorkerPool::scatter`], which never returns (or
+/// unwinds) before every job it submitted has completed.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Worker {
+    /// Job queue; `None` only during shutdown.
+    jobs: Option<mpsc::Sender<Job>>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+/// A fixed set of persistent worker threads plus the caller's own thread.
+///
+/// The pool holds `threads − 1` background workers; the calling thread
+/// always executes shard 0 (and any shards beyond the worker count), so a
+/// pool of `n` threads gives `n`-way parallelism without idling the caller.
+pub struct WorkerPool {
+    workers: Vec<Worker>,
+}
+
+/// Raw-pointer wrapper that may cross a thread boundary. Safety is argued at
+/// the use sites in [`WorkerPool::scatter`]: every worker receives pointers
+/// to *disjoint* elements, and the owning frame outlives all workers.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+
+// Manual impls: the derives would add an unwanted `T: Copy` bound.
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Element pointer `base + i`. Methods (rather than field access) keep
+    /// closures capturing the whole `Send` wrapper under the edition-2021
+    /// disjoint-capture rules.
+    ///
+    /// # Safety
+    /// `i` must be in bounds of the allocation this pointer heads.
+    unsafe fn at(self, i: usize) -> *mut T {
+        self.0.add(i)
+    }
+}
+
+impl WorkerPool {
+    /// A pool of exactly `threads` workers (min 1, including the caller).
+    /// `threads <= 1` spawns nothing — the degenerate serial mode.
+    pub fn new(threads: usize) -> Self {
+        let workers = (1..threads.max(1))
+            .map(|i| {
+                let (tx, rx) = mpsc::channel::<Job>();
+                let handle = thread::Builder::new()
+                    .name(format!("mars-runtime-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("failed to spawn mars-runtime worker");
+                Worker {
+                    jobs: Some(tx),
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        Self { workers }
+    }
+
+    /// A pool sized by the shared `threads` convention ([`resolve_threads`]:
+    /// `0` = all cores).
+    pub fn with_threads(configured: usize) -> Self {
+        Self::new(resolve_threads(configured))
+    }
+
+    /// Total parallelism: background workers + the calling thread.
+    pub fn workers(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    /// Runs `f(i, &mut shards[i])` for every shard and returns the results
+    /// **in shard order** — the scatter half of the engines'
+    /// scatter → merge protocol (the caller merges, in that same order).
+    ///
+    /// Shard 0 (and any shards beyond the worker count) run on the calling
+    /// thread; shards `1..=workers` run on the background workers. The call
+    /// blocks until every shard has finished. Shard counts may differ from
+    /// the pool size: extra shards are executed serially by the caller, so
+    /// the result — including float summation order inside any shard-order
+    /// merge — is independent of how many workers the pool actually has.
+    ///
+    /// # Panics
+    /// If a shard closure panics, the panic is re-raised on the caller
+    /// *after* every other shard has completed (no job ever outlives the
+    /// call frame).
+    pub fn scatter<T, R, F>(&self, shards: &mut [T], f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut T) -> R + Sync,
+    {
+        let n = shards.len();
+        let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+        results.resize_with(n, || None);
+        if n == 0 {
+            return Vec::new();
+        }
+
+        // Background shards 1..=bg; everything else runs on the caller.
+        let bg = self.workers.len().min(n - 1);
+        if bg == 0 {
+            for (i, (shard, slot)) in shards.iter_mut().zip(results.iter_mut()).enumerate() {
+                *slot = Some(f(i, shard));
+            }
+            return results.into_iter().map(Option::unwrap).collect();
+        }
+
+        let (done_tx, done_rx) = mpsc::channel::<thread::Result<()>>();
+        let shards_ptr = SendPtr(shards.as_mut_ptr());
+        let results_ptr = SendPtr(results.as_mut_ptr());
+        let f_ref = &f;
+        for i in 1..=bg {
+            let tx = done_tx.clone();
+            // SAFETY (pointer use): worker `i` touches only `shards[i]` /
+            // `results[i]`; the caller touches only shard 0 and `bg+1..n`.
+            // All index sets are disjoint, and the Vec headers are not
+            // mutated while workers run.
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(|| unsafe {
+                    let shard = &mut *shards_ptr.at(i);
+                    *results_ptr.at(i) = Some(f_ref(i, shard));
+                }));
+                let _ = tx.send(outcome);
+            });
+            // SAFETY (lifetime erasure): this frame blocks below until all
+            // `bg` completions arrived — even when the caller's own shard
+            // panics — so every borrow inside the job outlives its use.
+            let job: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
+            self.workers[i - 1]
+                .jobs
+                .as_ref()
+                .expect("pool is shutting down")
+                .send(job)
+                .expect("worker thread terminated");
+        }
+
+        let caller_outcome = catch_unwind(AssertUnwindSafe(|| unsafe {
+            *results_ptr.at(0) = Some(f_ref(0, &mut *shards_ptr.at(0)));
+            for i in bg + 1..n {
+                let shard = &mut *shards_ptr.at(i);
+                *results_ptr.at(i) = Some(f_ref(i, shard));
+            }
+        }));
+
+        // Unconditional barrier: every submitted job must report back before
+        // this frame can be left, whether by return or by unwind.
+        let mut panic_payload = caller_outcome.err();
+        for _ in 0..bg {
+            match done_rx.recv().expect("worker thread terminated") {
+                Ok(()) => {}
+                Err(payload) => {
+                    panic_payload.get_or_insert(payload);
+                }
+            }
+        }
+        if let Some(payload) = panic_payload {
+            resume_unwind(payload);
+        }
+        results.into_iter().map(Option::unwrap).collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Close every job channel first so all workers see disconnection…
+        for w in &mut self.workers {
+            w.jobs = None;
+        }
+        // …then join them.
+        for w in &mut self.workers {
+            if let Some(handle) = w.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// Distributes `items` into the buffers by `shard_fn(item) % buffer count`,
+/// clearing the buffers first (capacity is kept across batches). Buffers
+/// are taken as an iterator of `&mut Vec` so callers can shard straight
+/// into per-worker state structs.
+///
+/// The assignment depends only on the item and the shard count — never on
+/// worker availability — which is half of the determinism contract (see the
+/// module docs).
+pub fn shard_items<'a, I: Copy + 'a>(
+    items: &[I],
+    bufs: impl IntoIterator<Item = &'a mut Vec<I>>,
+    mut shard_fn: impl FnMut(&I) -> usize,
+) {
+    let mut bufs: Vec<&mut Vec<I>> = bufs.into_iter().collect();
+    let n = bufs.len();
+    assert!(n > 0, "shard_items needs at least one buffer");
+    for buf in bufs.iter_mut() {
+        buf.clear();
+    }
+    for item in items {
+        bufs[shard_fn(item) % n].push(*item);
+    }
+}
+
+/// Splits `0..len` into at most `shards` contiguous, near-equal, in-order
+/// ranges (the first `len % shards` ranges get one extra element). Used by
+/// positional engines — the batched evaluator — where shard `i`'s slots in
+/// the output are exactly its input positions, so a serial in-order
+/// reduction is bit-identical to a fully sequential run.
+pub fn chunk_ranges(len: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
+    let shards = shards.max(1).min(len.max(1));
+    let base = len / shards;
+    let extra = len % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_threads_zero_means_all_cores() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(5), 5);
+    }
+
+    #[test]
+    fn single_thread_pool_spawns_nothing_and_runs_in_order() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.workers(), 1);
+        let mut shards = vec![0u32; 5];
+        let order = std::sync::Mutex::new(Vec::new());
+        let out = pool.scatter(&mut shards, |i, s| {
+            *s = i as u32 * 10;
+            order.lock().unwrap().push(i);
+            i
+        });
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        assert_eq!(shards, vec![0, 10, 20, 30, 40]);
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn scatter_returns_results_in_shard_order() {
+        let pool = WorkerPool::new(4);
+        let mut shards: Vec<usize> = (0..4).collect();
+        let out = pool.scatter(&mut shards, |i, s| {
+            // Stagger finish times against the shard order.
+            std::thread::sleep(std::time::Duration::from_millis(5 * (4 - i as u64)));
+            *s += 100;
+            i * 2
+        });
+        assert_eq!(out, vec![0, 2, 4, 6]);
+        assert_eq!(shards, vec![100, 101, 102, 103]);
+    }
+
+    #[test]
+    fn scatter_handles_more_shards_than_workers() {
+        let pool = WorkerPool::new(2);
+        let mut shards: Vec<u64> = (0..7).collect();
+        let out = pool.scatter(&mut shards, |i, s| *s + i as u64);
+        assert_eq!(out, vec![0, 2, 4, 6, 8, 10, 12]);
+    }
+
+    #[test]
+    fn scatter_handles_fewer_shards_than_workers_and_empty() {
+        let pool = WorkerPool::new(8);
+        let mut one = [41u8];
+        assert_eq!(pool.scatter(&mut one, |_, s| *s + 1), vec![42]);
+        let mut none: [u8; 0] = [];
+        assert!(pool.scatter(&mut none, |_, s| *s).is_empty());
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_calls() {
+        // The whole point vs. thread::scope: no per-call spawn.
+        let pool = WorkerPool::new(3);
+        let mut shards = vec![0u64; 3];
+        for round in 0..100u64 {
+            let sums = pool.scatter(&mut shards, |i, s| {
+                *s += round + i as u64;
+                *s
+            });
+            assert_eq!(sums.len(), 3);
+        }
+        assert_eq!(shards[0], (0..100).sum::<u64>());
+    }
+
+    #[test]
+    fn worker_panic_propagates_after_all_shards_finish() {
+        let pool = WorkerPool::new(4);
+        let finished = std::sync::atomic::AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut shards = vec![0u32; 4];
+            pool.scatter(&mut shards, |i, _| {
+                if i == 2 {
+                    panic!("shard 2 exploded");
+                }
+                finished.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            });
+        }));
+        assert!(result.is_err(), "panic must propagate to the caller");
+        assert_eq!(finished.load(std::sync::atomic::Ordering::SeqCst), 3);
+        // The pool must survive a panicked scatter.
+        let mut shards = vec![1u32; 4];
+        let out = pool.scatter(&mut shards, |_, s| *s);
+        assert_eq!(out, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn shard_items_distributes_and_clears() {
+        let mut bufs: Vec<Vec<u32>> = vec![vec![99]; 3];
+        shard_items(&[0, 1, 2, 3, 4, 5, 6], bufs.iter_mut(), |&v| v as usize);
+        assert_eq!(bufs[0], vec![0, 3, 6]);
+        assert_eq!(bufs[1], vec![1, 4]);
+        assert_eq!(bufs[2], vec![2, 5]);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly_in_order() {
+        assert_eq!(chunk_ranges(10, 3), vec![0..4, 4..7, 7..10]);
+        assert_eq!(chunk_ranges(2, 5), vec![0..1, 1..2]);
+        assert_eq!(chunk_ranges(0, 4), vec![0..0]);
+        let ranges = chunk_ranges(101, 8);
+        assert_eq!(ranges.len(), 8);
+        assert_eq!(ranges.iter().map(|r| r.len()).sum::<usize>(), 101);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the determinism contract of `mars-runtime`:
+//! scatter/merge results must be a pure function of the *sharding* — never
+//! of the worker count or of thread scheduling.
+//!
+//! Float summation order is the sensitive observable (f32 addition is not
+//! associative), so the properties fold per-shard f32 sums in shard order
+//! and require bit-identical results across pool sizes and repeated runs.
+
+use mars_runtime::{chunk_ranges, shard_items, WorkerPool};
+use proptest::prelude::*;
+
+/// Shards `items` into `shards` buffers, scatters a per-shard f32 sum over
+/// `pool`, and folds the results in shard order.
+fn sharded_sum(pool: &WorkerPool, items: &[u32], shards: usize) -> (f32, Vec<f32>) {
+    let mut bufs: Vec<Vec<u32>> = vec![Vec::new(); shards];
+    shard_items(items, bufs.iter_mut(), |&v| v as usize);
+    let partials = pool.scatter(&mut bufs, |_, buf| {
+        // Deliberately order-sensitive: sequential f32 accumulation.
+        buf.iter().fold(0.0f32, |acc, &v| acc + (v as f32).sqrt())
+    });
+    let merged = partials.iter().fold(0.0f32, |acc, &p| acc + p);
+    (merged, partials)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For a fixed shard count, every pool size 1..=8 must produce
+    /// bit-identical per-shard partials and merged totals.
+    #[test]
+    fn scatter_merge_is_worker_count_invariant(
+        items in proptest::collection::vec(0u32..10_000, 0..200),
+        shards in 1usize..8,
+    ) {
+        let reference = sharded_sum(&WorkerPool::new(1), &items, shards);
+        for workers in 2usize..=8 {
+            let got = sharded_sum(&WorkerPool::new(workers), &items, shards);
+            prop_assert!(
+                got.0.to_bits() == reference.0.to_bits(),
+                "merged sum diverged at {} workers", workers
+            );
+            prop_assert!(got.1 == reference.1, "partials diverged at {} workers", workers);
+        }
+    }
+
+    /// Repeated scatters on one pool are bit-identical (no cross-call state).
+    #[test]
+    fn scatter_is_reproducible_on_a_reused_pool(
+        items in proptest::collection::vec(0u32..10_000, 0..150),
+        shards in 1usize..6,
+    ) {
+        let pool = WorkerPool::new(4);
+        let a = sharded_sum(&pool, &items, shards);
+        let b = sharded_sum(&pool, &items, shards);
+        prop_assert_eq!(a.0.to_bits(), b.0.to_bits());
+        prop_assert_eq!(a.1, b.1);
+    }
+
+    /// `shard_items` is a partition: every item lands in exactly one buffer,
+    /// order within a buffer follows input order.
+    #[test]
+    fn shard_items_is_an_order_preserving_partition(
+        items in proptest::collection::vec(0u32..1_000, 0..120),
+        shards in 1usize..8,
+    ) {
+        let mut bufs: Vec<Vec<u32>> = vec![Vec::new(); shards];
+        shard_items(&items, bufs.iter_mut(), |&v| v as usize);
+        let total: usize = bufs.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, items.len());
+        for (s, buf) in bufs.iter().enumerate() {
+            // Each buffer is exactly the input filtered to its shard, in
+            // input order.
+            let expect: Vec<u32> = items
+                .iter()
+                .copied()
+                .filter(|&v| v as usize % shards == s)
+                .collect();
+            prop_assert!(buf == &expect, "shard {} mis-partitioned", s);
+        }
+    }
+
+    /// `chunk_ranges` tiles `0..len` exactly, in order, with near-equal
+    /// sizes (max spread 1).
+    #[test]
+    fn chunk_ranges_tile_exactly(len in 0usize..500, shards in 1usize..12) {
+        let ranges = chunk_ranges(len, shards);
+        prop_assert!(!ranges.is_empty());
+        prop_assert_eq!(ranges[0].start, 0);
+        prop_assert_eq!(ranges[ranges.len() - 1].end, len);
+        for w in ranges.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start);
+        }
+        if len > 0 {
+            let min = ranges.iter().map(|r| r.len()).min().unwrap();
+            let max = ranges.iter().map(|r| r.len()).max().unwrap();
+            prop_assert!(max - min <= 1, "unbalanced chunks: {} vs {}", min, max);
+        }
+    }
+}

@@ -60,6 +60,44 @@ pub fn dist_sq_rows(a: &[f32], b: &[f32], dim: usize, out: &mut [f32]) {
     }
 }
 
+/// One-vs-rows dot products: `out[r] = x · b_r` for every row `r` of `b` —
+/// the broadcast form of [`dot_rows`] used by batched scoring, where one
+/// user vector meets a gathered block of candidate rows.
+pub fn dot_one_rows(x: &[f32], b: &[f32], out: &mut [f32]) {
+    let dim = x.len();
+    let k = row_count(b, dim);
+    debug_assert_eq!(out.len(), k, "dot_one_rows: out has wrong length");
+    for (r, o) in out.iter_mut().enumerate() {
+        *o = ops::dot(x, row(b, dim, r));
+    }
+}
+
+/// One-vs-rows squared Euclidean distances: `out[r] = ‖x − b_r‖²` (the
+/// broadcast form of [`dist_sq_rows`]; metric-model batched scoring).
+pub fn dist_sq_one_rows(x: &[f32], b: &[f32], out: &mut [f32]) {
+    let dim = x.len();
+    let k = row_count(b, dim);
+    debug_assert_eq!(out.len(), k, "dist_sq_one_rows: out has wrong length");
+    for (r, o) in out.iter_mut().enumerate() {
+        *o = ops::dist_sq(x, row(b, dim, r));
+    }
+}
+
+/// Gathers arbitrary rows of a flat `rows × dim` table into a contiguous
+/// block: `block[i] = table_row(ids[i])`. The batched scorers use this to
+/// turn a scattered candidate list into row-kernel food.
+pub fn gather_rows(
+    table: &[f32],
+    dim: usize,
+    ids: impl IntoIterator<Item = usize>,
+    block: &mut Vec<f32>,
+) {
+    block.clear();
+    for id in ids {
+        block.extend_from_slice(&table[id * dim..(id + 1) * dim]);
+    }
+}
+
 /// Fused multi-row axpy with one coefficient per row:
 /// `y_r ← y_r + alpha[r] · x_r` for every row `r`.
 ///
@@ -113,6 +151,26 @@ mod tests {
         let mut y = [1.0, 1.0];
         axpy_rows(&[0.0], &x, &mut y, 2);
         assert_eq!(y, [1.0, 1.0]);
+    }
+
+    #[test]
+    fn one_vs_rows_kernels_match_per_row_ops() {
+        let x = [1.0, 2.0];
+        let b = [3.0, 4.0, -1.0, 0.5, 1.0, 2.0];
+        let mut dots = [0.0; 3];
+        dot_one_rows(&x, &b, &mut dots);
+        assert_eq!(dots, [11.0, 0.0, 5.0]);
+        let mut dists = [0.0; 3];
+        dist_sq_one_rows(&x, &b, &mut dists);
+        assert_eq!(dists, [8.0, 6.25, 0.0]);
+    }
+
+    #[test]
+    fn gather_rows_copies_in_id_order() {
+        let table = [0.0, 1.0, 10.0, 11.0, 20.0, 21.0];
+        let mut block = vec![99.0];
+        gather_rows(&table, 2, [2usize, 0, 2], &mut block);
+        assert_eq!(block, vec![20.0, 21.0, 0.0, 1.0, 20.0, 21.0]);
     }
 
     #[test]

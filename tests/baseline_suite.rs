@@ -23,7 +23,7 @@ fn data() -> SyntheticDataset {
     )
 }
 
-fn run(model: &mut dyn ImplicitRecommender, d: &mars_repro::data::Dataset) -> Report {
+fn run(model: &mut (dyn ImplicitRecommender + Sync), d: &mars_repro::data::Dataset) -> Report {
     model.fit(d);
     RankingEvaluator::paper().evaluate(model, d)
 }
@@ -35,7 +35,7 @@ fn all_baselines_train_and_rank_above_chance() {
     let data = data();
     let d = &data.dataset;
     let cfg = BaselineConfig::quick(12);
-    let mut models: Vec<Box<dyn ImplicitRecommender>> = vec![
+    let mut models: Vec<Box<dyn ImplicitRecommender + Sync>> = vec![
         Box::new(Bpr::new(cfg.clone(), 70, 60)),
         Box::new(Nmf::new(cfg.clone(), 70, 60)),
         Box::new(NeuMf::new(
