@@ -122,6 +122,16 @@ pub trait TripletUpdate: Scorer + Sync {
     /// nothing.
     fn triplet_update(&self, t: Triplet, up: &mut [f32], ui: &mut [f32], uj: &mut [f32]) -> bool;
 
+    /// Updates any *scalar side parameters* — SML's learnable per-user /
+    /// per-item margins — for one triplet. The engine calls it once per
+    /// triplet, in **original batch order**, against the same parameters
+    /// `triplet_update` saw: before the row applies of the triplet
+    /// (per-triplet mode) or of the batch (batched mode). Margin updates
+    /// may cascade within a batch (they touch no embedding row, so the
+    /// frozen-parameter contract of the row accumulation is unaffected).
+    /// Models without side parameters keep the default no-op.
+    fn margin_update(&mut self, _t: Triplet) {}
+
     /// Applies an update to user row `u` (plus any projection/constraint).
     fn apply_user(&mut self, u: usize, lr: f32, upd: &[f32]);
 
@@ -174,7 +184,11 @@ pub fn fit_triplets<M: TripletUpdate>(model: &mut M, data: &Dataset, cfg: &Basel
                 // The batcher's internal buffer is borrowed directly — no
                 // per-batch copy on the hot path.
                 for &t in batcher.next_batch(x, &mut rng) {
-                    if model.triplet_update(t, &mut up, &mut ui, &mut uj) {
+                    let active = model.triplet_update(t, &mut up, &mut ui, &mut uj);
+                    // Margins first: the hook sees the same parameters the
+                    // update was computed against.
+                    model.margin_update(t);
+                    if active {
                         model.apply_user(t.user as usize, lr, &up);
                         model.apply_item(t.positive as usize, lr, &ui);
                         model.apply_item(t.negative as usize, lr, &uj);
@@ -212,18 +226,23 @@ pub fn fit_triplets<M: TripletUpdate>(model: &mut M, data: &Dataset, cfg: &Basel
         model.begin_epoch(data);
         for _ in 0..batches {
             if threads <= 1 {
+                let batch = batcher.next_batch(x, &mut rng);
                 let Shard {
                     up, ui, uj, acc, ..
                 } = &mut shards[0];
                 acc.clear();
-                accumulate_shard(model, batcher.next_batch(x, &mut rng), up, ui, uj, acc);
+                accumulate_shard(model, batch, up, ui, uj, acc);
+                // Side parameters (margins) update serially in batch order
+                // against the frozen rows, then the rows apply.
+                for &t in batch {
+                    model.margin_update(t);
+                }
                 apply_accumulated(model, acc, lr);
             } else {
-                shard_items(
-                    batcher.next_batch(x, &mut rng),
-                    shards.iter_mut().map(|s| &mut s.buf),
-                    |t| t.user as usize,
-                );
+                let batch = batcher.next_batch(x, &mut rng);
+                shard_items(batch, shards.iter_mut().map(|s| &mut s.buf), |t| {
+                    t.user as usize
+                });
                 let frozen: &M = model;
                 pool.scatter(&mut shards, |_, sh| {
                     sh.acc.clear();
@@ -236,6 +255,11 @@ pub fn fit_triplets<M: TripletUpdate>(model: &mut M, data: &Dataset, cfg: &Basel
                         &mut sh.acc,
                     );
                 });
+                // Margins update in *original batch order* (not shard
+                // order), so they are identical at every thread count.
+                for &t in batch {
+                    model.margin_update(t);
+                }
                 // Deterministic merge: fixed shard order.
                 merged.clear();
                 for sh in &shards {

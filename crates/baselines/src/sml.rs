@@ -13,12 +13,19 @@
 //!
 //! Margins are clamped to `[0.05, 1]`; the reward term keeps them from
 //! collapsing to the floor. Embeddings live in the unit ball.
+//!
+//! Runs on the shared batch/accumulate triplet engine
+//! (`common::fit_triplets`) like BPR / CML / TransCF: the embedding-row
+//! updates ride [`TripletUpdate::triplet_update`] (both hinges evaluated
+//! against the frozen parameters, their row contributions summed), and the
+//! learnable margins ride the [`TripletUpdate::margin_update`] hook, which
+//! the engine calls once per triplet in batch order. SML thereby inherits
+//! the worker pool and the vectorized kernels.
 
-use crate::common::{BaselineConfig, ImplicitRecommender};
+use crate::common::{fit_triplets, BaselineConfig, ImplicitRecommender, TripletUpdate};
 use mars_core::embedding::EmbeddingTable;
-use mars_data::batch::TripletBatcher;
+use mars_data::batch::Triplet;
 use mars_data::dataset::Dataset;
-use mars_data::sampler::{UniformNegativeSampler, UserSampler};
 use mars_data::{ItemId, UserId};
 use mars_metrics::Scorer;
 use mars_tensor::ops;
@@ -66,6 +73,22 @@ impl Sml {
     pub fn margins(&self) -> (&[f32], &[f32]) {
         (&self.user_margin, &self.item_margin)
     }
+
+    /// The two hinge activity flags of a triplet against the current
+    /// parameters (user-centric, item-centric).
+    #[inline]
+    fn activities(&self, t: Triplet) -> (bool, bool) {
+        let u = self.user.row(t.user as usize);
+        let i = self.item.row(t.positive as usize);
+        let j = self.item.row(t.negative as usize);
+        let d_ui = ops::dist_sq(u, i);
+        let d_uj = ops::dist_sq(u, j);
+        let d_ij = ops::dist_sq(i, j);
+        (
+            d_ui + self.user_margin[t.user as usize] - d_uj > 0.0,
+            d_ui + self.item_margin[t.positive as usize] - d_ij > 0.0,
+        )
+    }
 }
 
 impl Scorer for Sml {
@@ -85,78 +108,83 @@ impl Scorer for Sml {
     }
 }
 
+impl TripletUpdate for Sml {
+    fn dim(&self) -> usize {
+        self.cfg.dim
+    }
+
+    fn triplet_update(&self, t: Triplet, up: &mut [f32], ui: &mut [f32], uj: &mut [f32]) -> bool {
+        let (user_active, item_active) = self.activities(t);
+        if !user_active && !item_active {
+            return false;
+        }
+        let u = self.user.row(t.user as usize);
+        let i = self.item.row(t.positive as usize);
+        let j = self.item.row(t.negative as usize);
+        // Ascent updates (the engine applies `row += lr · upd`): the
+        // descent direction of each active hinge, negated. User-centric
+        // (d_ui² + m_u − d_uj²): ∂/∂u = 2(j−i)·…, see the derivation in
+        // the loss docs; item-centric weighted by λ.
+        for d in 0..self.cfg.dim {
+            let (uu, ii, jj) = (u[d], i[d], j[d]);
+            let mut gu = 0.0;
+            let mut gi = 0.0;
+            let mut gj = 0.0;
+            if user_active {
+                gu -= 2.0 * (jj - ii);
+                gi -= 2.0 * (ii - uu);
+                gj -= 2.0 * (uu - jj);
+            }
+            if item_active {
+                let w = LAMBDA_ITEM * 2.0;
+                gi -= w * ((ii - uu) - (ii - jj));
+                gu -= w * (uu - ii);
+                gj -= w * (ii - jj);
+            }
+            up[d] = gu;
+            ui[d] = gi;
+            uj[d] = gj;
+        }
+        true
+    }
+
+    fn margin_update(&mut self, t: Triplet) {
+        // Hinge gradient on an active margin is +1; the reward −γ pushes
+        // margins up always. Activities are recomputed against the current
+        // (frozen within a batch) rows and the *current* margins, so margin
+        // updates cascade across a user's repeated triplets like the
+        // reference per-sample loop. The distances this recomputes match
+        // `triplet_update`'s, but the flags need not: the margins may have
+        // moved since — and the engine runs this hook in batch order on the
+        // caller while `triplet_update` ran sharded on the pool, so there
+        // is no per-triplet channel to reuse the distances through.
+        let (user_active, item_active) = self.activities(t);
+        let lr = self.cfg.lr;
+        let mu = &mut self.user_margin[t.user as usize];
+        *mu -= lr * (if user_active { 1.0 } else { 0.0 } - GAMMA_MARGIN);
+        *mu = mu.clamp(MARGIN_MIN, MARGIN_MAX);
+        let mi = &mut self.item_margin[t.positive as usize];
+        *mi -= lr * LAMBDA_ITEM * (if item_active { 1.0 } else { 0.0 }) - lr * GAMMA_MARGIN;
+        *mi = mi.clamp(MARGIN_MIN, MARGIN_MAX);
+    }
+
+    fn apply_user(&mut self, u: usize, lr: f32, upd: &[f32]) {
+        let row = self.user.row_mut(u);
+        ops::axpy(lr, upd, row);
+        ops::clip_to_unit_ball(row);
+    }
+
+    fn apply_item(&mut self, v: usize, lr: f32, upd: &[f32]) {
+        let row = self.item.row_mut(v);
+        ops::axpy(lr, upd, row);
+        ops::clip_to_unit_ball(row);
+    }
+}
+
 impl ImplicitRecommender for Sml {
     fn fit(&mut self, data: &Dataset) {
-        let x = &data.train;
-        if x.num_interactions() == 0 {
-            return;
-        }
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(1));
-        let mut batcher = TripletBatcher::new(
-            UserSampler::uniform(x),
-            UniformNegativeSampler,
-            self.cfg.batch_size,
-        );
-        let batches = batcher.batches_per_epoch(x);
-        let lr = self.cfg.lr;
-        let dim = self.cfg.dim;
-        for _ in 0..self.cfg.epochs {
-            for _ in 0..batches {
-                let batch: Vec<_> = batcher.next_batch(x, &mut rng).to_vec();
-                for t in batch {
-                    let u = t.user as usize;
-                    let i = t.positive as usize;
-                    let j = t.negative as usize;
-                    let d_ui = ops::dist_sq(self.user.row(u), self.item.row(i));
-                    let d_uj = ops::dist_sq(self.user.row(u), self.item.row(j));
-                    let d_ij = ops::dist_sq(self.item.row(i), self.item.row(j));
-
-                    let user_active = d_ui + self.user_margin[u] - d_uj > 0.0;
-                    let item_active = d_ui + self.item_margin[i] - d_ij > 0.0;
-
-                    if user_active {
-                        for d in 0..dim {
-                            let uu = self.user.row(u)[d];
-                            let ii = self.item.row(i)[d];
-                            let jj = self.item.row(j)[d];
-                            // ∂(d_ui² − d_uj²)/∂u = 2(jj − ii) etc.
-                            self.user.row_mut(u)[d] -= lr * 2.0 * (jj - ii);
-                            self.item.row_mut(i)[d] -= lr * 2.0 * (ii - uu);
-                            self.item.row_mut(j)[d] -= lr * 2.0 * (uu - jj);
-                        }
-                    }
-                    if item_active {
-                        for d in 0..dim {
-                            let uu = self.user.row(u)[d];
-                            let ii = self.item.row(i)[d];
-                            let jj = self.item.row(j)[d];
-                            // L_i = d(u,i)² + m_i − d(i,j)²
-                            // ∂/∂i = 2(i−u) − 2(i−j); ∂/∂u = 2(u−i);
-                            // ∂/∂j = 2(j−i)... sign: −d(i,j)² ⇒ +2(i−j) on j? derive:
-                            // ∂(−d_ij²)/∂j = −2(j−i)·... d_ij² = ‖i−j‖²,
-                            // ∂/∂j = −2(i−j); with LAMBDA weight.
-                            let w = lr * LAMBDA_ITEM * 2.0;
-                            self.item.row_mut(i)[d] -= w * ((ii - uu) - (ii - jj));
-                            self.user.row_mut(u)[d] -= w * (uu - ii);
-                            self.item.row_mut(j)[d] -= w * (ii - jj);
-                        }
-                    }
-                    // Margin updates: hinge gradient is +1 on the margin if
-                    // active; the reward −γ pushes margins up always.
-                    let mu = &mut self.user_margin[u];
-                    *mu -= lr * (if user_active { 1.0 } else { 0.0 } - GAMMA_MARGIN);
-                    *mu = mu.clamp(MARGIN_MIN, MARGIN_MAX);
-                    let mi = &mut self.item_margin[i];
-                    *mi -= lr * LAMBDA_ITEM * (if item_active { 1.0 } else { 0.0 })
-                        - lr * GAMMA_MARGIN;
-                    *mi = mi.clamp(MARGIN_MIN, MARGIN_MAX);
-
-                    ops::clip_to_unit_ball(self.user.row_mut(u));
-                    ops::clip_to_unit_ball(self.item.row_mut(i));
-                    ops::clip_to_unit_ball(self.item.row_mut(j));
-                }
-            }
-        }
+        let cfg = self.cfg.clone();
+        fit_triplets(self, data, &cfg);
     }
 
     fn name(&self) -> &'static str {
@@ -168,6 +196,7 @@ impl ImplicitRecommender for Sml {
 mod tests {
     use super::*;
     use crate::common::tests_support::{improves_over_untrained, tiny_dataset};
+    use mars_optim::BatchMode;
 
     #[test]
     fn training_improves_ranking() {
@@ -180,6 +209,46 @@ mod tests {
             )
         };
         improves_over_untrained(make, &data);
+    }
+
+    #[test]
+    fn per_triplet_engine_mode_also_learns() {
+        // SML rides the shared engine now; the reference per-sample
+        // scheduling must train too.
+        let data = tiny_dataset();
+        let cfg = BaselineConfig {
+            batch_mode: BatchMode::PerTriplet,
+            ..BaselineConfig::quick(16)
+        };
+        improves_over_untrained(
+            || Sml::new(cfg.clone(), data.num_users(), data.num_items()),
+            &data,
+        );
+    }
+
+    #[test]
+    fn sharded_training_is_deterministic_and_learns() {
+        let data = tiny_dataset();
+        let cfg = BaselineConfig {
+            threads: 4,
+            ..BaselineConfig::quick(16)
+        };
+        improves_over_untrained(
+            || Sml::new(cfg.clone(), data.num_users(), data.num_items()),
+            &data,
+        );
+        let run = || {
+            let mut m = Sml::new(cfg.clone(), data.num_users(), data.num_items());
+            m.fit(&data);
+            let mut scores = Vec::new();
+            for u in 0..data.num_users() as u32 {
+                for v in 0..data.num_items() as u32 {
+                    scores.push(m.score(u, v).to_bits());
+                }
+            }
+            (scores, m.margins().0.to_vec(), m.margins().1.to_vec())
+        };
+        assert_eq!(run(), run(), "sharded SML training not deterministic");
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! Kernel microbench: the PR 2 scalar kernels vs the portable lane-chunked
+//! tier vs the AVX2/FMA tier of `mars_tensor::simd`, per kernel and dim.
+//!
+//! Run with `cargo bench --bench kernels`. Results are printed as a table
+//! and written to `BENCH_kernels.json` at the workspace root (same shape as
+//! the other BENCH artifacts) so the speedup is recorded alongside the code
+//! that produced it. Set `KERNEL_BENCH_SMOKE=1` (CI) to run the same
+//! measurement loop in check mode — a fraction of the repetitions, enough
+//! to prove the harness and every tier still run.
+//!
+//! This is a custom `harness = false` bench (not criterion): the JSON
+//! artifact is the point, and each measurement is a simple best-of-N over a
+//! row-kernel pass big enough to dwarf timer overhead.
+
+use mars_tensor::simd::{self, portable, scalar};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Rows per kernel pass — enough work that one pass is microseconds, small
+/// enough that all buffers stay cache-resident (the training regime).
+const ROWS: usize = 1024;
+
+/// Measured dims: one sub-lane, the workspace default (dim 32, the
+/// acceptance dim), and a larger embedding.
+const DIMS: [usize; 3] = [8, 32, 64];
+
+fn filled(len: usize, salt: u32) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let x = (i as u32).wrapping_mul(2654435761).wrapping_add(salt);
+            (x % 4096) as f32 / 2048.0 - 1.0
+        })
+        .collect()
+}
+
+/// Best-of-`reps` wall time of one `pass` call, in nanoseconds.
+fn best_ns(reps: usize, mut pass: impl FnMut()) -> f64 {
+    // Warm-up.
+    pass();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        pass();
+        best = best.min(t.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+struct Tier {
+    name: &'static str,
+    ns: f64,
+}
+
+struct KernelResult {
+    kernel: &'static str,
+    dim: usize,
+    tiers: Vec<Tier>,
+}
+
+fn main() {
+    let smoke = std::env::var("KERNEL_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let reps = if smoke { 5 } else { 400 };
+    let inner = if smoke { 4 } else { 64 };
+    println!(
+        "active path: {:?} ({} rows/pass, {} passes/measure, best of {reps})",
+        simd::active_path(),
+        ROWS,
+        inner
+    );
+
+    let mut results: Vec<KernelResult> = Vec::new();
+    for dim in DIMS {
+        let a = filled(ROWS * dim, 1);
+        let b = filled(ROWS * dim, 2);
+        let x = filled(dim, 3);
+        let alpha = filled(ROWS, 4);
+        let mut out = vec![0.0f32; ROWS];
+        let mut y = filled(ROWS * dim, 5);
+
+        // One entry per kernel: (name, scalar pass, portable pass, avx2 pass).
+        // Each pass runs `inner` full ROWS-sized kernel calls.
+        macro_rules! kernel {
+            ($name:literal, $body:expr) => {{
+                let mut run = $body;
+                let mut tiers = Vec::new();
+                for tier in ["scalar", "portable", "avx2"] {
+                    if tier == "avx2" {
+                        #[cfg(target_arch = "x86_64")]
+                        if !simd::avx2::available() {
+                            continue;
+                        }
+                        #[cfg(not(target_arch = "x86_64"))]
+                        continue;
+                    }
+                    let ns = best_ns(reps, || {
+                        for _ in 0..inner {
+                            run(tier);
+                        }
+                    });
+                    tiers.push(Tier {
+                        name: match tier {
+                            "scalar" => "scalar",
+                            "portable" => "portable",
+                            _ => "avx2",
+                        },
+                        ns: ns / inner as f64,
+                    });
+                }
+                results.push(KernelResult {
+                    kernel: $name,
+                    dim,
+                    tiers,
+                });
+            }};
+        }
+
+        kernel!("dot_rows", |tier: &str| {
+            match tier {
+                "scalar" => scalar::dot_rows(black_box(&a), black_box(&b), dim, &mut out),
+                "portable" => portable::dot_rows(black_box(&a), black_box(&b), dim, &mut out),
+                #[cfg(target_arch = "x86_64")]
+                _ => unsafe { simd::avx2::dot_rows(black_box(&a), black_box(&b), dim, &mut out) },
+                #[cfg(not(target_arch = "x86_64"))]
+                _ => unreachable!(),
+            }
+            black_box(&mut out);
+        });
+
+        kernel!("dist_sq_rows", |tier: &str| {
+            match tier {
+                "scalar" => scalar::dist_sq_rows(black_box(&a), black_box(&b), dim, &mut out),
+                "portable" => portable::dist_sq_rows(black_box(&a), black_box(&b), dim, &mut out),
+                #[cfg(target_arch = "x86_64")]
+                _ => unsafe {
+                    simd::avx2::dist_sq_rows(black_box(&a), black_box(&b), dim, &mut out)
+                },
+                #[cfg(not(target_arch = "x86_64"))]
+                _ => unreachable!(),
+            }
+            black_box(&mut out);
+        });
+
+        kernel!("dot_one_rows", |tier: &str| {
+            match tier {
+                // The scalar tier has no one-vs-rows form; per-row scalar
+                // dot is the PR 2 equivalent.
+                "scalar" => {
+                    for (r, o) in out.iter_mut().enumerate() {
+                        *o = scalar::dot(black_box(&x), &b[r * dim..(r + 1) * dim]);
+                    }
+                }
+                "portable" => portable::dot_one_rows(black_box(&x), black_box(&b), &mut out),
+                #[cfg(target_arch = "x86_64")]
+                _ => unsafe { simd::avx2::dot_one_rows(black_box(&x), black_box(&b), &mut out) },
+                #[cfg(not(target_arch = "x86_64"))]
+                _ => unreachable!(),
+            }
+            black_box(&mut out);
+        });
+
+        kernel!("axpy_rows", |tier: &str| {
+            match tier {
+                "scalar" => scalar::axpy_rows(black_box(&alpha), black_box(&a), &mut y, dim),
+                "portable" => portable::axpy_rows(black_box(&alpha), black_box(&a), &mut y, dim),
+                #[cfg(target_arch = "x86_64")]
+                _ => unsafe {
+                    simd::avx2::axpy_rows(black_box(&alpha), black_box(&a), &mut y, dim)
+                },
+                #[cfg(not(target_arch = "x86_64"))]
+                _ => unreachable!(),
+            }
+            black_box(&mut y);
+        });
+    }
+
+    // Table + JSON.
+    let mut json = String::from("{\n  \"bench\": \"kernel_microbench\",\n");
+    let _ = writeln!(json, "  \"rows_per_pass\": {ROWS},");
+    let _ = writeln!(json, "  \"smoke_mode\": {smoke},");
+    let _ = writeln!(json, "  \"active_path\": \"{:?}\",", simd::active_path());
+    json.push_str("  \"kernels\": [\n");
+    for (idx, r) in results.iter().enumerate() {
+        let scalar_ns = r
+            .tiers
+            .iter()
+            .find(|t| t.name == "scalar")
+            .map(|t| t.ns)
+            .unwrap_or(f64::NAN);
+        print!("{:<14} dim={:<3}", r.kernel, r.dim);
+        let mut fields = String::new();
+        for t in &r.tiers {
+            let speedup = scalar_ns / t.ns;
+            print!("  {}: {:>9.0} ns ({:>5.2}x)", t.name, t.ns, speedup);
+            let _ = write!(fields, ", \"{}_ns\": {:.0}", t.name, t.ns);
+            if t.name != "scalar" {
+                let _ = write!(fields, ", \"speedup_{}_vs_scalar\": {:.2}", t.name, speedup);
+            }
+        }
+        println!();
+        let _ = writeln!(
+            json,
+            "    {{\"kernel\": \"{}\", \"dim\": {}, \"rows\": {}{}}}{}",
+            r.kernel,
+            r.dim,
+            ROWS,
+            fields,
+            if idx + 1 < results.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    if smoke {
+        // Check mode proves the harness; it must not overwrite the real
+        // artifact with throwaway numbers.
+        println!("\nsmoke mode: skipped writing {path}");
+    } else {
+        std::fs::write(path, &json).expect("write BENCH_kernels.json");
+        println!("\nwrote {path}");
+    }
+}

@@ -12,7 +12,7 @@
 //!   workhorse collections; zero allocation per step).
 
 use crate::config::Geometry;
-use mars_tensor::{ops, rows};
+use mars_tensor::{ops, rows, simd};
 
 /// Facet-specific similarity `g_k` for the given geometry (Eq. 3 / Eq. 13).
 #[inline]
@@ -80,22 +80,19 @@ pub fn similarity_gradients(
     debug_assert_eq!(w_q.len(), k);
     match geometry {
         Geometry::Euclidean => {
+            // One fused three-output pass per facet (the vectorized
+            // `simd::euclid_grad_row` kernel; du = −dp − dq elementwise).
             for f in 0..k {
-                let wp2 = 2.0 * w_p[f];
-                let wq2 = 2.0 * w_q[f];
-                let u = rows::row(uf, dim, f);
-                let p = rows::row(pf, dim, f);
-                let q = rows::row(qf, dim, f);
-                let du_f = rows::row_mut(du, dim, f);
-                let dp_f = rows::row_mut(dp, dim, f);
-                let dq_f = rows::row_mut(dq, dim, f);
-                for i in 0..dim {
-                    let diff_p = u[i] - p[i];
-                    let diff_q = u[i] - q[i];
-                    du_f[i] = -wp2 * diff_p - wq2 * diff_q;
-                    dp_f[i] = wp2 * diff_p;
-                    dq_f[i] = wq2 * diff_q;
-                }
+                simd::euclid_grad_row(
+                    2.0 * w_p[f],
+                    2.0 * w_q[f],
+                    rows::row(uf, dim, f),
+                    rows::row(pf, dim, f),
+                    rows::row(qf, dim, f),
+                    rows::row_mut(du, dim, f),
+                    rows::row_mut(dp, dim, f),
+                    rows::row_mut(dq, dim, f),
+                );
             }
         }
         Geometry::Spherical => {

@@ -10,23 +10,30 @@
 //! ## Execution engines
 //!
 //! [`RankingEvaluator::evaluate_pairs`] runs the **batched** engine: all
-//! negative candidate sets are pre-drawn up front (one serial RNG pass in
-//! pair order — the exact draw sequence of the sequential protocol), each
-//! user's full candidate block is scored in one [`Scorer::score_block`]
-//! call, and pairs fan out across a `mars-runtime` worker pool. Each pair's
-//! outcome is recorded into its own positional slot and the metric sums are
-//! reduced serially in pair order, so the batched engine — serial *or*
-//! parallel — is **bit-identical** to the sequential reference
+//! negative candidate sets are pre-drawn up front, each user's full
+//! candidate block is scored in one [`Scorer::score_block`] call, and pairs
+//! fan out across a `mars-runtime` worker pool. Each pair's outcome is
+//! recorded into its own positional slot and the metric sums are reduced
+//! serially in pair order, so the batched engine — serial *or* parallel —
+//! is **bit-identical** to the sequential reference
 //! ([`RankingEvaluator::evaluate_pairs_sequential`], the seed's one-pair-at-
 //! a-time walk, kept for A/B checks and the evaluation benchmark).
+//!
+//! ## Counter-based negative draws
+//!
+//! Negative sampling is keyed per pair: pair `i` draws from its own
+//! [`CounterRng`] stream `(seed, i)`, a pure function of the evaluation
+//! seed and the pair index (see `mars_runtime::rng`). Because no RNG state
+//! is shared across pairs, the pre-draw **fans out across the worker
+//! pool** — the phase that stayed serial through PR 2 — while the candidate
+//! sets remain bit-identical at every worker count, and identical to what
+//! the sequential protocol draws pair by pair.
 
 use crate::ranking::{auc_from_rank, hit_ratio_at, mrr_from_rank, ndcg_at, rank_of_positive};
 use crate::Scorer;
 use mars_data::dataset::{Dataset, HeldOut};
 use mars_data::{ItemId, UserId};
-use mars_runtime::{chunk_ranges, WorkerPool};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mars_runtime::{chunk_ranges, CounterRng, WorkerPool};
 use std::collections::HashMap;
 
 /// Evaluation configuration.
@@ -37,6 +44,8 @@ pub struct EvalConfig {
     /// Cutoffs to report (paper: 10 and 20).
     pub cutoffs: Vec<usize>,
     /// Seed for negative sampling — shared across models in a comparison.
+    /// Pair `i` draws from the counter-based stream keyed `(seed, i)`, so
+    /// the candidate sets are a pure function of `(seed, pair order)`.
     pub seed: u64,
     /// Worker threads for the batched evaluator: `0` = all cores, `1` =
     /// serial. Results are bit-identical at every thread count.
@@ -166,10 +175,9 @@ impl RankingEvaluator {
         pairs: &[HeldOut],
         pool: &WorkerPool,
     ) -> Report {
-        // Phase 1 (serial): pre-draw every candidate set, in pair order,
-        // from the per-evaluation seed — the exact RNG stream of the
-        // sequential protocol.
-        let drawn = self.predraw_negatives(data, pairs);
+        // Phase 1 (parallel): pre-draw every candidate set. Streams are
+        // keyed per pair, so the fan-out cannot change a single draw.
+        let drawn = self.predraw_negatives(data, pairs, pool);
 
         // Phase 2 (parallel): score each pair's full candidate block and
         // record its (rank, #negatives) outcome into its positional slot.
@@ -224,12 +232,9 @@ impl RankingEvaluator {
         // Reusable buffers (perf-book: workhorse collections).
         let mut negatives: Vec<ItemId> = Vec::with_capacity(self.config.num_negatives);
         let mut scores: Vec<f32> = Vec::with_capacity(self.config.num_negatives);
-        // Fixed seed per evaluation: candidate sets are identical across
-        // models and runs.
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
 
-        let outcomes = pairs.iter().map(|h| {
-            self.sample_negatives(data, h, &mut negatives, &mut rng);
+        let outcomes = pairs.iter().enumerate().map(|(i, h)| {
+            self.sample_negatives(data, h, i, &mut negatives);
             if negatives.is_empty() {
                 return None; // user interacted with the whole catalogue
             }
@@ -334,14 +339,21 @@ impl RankingEvaluator {
         out
     }
 
-    /// Pre-draws the negative candidate set of every pair, in pair order,
-    /// with one RNG stream — producing **exactly** the sets that
-    /// [`Self::sample_negatives`] draws pair-by-pair in the sequential
-    /// protocol. The per-user dev/test lookups are precomputed once (the
-    /// sequential path re-scans both splits per pair), which changes no
-    /// accept/reject decision and therefore no RNG draw.
-    fn predraw_negatives(&self, data: &Dataset, pairs: &[HeldOut]) -> DrawnNegatives {
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
+    /// Pre-draws the negative candidate set of every pair — **exactly** the
+    /// sets that [`Self::sample_negatives`] draws pair-by-pair in the
+    /// sequential protocol — fanned out across `pool`. Pair `i` draws from
+    /// its own counter-based stream `(seed, i)`, so neither the sharding
+    /// nor the worker count can change a single draw: the result is
+    /// bit-identical at every pool size (asserted in the tests). The
+    /// per-user dev/test lookups are precomputed once (the sequential path
+    /// re-scans both splits per pair), which changes no accept/reject
+    /// decision and therefore no draw.
+    fn predraw_negatives(
+        &self,
+        data: &Dataset,
+        pairs: &[HeldOut],
+        pool: &WorkerPool,
+    ) -> DrawnNegatives {
         // First occurrence wins — `Iterator::find` semantics of the
         // sequential path.
         let mut dev_of: HashMap<UserId, ItemId> = HashMap::new();
@@ -356,49 +368,80 @@ impl RankingEvaluator {
         let n = data.num_items();
         let want = self.config.num_negatives;
         let budget = want * 128;
-        let mut items: Vec<ItemId> = Vec::with_capacity(pairs.len() * want);
+
+        /// One worker's slice of the pre-draw: its pair range, the drawn
+        /// items (concatenated in pair order) and one length per pair.
+        struct DrawShard {
+            range: std::ops::Range<usize>,
+            items: Vec<ItemId>,
+            lens: Vec<u32>,
+        }
+        let mut shards: Vec<DrawShard> = chunk_ranges(pairs.len(), pool.workers())
+            .into_iter()
+            .map(|range| DrawShard {
+                items: Vec::with_capacity(range.len() * want),
+                lens: Vec::with_capacity(range.len()),
+                range,
+            })
+            .collect();
+        pool.scatter(&mut shards, |_, sh| {
+            for i in sh.range.clone() {
+                let h = &pairs[i];
+                let start = sh.items.len();
+                let dev_item = dev_of.get(&h.user).copied();
+                let test_item = test_of.get(&h.user).copied();
+                let known = data.train.user_degree(h.user) + 2;
+                if known < n {
+                    let mut rng = CounterRng::keyed(self.config.seed, i as u64);
+                    let mut attempts = 0usize;
+                    while sh.items.len() - start < want && attempts < budget {
+                        attempts += 1;
+                        let v = rng.gen_below(n as u64) as ItemId;
+                        // The already-drawn check scans only this pair's own
+                        // slice — the literal `out.contains` of the
+                        // sequential path (O(want) per draw beats a
+                        // catalogue-sized stamp array: no O(items) fill per
+                        // shard, and `want` is ~100).
+                        if v == h.item
+                            || Some(v) == dev_item
+                            || Some(v) == test_item
+                            || data.train.contains(h.user, v)
+                            || sh.items[start..].contains(&v)
+                        {
+                            continue;
+                        }
+                        sh.items.push(v);
+                    }
+                }
+                sh.lens.push((sh.items.len() - start) as u32);
+            }
+        });
+
+        // Stitch the shard outputs back together: shards are contiguous
+        // in-order pair ranges, so shard order is pair order.
+        let total: usize = shards.iter().map(|sh| sh.items.len()).sum();
+        let mut items: Vec<ItemId> = Vec::with_capacity(total);
         let mut offsets: Vec<usize> = Vec::with_capacity(pairs.len() + 1);
         offsets.push(0);
-        // Already-drawn test, O(1) per draw: `picked[v]` holds the index of
-        // the last pair that accepted item `v`, replacing the sequential
-        // path's linear `out.contains` scan with the same accept/reject
-        // answer (so the RNG stream is untouched).
-        let mut picked: Vec<u32> = vec![u32::MAX; n];
-        for (pair_idx, h) in pairs.iter().enumerate() {
-            let start = items.len();
-            let dev_item = dev_of.get(&h.user).copied();
-            let test_item = test_of.get(&h.user).copied();
-            let known = data.train.user_degree(h.user) + 2;
-            if known < n {
-                let mut attempts = 0usize;
-                while items.len() - start < want && attempts < budget {
-                    attempts += 1;
-                    let v = rng.gen_range(0..n) as ItemId;
-                    if v == h.item
-                        || Some(v) == dev_item
-                        || Some(v) == test_item
-                        || data.train.contains(h.user, v)
-                        || picked[v as usize] == pair_idx as u32
-                    {
-                        continue;
-                    }
-                    picked[v as usize] = pair_idx as u32;
-                    items.push(v);
-                }
+        for sh in &shards {
+            items.extend_from_slice(&sh.items);
+            for &len in &sh.lens {
+                offsets.push(offsets.last().unwrap() + len as usize);
             }
-            offsets.push(items.len());
         }
         DrawnNegatives { items, offsets }
     }
 
     /// Samples `num_negatives` distinct items the user never touched in any
-    /// split (train membership + the user's own dev/test items).
+    /// split (train membership + the user's own dev/test items), drawing
+    /// from pair `pair_idx`'s own counter-based stream `(seed, pair_idx)` —
+    /// the stream [`Self::predraw_negatives`] replays in parallel.
     fn sample_negatives(
         &self,
         data: &Dataset,
         h: &HeldOut,
+        pair_idx: usize,
         out: &mut Vec<ItemId>,
-        rng: &mut StdRng,
     ) {
         out.clear();
         let n = data.num_items();
@@ -408,11 +451,12 @@ impl RankingEvaluator {
         if known >= n {
             return;
         }
+        let mut rng = CounterRng::keyed(self.config.seed, pair_idx as u64);
         let mut attempts = 0usize;
         let budget = self.config.num_negatives * 128;
         while out.len() < self.config.num_negatives && attempts < budget {
             attempts += 1;
-            let v = rng.gen_range(0..n) as ItemId;
+            let v = rng.gen_below(n as u64) as ItemId;
             if v == h.item
                 || Some(v) == dev_item
                 || Some(v) == test_item
@@ -535,10 +579,9 @@ mod tests {
             seed: 3,
             threads: 1,
         });
-        let mut rng = StdRng::seed_from_u64(3);
         let mut negs = Vec::new();
-        for h in &data.test {
-            ev.sample_negatives(&data, h, &mut negs, &mut rng);
+        for (i, h) in data.test.iter().enumerate() {
+            ev.sample_negatives(&data, h, i, &mut negs);
             assert_eq!(negs.len(), 30);
             for &v in &negs {
                 assert!(!data.train.contains(h.user, v));
@@ -555,8 +598,9 @@ mod tests {
 
     #[test]
     fn predrawn_negatives_match_sequential_draws_exactly() {
-        // The batched engine's phase 1 must reproduce the sequential RNG
-        // stream set-for-set — this is what makes the engines bit-identical.
+        // The batched engine's phase 1 must reproduce the sequential
+        // per-pair streams set-for-set — this is what makes the engines
+        // bit-identical.
         for data in [toy_dataset(), wide_dataset()] {
             let ev = RankingEvaluator::new(EvalConfig {
                 num_negatives: 25,
@@ -564,12 +608,38 @@ mod tests {
                 seed: 13,
                 threads: 1,
             });
-            let drawn = ev.predraw_negatives(&data, &data.test);
-            let mut rng = StdRng::seed_from_u64(13);
+            let drawn = ev.predraw_negatives(&data, &data.test, &WorkerPool::new(1));
             let mut negs = Vec::new();
             for (i, h) in data.test.iter().enumerate() {
-                ev.sample_negatives(&data, h, &mut negs, &mut rng);
+                ev.sample_negatives(&data, h, i, &mut negs);
                 assert_eq!(drawn.get(i), &negs[..], "pair {i} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_predraw_is_bit_identical_at_every_worker_count() {
+        // The counter-based streams make the pre-draw a pure function of
+        // (seed, pair index): fanning it across 1..=8 workers must not
+        // change one item of one candidate set.
+        for data in [toy_dataset(), wide_dataset()] {
+            let ev = RankingEvaluator::new(EvalConfig {
+                num_negatives: 40,
+                cutoffs: vec![10],
+                seed: 99,
+                threads: 1,
+            });
+            let reference = ev.predraw_negatives(&data, &data.test, &WorkerPool::new(1));
+            for workers in 2..=8 {
+                let got = ev.predraw_negatives(&data, &data.test, &WorkerPool::new(workers));
+                assert_eq!(
+                    got.items, reference.items,
+                    "items diverged at {workers} workers"
+                );
+                assert_eq!(
+                    got.offsets, reference.offsets,
+                    "offsets diverged at {workers} workers"
+                );
             }
         }
     }

@@ -3,13 +3,40 @@
 //! Persistent worker-pool execution runtime shared by every data-parallel
 //! engine in the workspace: the batched trainer (`mars-core`), the shared
 //! baseline triplet engine (`mars-baselines`) and the batched ranking
-//! evaluator (`mars-metrics`).
+//! evaluator (`mars-metrics`). Also home of the counter-based RNG
+//! ([`rng::CounterRng`]) that lets per-unit random draws fan out across the
+//! pool without changing their values.
 //!
 //! PR 1's engines re-spawned a `std::thread::scope` for every mini-batch, so
 //! the spawn/join cost recurred once per batch (and the evaluator had no
 //! parallelism at all). [`WorkerPool`] replaces that: worker threads are
 //! created **once** — typically for the whole `fit()` or the whole
 //! evaluation — and every [`WorkerPool::scatter`] call reuses them.
+//!
+//! ## Allocation-free job-slot dispatch
+//!
+//! Through PR 2, every `scatter` boxed one closure per worker per call and
+//! shipped it over an `mpsc` channel (a second channel collected
+//! completions), so the per-batch hot path allocated `O(workers)` times.
+//! Dispatch now uses a **preallocated job slot** per worker: one
+//! `AtomicPtr` that the caller points at a per-call [`TaskHeader`] living
+//! on the `scatter` stack frame (publish = one release store + `unpark`),
+//! and that the worker consumes, runs, and acknowledges by decrementing the
+//! header's remaining-counter and unparking the caller. Worker `i − 1`
+//! always executes shard `i`, so the slot carries no payload beyond the
+//! header pointer; results are written straight into the caller's output
+//! buffer through the header. Steady-state dispatch therefore performs
+//! **zero heap allocations** — no boxed jobs, no channel nodes (the only
+//! remaining allocation is the caller's result `Vec`, which is free for
+//! zero-sized results, i.e. for every engine hot loop). Panic payloads are
+//! the one exception: unwinding already allocates, so the panic path may
+//! too.
+//!
+//! `scatter` takes `&self` and serializes concurrent calls internally; it
+//! must not be called **re-entrantly** from inside a shard closure of the
+//! same pool (the outer call holds the dispatch slots — same as the
+//! channel-based dispatch, where a nested call would deadlock on its own
+//! worker).
 //!
 //! ## Determinism contract
 //!
@@ -34,7 +61,9 @@
 //! shard-order guarantee is what makes that first-touch order well defined
 //! under parallelism. The batched evaluator instead records per-pair results
 //! into positional slots and reduces them serially in pair order, which
-//! makes parallel evaluation bit-identical to the sequential protocol.
+//! makes parallel evaluation bit-identical to the sequential protocol — and
+//! its negative pre-draw keys one [`rng::CounterRng`] stream per pair, so
+//! the drawn candidate sets are the same at every worker count too.
 //!
 //! ## Degenerate single-thread mode
 //!
@@ -44,12 +73,20 @@
 //! multi-core run minus the thread hops — same sharding, same merge order,
 //! same results.
 //!
-//! Shutdown is graceful: dropping the pool closes the job channels and
-//! joins every worker.
+//! Shutdown is graceful: dropping the pool publishes a shutdown sentinel to
+//! every slot and joins every worker.
 
+use std::any::Any;
+use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::mpsc;
-use std::thread;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, Thread};
+
+pub mod rng;
+
+pub use rng::CounterRng;
 
 /// Resolves a configured worker-thread count: `0` means "all available
 /// cores", anything else is taken literally (min 1). Shared by every
@@ -65,14 +102,59 @@ pub fn resolve_threads(configured: usize) -> usize {
     .max(1)
 }
 
-/// A type-erased job shipped to a worker thread. The `'static` bound is a
-/// fiction maintained by [`WorkerPool::scatter`], which never returns (or
-/// unwinds) before every job it submitted has completed.
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// Worker-side job outcome recorded in its slot; the caller reads these on
+/// the panic path to know which result slots were initialized.
+const OUTCOME_PENDING: u8 = 0;
+const OUTCOME_OK: u8 = 1;
+const OUTCOME_PANICKED: u8 = 2;
+
+/// Iterations a worker spins on its slot before parking. Kept small: the
+/// pool also runs on single-core machines, where spinning only delays the
+/// publisher.
+const SPIN_BEFORE_PARK: usize = 64;
+
+/// The shutdown sentinel published to a slot by `Drop`: the canonical
+/// dangling (aligned, never-allocated) address, which cannot alias a real
+/// [`TaskHeader`] — those live in the publishing `scatter` frame, and no
+/// allocation ever sits in the null page.
+fn shutdown_sentinel() -> *mut TaskHeader {
+    std::ptr::dangling_mut::<TaskHeader>()
+}
+
+/// Per-`scatter` dispatch header, living on the `scatter` stack frame. The
+/// `'static`-free raw pointers are sound because `scatter` never returns
+/// (or unwinds) before `remaining` reaches zero — no worker can touch the
+/// header or the buffers it points into after the frame is gone.
+struct TaskHeader {
+    /// Monomorphized trampoline: runs shard `i` against the erased context
+    /// and writes the result into the caller's output buffer at slot `i`.
+    run: unsafe fn(*const (), usize),
+    /// Type-erased pointer to the monomorphized context (closure + shard
+    /// and result base pointers).
+    ctx: *const (),
+    /// Background shards still running; the caller's barrier.
+    remaining: AtomicUsize,
+    /// The caller, unparked by each worker acknowledgement.
+    caller: Thread,
+    /// First panic payload from a worker shard (allocates only when a shard
+    /// actually panics — unwinding allocates anyway).
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+/// A worker's preallocated job slot: the only channel between caller and
+/// worker, reused for the lifetime of the pool.
+struct JobSlot {
+    /// Published task: null = idle, [`shutdown_sentinel`] = terminate,
+    /// anything else = a live [`TaskHeader`] for one `scatter` call.
+    task: AtomicPtr<TaskHeader>,
+    /// Outcome of the worker's shard in the current `scatter` call.
+    outcome: AtomicU8,
+}
 
 struct Worker {
-    /// Job queue; `None` only during shutdown.
-    jobs: Option<mpsc::Sender<Job>>,
+    slot: Arc<JobSlot>,
+    /// Handle for `unpark` (cloned from the `JoinHandle` at spawn).
+    thread: Thread,
     handle: Option<thread::JoinHandle<()>>,
 }
 
@@ -83,31 +165,59 @@ struct Worker {
 /// pool of `n` threads gives `n`-way parallelism without idling the caller.
 pub struct WorkerPool {
     workers: Vec<Worker>,
+    /// Serializes `scatter` calls: each worker has exactly one job slot, so
+    /// only one dispatch may be in flight (uncontended in every engine —
+    /// scatters are barriers).
+    dispatch: Mutex<()>,
 }
 
-/// Raw-pointer wrapper that may cross a thread boundary. Safety is argued at
-/// the use sites in [`WorkerPool::scatter`]: every worker receives pointers
-/// to *disjoint* elements, and the owning frame outlives all workers.
-struct SendPtr<T>(*mut T);
-unsafe impl<T> Send for SendPtr<T> {}
-
-// Manual impls: the derives would add an unwanted `T: Copy` bound.
-impl<T> Clone for SendPtr<T> {
-    fn clone(&self) -> Self {
-        *self
-    }
-}
-impl<T> Copy for SendPtr<T> {}
-
-impl<T> SendPtr<T> {
-    /// Element pointer `base + i`. Methods (rather than field access) keep
-    /// closures capturing the whole `Send` wrapper under the edition-2021
-    /// disjoint-capture rules.
-    ///
-    /// # Safety
-    /// `i` must be in bounds of the allocation this pointer heads.
-    unsafe fn at(self, i: usize) -> *mut T {
-        self.0.add(i)
+/// The background worker loop: wait on the slot (spin, then park), run the
+/// published shard, acknowledge through the header. `index` is the shard
+/// this worker always executes (worker `i − 1` → shard `i`).
+fn worker_loop(slot: Arc<JobSlot>, index: usize) {
+    loop {
+        let mut task = slot.task.load(Ordering::Acquire);
+        let mut spins = 0;
+        while task.is_null() {
+            if spins < SPIN_BEFORE_PARK {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                thread::park();
+            }
+            task = slot.task.load(Ordering::Acquire);
+        }
+        if task == shutdown_sentinel() {
+            return;
+        }
+        // Consume the slot before running; the caller cannot publish again
+        // until this call's barrier has passed, so the store cannot race a
+        // new task.
+        slot.task.store(ptr::null_mut(), Ordering::Relaxed);
+        // SAFETY: the publishing `scatter` frame blocks until `remaining`
+        // hits zero — the `fetch_sub` below is therefore the *last* access
+        // to the header (and everything it points into) this worker may
+        // make: the moment it lands, the frame is free to die. The caller
+        // handle for the final wake-up is cloned out beforehand (a refcount
+        // bump, not an allocation) for exactly that reason.
+        let header = unsafe { &*task };
+        let outcome = catch_unwind(AssertUnwindSafe(|| unsafe {
+            (header.run)(header.ctx, index)
+        }));
+        match outcome {
+            Ok(()) => slot.outcome.store(OUTCOME_OK, Ordering::Release),
+            Err(payload) => {
+                slot.outcome.store(OUTCOME_PANICKED, Ordering::Release);
+                header
+                    .panic
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .get_or_insert(payload);
+            }
+        }
+        let caller = header.caller.clone();
+        header.remaining.fetch_sub(1, Ordering::AcqRel);
+        caller.unpark();
     }
 }
 
@@ -117,22 +227,27 @@ impl WorkerPool {
     pub fn new(threads: usize) -> Self {
         let workers = (1..threads.max(1))
             .map(|i| {
-                let (tx, rx) = mpsc::channel::<Job>();
+                let slot = Arc::new(JobSlot {
+                    task: AtomicPtr::new(ptr::null_mut()),
+                    outcome: AtomicU8::new(OUTCOME_PENDING),
+                });
+                let worker_slot = Arc::clone(&slot);
                 let handle = thread::Builder::new()
                     .name(format!("mars-runtime-{i}"))
-                    .spawn(move || {
-                        while let Ok(job) = rx.recv() {
-                            job();
-                        }
-                    })
+                    .spawn(move || worker_loop(worker_slot, i))
                     .expect("failed to spawn mars-runtime worker");
+                let thread = handle.thread().clone();
                 Worker {
-                    jobs: Some(tx),
+                    slot,
+                    thread,
                     handle: Some(handle),
                 }
             })
             .collect();
-        Self { workers }
+        Self {
+            workers,
+            dispatch: Mutex::new(()),
+        }
     }
 
     /// A pool sized by the shared `threads` convention ([`resolve_threads`]:
@@ -151,11 +266,15 @@ impl WorkerPool {
     /// scatter → merge protocol (the caller merges, in that same order).
     ///
     /// Shard 0 (and any shards beyond the worker count) run on the calling
-    /// thread; shards `1..=workers` run on the background workers. The call
-    /// blocks until every shard has finished. Shard counts may differ from
-    /// the pool size: extra shards are executed serially by the caller, so
-    /// the result — including float summation order inside any shard-order
-    /// merge — is independent of how many workers the pool actually has.
+    /// thread; shards `1..=workers` run on the background workers (worker
+    /// `i − 1` always executes shard `i`). The call blocks until every
+    /// shard has finished. Shard counts may differ from the pool size:
+    /// extra shards are executed serially by the caller, so the result —
+    /// including float summation order inside any shard-order merge — is
+    /// independent of how many workers the pool actually has.
+    ///
+    /// Dispatch is allocation-free in steady state (see the module docs);
+    /// must not be called re-entrantly from inside a shard closure.
     ///
     /// # Panics
     /// If a shard closure panics, the panic is re-raised on the caller
@@ -168,82 +287,133 @@ impl WorkerPool {
         F: Fn(usize, &mut T) -> R + Sync,
     {
         let n = shards.len();
-        let mut results: Vec<Option<R>> = Vec::with_capacity(n);
-        results.resize_with(n, || None);
         if n == 0 {
             return Vec::new();
         }
+        // Results are written in place through raw slots and the length is
+        // set only on the fully-successful path. For `R = ()` — every
+        // engine hot loop — this Vec never allocates.
+        let mut results: Vec<R> = Vec::with_capacity(n);
 
         // Background shards 1..=bg; everything else runs on the caller.
         let bg = self.workers.len().min(n - 1);
         if bg == 0 {
-            for (i, (shard, slot)) in shards.iter_mut().zip(results.iter_mut()).enumerate() {
-                *slot = Some(f(i, shard));
+            for (i, shard) in shards.iter_mut().enumerate() {
+                results.push(f(i, shard));
             }
-            return results.into_iter().map(Option::unwrap).collect();
+            return results;
         }
 
-        let (done_tx, done_rx) = mpsc::channel::<thread::Result<()>>();
-        let shards_ptr = SendPtr(shards.as_mut_ptr());
-        let results_ptr = SendPtr(results.as_mut_ptr());
-        let f_ref = &f;
-        for i in 1..=bg {
-            let tx = done_tx.clone();
-            // SAFETY (pointer use): worker `i` touches only `shards[i]` /
-            // `results[i]`; the caller touches only shard 0 and `bg+1..n`.
-            // All index sets are disjoint, and the Vec headers are not
-            // mutated while workers run.
-            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
-                let outcome = catch_unwind(AssertUnwindSafe(|| unsafe {
-                    let shard = &mut *shards_ptr.at(i);
-                    *results_ptr.at(i) = Some(f_ref(i, shard));
-                }));
-                let _ = tx.send(outcome);
-            });
-            // SAFETY (lifetime erasure): this frame blocks below until all
-            // `bg` completions arrived — even when the caller's own shard
-            // panics — so every borrow inside the job outlives its use.
-            let job: Job =
-                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
-            self.workers[i - 1]
-                .jobs
-                .as_ref()
-                .expect("pool is shutting down")
-                .send(job)
-                .expect("worker thread terminated");
+        let _dispatch = self
+            .dispatch
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+
+        /// Monomorphized context the trampoline recovers from the erased
+        /// header pointer.
+        struct Ctx<T, R, F> {
+            f: *const F,
+            shards: *mut T,
+            results: *mut R,
         }
 
+        /// Runs shard `i`. Each shard index is executed exactly once per
+        /// `scatter` (worker `i − 1` owns shard `i`, the caller owns the
+        /// rest), so the `shards[i]` / `results[i]` accesses are disjoint
+        /// across threads.
+        unsafe fn trampoline<T, R, F: Fn(usize, &mut T) -> R>(ctx: *const (), i: usize) {
+            let ctx = &*(ctx as *const Ctx<T, R, F>);
+            let result = (*ctx.f)(i, &mut *ctx.shards.add(i));
+            ctx.results.add(i).write(result);
+        }
+
+        let ctx = Ctx::<T, R, F> {
+            f: &f,
+            shards: shards.as_mut_ptr(),
+            results: results.as_mut_ptr(),
+        };
+        let header = TaskHeader {
+            run: trampoline::<T, R, F>,
+            ctx: &ctx as *const Ctx<T, R, F> as *const (),
+            remaining: AtomicUsize::new(bg),
+            caller: thread::current(),
+            panic: Mutex::new(None),
+        };
+        let header_ptr = &header as *const TaskHeader as *mut TaskHeader;
+        for worker in &self.workers[..bg] {
+            worker
+                .slot
+                .outcome
+                .store(OUTCOME_PENDING, Ordering::Relaxed);
+            // Publish: the release store makes the header (and the frozen
+            // `shards`/`results` pointers inside it) visible to the worker.
+            worker.slot.task.store(header_ptr, Ordering::Release);
+            worker.thread.unpark();
+        }
+
+        // The caller's own shards: 0 first, then everything past the
+        // workers, in order. `caller_done` counts completed entries of that
+        // sequence so the panic path knows which result slots it filled.
+        let caller_done = Cell::new(0usize);
         let caller_outcome = catch_unwind(AssertUnwindSafe(|| unsafe {
-            *results_ptr.at(0) = Some(f_ref(0, &mut *shards_ptr.at(0)));
+            trampoline::<T, R, F>(header.ctx, 0);
+            caller_done.set(1);
             for i in bg + 1..n {
-                let shard = &mut *shards_ptr.at(i);
-                *results_ptr.at(i) = Some(f_ref(i, shard));
+                trampoline::<T, R, F>(header.ctx, i);
+                caller_done.set(caller_done.get() + 1);
             }
         }));
 
-        // Unconditional barrier: every submitted job must report back before
-        // this frame can be left, whether by return or by unwind.
+        // Unconditional barrier: every published job must acknowledge
+        // before this frame can be left, whether by return or by unwind.
+        while header.remaining.load(Ordering::Acquire) != 0 {
+            thread::park();
+        }
+
         let mut panic_payload = caller_outcome.err();
-        for _ in 0..bg {
-            match done_rx.recv().expect("worker thread terminated") {
-                Ok(()) => {}
-                Err(payload) => {
-                    panic_payload.get_or_insert(payload);
-                }
-            }
+        if panic_payload.is_none() {
+            panic_payload = header
+                .panic
+                .into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
         }
         if let Some(payload) = panic_payload {
+            // Some result slots were initialized before the panic; drop
+            // them (the Vec's length is still 0, so it won't).
+            if std::mem::needs_drop::<R>() {
+                unsafe {
+                    let base = results.as_mut_ptr();
+                    let done = caller_done.get();
+                    if done >= 1 {
+                        ptr::drop_in_place(base);
+                    }
+                    for k in 1..done {
+                        ptr::drop_in_place(base.add(bg + k));
+                    }
+                    for (w, worker) in self.workers[..bg].iter().enumerate() {
+                        if worker.slot.outcome.load(Ordering::Acquire) == OUTCOME_OK {
+                            ptr::drop_in_place(base.add(w + 1));
+                        }
+                    }
+                }
+            }
             resume_unwind(payload);
         }
-        results.into_iter().map(Option::unwrap).collect()
+
+        // SAFETY: no panic anywhere ⇒ every shard index 0..n ran its
+        // trampoline exactly once and wrote its slot.
+        unsafe { results.set_len(n) };
+        results
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        // Close every job channel first so all workers see disconnection…
-        for w in &mut self.workers {
-            w.jobs = None;
+        // Publish the shutdown sentinel to every slot (all idle — `Drop`
+        // has `&mut self`, so no scatter is in flight)…
+        for w in &self.workers {
+            w.slot.task.store(shutdown_sentinel(), Ordering::Release);
+            w.thread.unpark();
         }
         // …then join them.
         for w in &mut self.workers {
@@ -358,7 +528,8 @@ mod tests {
 
     #[test]
     fn pool_is_reusable_across_many_calls() {
-        // The whole point vs. thread::scope: no per-call spawn.
+        // The whole point vs. thread::scope: no per-call spawn (and, since
+        // PR 3, no per-call boxing either).
         let pool = WorkerPool::new(3);
         let mut shards = vec![0u64; 3];
         for round in 0..100u64 {
@@ -390,6 +561,50 @@ mod tests {
         let mut shards = vec![1u32; 4];
         let out = pool.scatter(&mut shards, |_, s| *s);
         assert_eq!(out, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn caller_panic_still_waits_for_workers() {
+        // Shard 0 runs on the caller and panics; the background shards must
+        // all complete before the panic propagates (their borrows die with
+        // the frame).
+        let pool = WorkerPool::new(4);
+        let finished = std::sync::atomic::AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut shards = vec![0u32; 4];
+            pool.scatter(&mut shards, |i, _| {
+                if i == 0 {
+                    panic!("caller shard exploded");
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                finished.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            });
+        }));
+        assert!(result.is_err());
+        assert_eq!(finished.load(std::sync::atomic::Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn droppable_results_survive_panics_without_leaking() {
+        // Completed shards return heap-owning results; a panicking shard
+        // must not leak them (checked indirectly: the drop glue runs on
+        // real Vecs — miri/asan would flag a leak or double-free).
+        let pool = WorkerPool::new(3);
+        for panicking in 0..3usize {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let mut shards = vec![0u32; 3];
+                pool.scatter(&mut shards, |i, _| {
+                    if i == panicking {
+                        panic!("boom");
+                    }
+                    vec![i; 100]
+                });
+            }));
+            assert!(result.is_err());
+        }
+        let mut shards = vec![0u32; 3];
+        let out = pool.scatter(&mut shards, |i, _| vec![i; 2]);
+        assert_eq!(out, vec![vec![0, 0], vec![1, 1], vec![2, 2]]);
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Counter-based random numbers (splitmix64-style), dependency-free.
+//!
+//! The batched evaluator pre-draws one negative candidate set per held-out
+//! pair. With a conventional sequential generator the draws form one shared
+//! stream, so the pre-draw cannot parallelize without changing the sets.
+//! [`CounterRng`] removes the coupling: the stream is a **pure function of
+//! `(seed, stream, draw index)`** — output `i` of `CounterRng::keyed(seed,
+//! stream)` is
+//!
+//! ```text
+//! mix64( key(seed, stream) + (i + 1) · GOLDEN )
+//! ```
+//!
+//! where `mix64` is the splitmix64 finalizer and `GOLDEN` is the 64-bit
+//! golden-ratio increment. Give every unit of work (the evaluator: every
+//! held-out pair) its own `stream` and the draws of different units are
+//! independent of each other and of any scheduling: sharding the units
+//! across a [`crate::WorkerPool`] at any worker count reproduces exactly
+//! the candidate sets a serial walk draws. The golden-value tests below pin
+//! the stream so it can never drift silently.
+
+/// 64-bit golden-ratio increment (the splitmix64 gamma).
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The splitmix64 output finalizer (Stafford's mix; also murmur3-strength):
+/// a bijection on `u64` that diffuses every input bit to every output bit.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    z
+}
+
+/// A counter-based generator: splitmix64 over a state keyed by
+/// `(seed, stream)`. `Copy`-cheap (one `u64`), construction is two mixes —
+/// cheap enough to build one per unit of work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterRng {
+    state: u64,
+}
+
+impl CounterRng {
+    /// The generator for `stream` under `seed`. Distinct `(seed, stream)`
+    /// pairs yield decorrelated sequences; the same pair always yields the
+    /// same sequence, on any thread, in any order.
+    #[inline]
+    pub fn keyed(seed: u64, stream: u64) -> Self {
+        Self {
+            state: mix64(mix64(seed) ^ stream.wrapping_mul(GOLDEN)),
+        }
+    }
+
+    /// Next 64 uniformly distributed bits (draw counter advances by one).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN);
+        mix64(self.state)
+    }
+
+    /// Next 32 uniformly distributed bits (the high half of
+    /// [`Self::next_u64`]).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform draw in `0..n` by the multiply-shift reduction
+    /// (`⌊next·n / 2⁶⁴⌋`). Bias is at most `n / 2⁶⁴` — immaterial for
+    /// catalogue-sized `n` — and, unlike rejection sampling, every call
+    /// consumes **exactly one** counter tick, so the draw count of a unit
+    /// of work is a pure function of its accept/reject decisions.
+    #[inline]
+    pub fn gen_below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "gen_below needs n ≥ 1");
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The pinned stream: these literals are the contract. If any of them
+    /// changes, every pre-drawn candidate set in every recorded evaluation
+    /// changes with it — bump them only with a deliberate protocol break.
+    ///
+    /// `keyed(0, 0)` has state 0 (`mix64(0) = 0`), so its stream is plain
+    /// splitmix64 seeded with 0 — the first value is the canonical
+    /// splitmix64 test vector `0xe220a8397b1dcdaf`, an external
+    /// cross-check on the implementation.
+    #[test]
+    fn golden_values_pin_the_stream() {
+        let mut r = CounterRng::keyed(0, 0);
+        assert_eq!(
+            [r.next_u64(), r.next_u64(), r.next_u64(), r.next_u64()],
+            [
+                0xe220_a839_7b1d_cdaf,
+                0x6e78_9e6a_a1b9_65f4,
+                0x06c4_5d18_8009_454f,
+                0xf88b_b8a8_724c_81ec,
+            ]
+        );
+        let mut r = CounterRng::keyed(2021, 0);
+        assert_eq!(
+            [r.next_u64(), r.next_u64()],
+            [0x7e30_4ce9_f3ce_dd5f, 0xdb0e_9264_d49d_63ca]
+        );
+        let mut r = CounterRng::keyed(2021, 1);
+        assert_eq!(
+            [r.next_u64(), r.next_u64()],
+            [0xa7c5_5b48_4d86_da01, 0x50e0_80bf_0ca6_3383]
+        );
+    }
+
+    #[test]
+    fn gen_below_golden_values_and_range() {
+        let mut r = CounterRng::keyed(7, 3);
+        let draws: Vec<u64> = (0..6).map(|_| r.gen_below(1_000)).collect();
+        assert_eq!(draws, [376, 78, 62, 661, 761, 389]);
+        let mut r = CounterRng::keyed(123, 456);
+        for _ in 0..10_000 {
+            assert!(r.gen_below(17) < 17);
+        }
+        let mut r = CounterRng::keyed(9, 9);
+        for _ in 0..100 {
+            assert_eq!(r.gen_below(1), 0);
+        }
+    }
+
+    #[test]
+    fn streams_are_order_independent() {
+        // The whole point: drawing stream 5 first (or on another thread)
+        // cannot change stream 2.
+        let draw = |stream: u64| -> Vec<u64> {
+            let mut r = CounterRng::keyed(42, stream);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let two_then_five = (draw(2), draw(5));
+        let five_then_two = (draw(5), draw(2));
+        assert_eq!(two_then_five.0, five_then_two.1);
+        assert_eq!(two_then_five.1, five_then_two.0);
+    }
+
+    #[test]
+    fn distinct_keys_give_distinct_streams() {
+        let first = |seed, stream| CounterRng::keyed(seed, stream).next_u64();
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..30u64 {
+            for stream in 0..30u64 {
+                assert!(
+                    seen.insert(first(seed, stream)),
+                    "collision at ({seed},{stream})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn output_bits_look_balanced() {
+        // Cheap sanity (not a statistical suite): over 4096 draws each of
+        // the 64 output bits should be set roughly half the time.
+        let mut r = CounterRng::keyed(1, 0);
+        let mut ones = [0u32; 64];
+        let n = 4096;
+        for _ in 0..n {
+            let v = r.next_u64();
+            for (b, count) in ones.iter_mut().enumerate() {
+                *count += ((v >> b) & 1) as u32;
+            }
+        }
+        for (b, &count) in ones.iter().enumerate() {
+            let frac = count as f64 / n as f64;
+            assert!((0.44..=0.56).contains(&frac), "bit {b} biased: {frac}");
+        }
+    }
+}

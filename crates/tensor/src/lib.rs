@@ -12,6 +12,11 @@
 //! * All hot kernels operate on `&[f32]` / `&mut [f32]` so embedding tables
 //!   can be stored as one flat allocation and sliced per row — no per-row
 //!   boxing, no bounds checks inside the loops (we iterate, not index).
+//! * The hot reductions and `axpy` have a single explicitly vectorized
+//!   definition in [`simd`] (runtime-dispatched AVX2/FMA with a
+//!   lane-chunked portable fallback); [`ops`] and [`rows`] forward to it,
+//!   so every entry point shares one float semantics (see the [`simd`]
+//!   module docs for the summation-order / determinism contract).
 //! * Everything is deterministic given a seed: initializers take an explicit
 //!   [`rand::Rng`], and nothing reads global state.
 //! * Numerical helpers ([`ops::cosine`], [`nonlin::softmax`], …) are written
@@ -35,6 +40,7 @@ pub mod nonlin;
 pub mod ops;
 pub mod pca;
 pub mod rows;
+pub mod simd;
 pub mod stats;
 
 pub use matrix::Matrix;

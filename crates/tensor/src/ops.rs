@@ -2,17 +2,18 @@
 //!
 //! These are the inner loops of every model in the workspace: similarity
 //! scores, gradient accumulation (`axpy`), and the sphere projections used by
-//! the Riemannian optimizer. They are deliberately simple loops — LLVM
-//! auto-vectorizes them well at `--release`, which the `similarity` Criterion
-//! bench confirms.
+//! the Riemannian optimizer. The hot reductions and `axpy` forward to the
+//! explicitly vectorized layer in [`crate::simd`] (runtime-dispatched
+//! AVX2/FMA with a lane-chunked portable fallback); see that module's docs
+//! for the summation-order / determinism contract. The cold helpers
+//! (normalization, clipping, interpolation) stay as simple loops.
 
-use crate::same_len;
+use crate::{same_len, simd};
 
-/// Dot product `a · b`.
+/// Dot product `a · b` (chunked summation order, see [`crate::simd`]).
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    same_len(a, b);
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    simd::dot(a, b)
 }
 
 /// Squared Euclidean norm `‖a‖²`.
@@ -27,11 +28,11 @@ pub fn norm(a: &[f32]) -> f32 {
     norm_sq(a).sqrt()
 }
 
-/// Squared Euclidean distance `‖a − b‖²`.
+/// Squared Euclidean distance `‖a − b‖²` (chunked summation order, see
+/// [`crate::simd`]).
 #[inline]
 pub fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
-    same_len(a, b);
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    simd::dist_sq(a, b)
 }
 
 /// Euclidean distance `‖a − b‖`.
@@ -40,13 +41,11 @@ pub fn dist(a: &[f32], b: &[f32]) -> f32 {
     dist_sq(a, b).sqrt()
 }
 
-/// `y ← y + alpha · x` (the classic BLAS axpy).
+/// `y ← y + alpha · x` (the classic BLAS axpy; vectorized, see
+/// [`crate::simd`]).
 #[inline]
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
-    same_len(x, y);
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    simd::axpy(alpha, x, y)
 }
 
 /// `a ← alpha · a`.

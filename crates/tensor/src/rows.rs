@@ -8,10 +8,16 @@
 //! ([`dot_rows`] for the spherical geometry, [`dist_sq_rows`] for the
 //! Euclidean one) and fused multi-row `axpy` ([`axpy_rows`]) for the
 //! spherical gradient accumulation. The Euclidean gradient keeps a single
-//! fused three-output loop in `mars-core::kernels` — one pass over the
-//! buffers beats three kernel calls there.
+//! fused three-output kernel (`simd::euclid_grad_row`, called per facet by
+//! `mars-core::kernels`) — one pass over the buffers beats three kernel
+//! calls there.
+//!
+//! All row kernels forward to the vectorized layer in [`crate::simd`]; each
+//! row is computed by the same per-row kernel as the matching
+//! [`crate::ops`] function, so the two entry points agree **bitwise** (the
+//! contract the batched scorers rely on).
 
-use crate::ops;
+use crate::simd;
 
 /// Asserts (debug) that `buf` holds a whole number of `dim`-sized rows and
 /// returns that row count.
@@ -45,9 +51,7 @@ pub fn dot_rows(a: &[f32], b: &[f32], dim: usize, out: &mut [f32]) {
     let k = row_count(a, dim);
     debug_assert_eq!(a.len(), b.len(), "dot_rows: buffer mismatch");
     debug_assert_eq!(out.len(), k, "dot_rows: out has wrong length");
-    for (r, o) in out.iter_mut().enumerate() {
-        *o = ops::dot(row(a, dim, r), row(b, dim, r));
-    }
+    simd::dot_rows(a, b, dim, out);
 }
 
 /// Per-row squared Euclidean distances: `out[r] = ‖a_r − b_r‖²`.
@@ -55,32 +59,24 @@ pub fn dist_sq_rows(a: &[f32], b: &[f32], dim: usize, out: &mut [f32]) {
     let k = row_count(a, dim);
     debug_assert_eq!(a.len(), b.len(), "dist_sq_rows: buffer mismatch");
     debug_assert_eq!(out.len(), k, "dist_sq_rows: out has wrong length");
-    for (r, o) in out.iter_mut().enumerate() {
-        *o = ops::dist_sq(row(a, dim, r), row(b, dim, r));
-    }
+    simd::dist_sq_rows(a, b, dim, out);
 }
 
 /// One-vs-rows dot products: `out[r] = x · b_r` for every row `r` of `b` —
 /// the broadcast form of [`dot_rows`] used by batched scoring, where one
 /// user vector meets a gathered block of candidate rows.
 pub fn dot_one_rows(x: &[f32], b: &[f32], out: &mut [f32]) {
-    let dim = x.len();
-    let k = row_count(b, dim);
+    let k = row_count(b, x.len());
     debug_assert_eq!(out.len(), k, "dot_one_rows: out has wrong length");
-    for (r, o) in out.iter_mut().enumerate() {
-        *o = ops::dot(x, row(b, dim, r));
-    }
+    simd::dot_one_rows(x, b, out);
 }
 
 /// One-vs-rows squared Euclidean distances: `out[r] = ‖x − b_r‖²` (the
 /// broadcast form of [`dist_sq_rows`]; metric-model batched scoring).
 pub fn dist_sq_one_rows(x: &[f32], b: &[f32], out: &mut [f32]) {
-    let dim = x.len();
-    let k = row_count(b, dim);
+    let k = row_count(b, x.len());
     debug_assert_eq!(out.len(), k, "dist_sq_one_rows: out has wrong length");
-    for (r, o) in out.iter_mut().enumerate() {
-        *o = ops::dist_sq(x, row(b, dim, r));
-    }
+    simd::dist_sq_one_rows(x, b, out);
 }
 
 /// Gathers arbitrary rows of a flat `rows × dim` table into a contiguous
@@ -108,11 +104,7 @@ pub fn axpy_rows(alpha: &[f32], x: &[f32], y: &mut [f32], dim: usize) {
     let k = row_count(x, dim);
     debug_assert_eq!(x.len(), y.len(), "axpy_rows: buffer mismatch");
     debug_assert_eq!(alpha.len(), k, "axpy_rows: alpha has wrong length");
-    for (r, &a) in alpha.iter().enumerate() {
-        if a != 0.0 {
-            ops::axpy(a, row(x, dim, r), row_mut(y, dim, r));
-        }
-    }
+    simd::axpy_rows(alpha, x, y, dim);
 }
 
 #[cfg(test)]

@@ -1,0 +1,750 @@
+//! Explicitly vectorized kernel layer: the single definition of every hot
+//! inner loop in the workspace.
+//!
+//! Each kernel exists in (up to) three tiers:
+//!
+//! * [`scalar`] — the PR 2 reference loops (strictly sequential f32
+//!   summation). Kept only as the A/B baseline for the agreement tests and
+//!   the kernel microbench; nothing in the engine calls them anymore.
+//! * [`portable`] — lane-chunked loops over an 8×`f32` accumulator block
+//!   ([`LANES`]), written so LLVM vectorizes them on any target without
+//!   reassociating float sums.
+//! * [`avx2`] (x86-64 only) — hand-written `std::arch` intrinsics using
+//!   256-bit loads and FMA, one 8-lane accumulator per reduction.
+//!
+//! The public functions in this module dispatch at runtime: AVX2 + FMA when
+//! `is_x86_feature_detected!` reports both (cached after the first call),
+//! the portable tier otherwise. `mars_tensor::ops` and `mars_tensor::rows`
+//! forward their hot kernels here, so every layer of the engine — scoring,
+//! gradient accumulation, batched evaluation — runs the same code.
+//!
+//! ## Summation-order / determinism contract
+//!
+//! Reductions ([`dot`], [`dist_sq`]) accumulate in **8-lane chunked order**:
+//! lane `l` of the accumulator sums elements `l, l+8, l+16, …` of the main
+//! body, the lanes are folded in a fixed tree (`((l0+l4)+(l1+l5)) +
+//! ((l2+l6)+(l3+l7))` — exactly the AVX2 horizontal reduction), and a
+//! strictly sequential tail of fewer than 8 elements is added last. This
+//! order is *different* from the PR 2 scalar kernels (sequential
+//! accumulation), which is allowed: the workspace determinism contract is
+//! "bit-identical for a fixed seed at any worker count", **not** "identical
+//! to the old scalar summation order". What the contract does require — and
+//! what this module guarantees — is:
+//!
+//! * **One definition per kernel.** Every entry point that must agree
+//!   bitwise (`Scorer::score` / `score_many` / `score_block`, the batched
+//!   vs. sequential evaluator, the per-triplet vs. batched trainer) bottoms
+//!   out in the same function here, so reorganizing a caller cannot change
+//!   float semantics.
+//! * **Stable dispatch.** The AVX2/portable decision is a pure function of
+//!   the host CPU, resolved once per process and never per call, so a run
+//!   never mixes tiers. The two tiers may differ in the last bits (FMA
+//!   contracts the multiply-add), which is why cross-tier tests use a
+//!   relative tolerance while cross-entry-point tests demand bit equality.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Accumulator width of the chunked kernels: one 256-bit `f32` vector.
+pub const LANES: usize = 8;
+
+/// The kernel tier the runtime dispatcher selected for this process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Path {
+    /// Hand-vectorized `std::arch` intrinsics (AVX2 + FMA detected).
+    Avx2Fma,
+    /// Lane-chunked portable Rust (any target; LLVM auto-vectorizes).
+    Portable,
+}
+
+const PATH_UNRESOLVED: u8 = 0;
+const PATH_AVX2: u8 = 1;
+const PATH_PORTABLE: u8 = 2;
+
+static PATH: AtomicU8 = AtomicU8::new(PATH_UNRESOLVED);
+
+/// The tier every dispatched kernel in this module runs on, resolved once
+/// per process from the host CPU (so a run never mixes tiers).
+#[inline]
+pub fn active_path() -> Path {
+    match PATH.load(Ordering::Relaxed) {
+        PATH_AVX2 => Path::Avx2Fma,
+        PATH_PORTABLE => Path::Portable,
+        _ => resolve_path(),
+    }
+}
+
+#[cold]
+fn resolve_path() -> Path {
+    #[cfg(target_arch = "x86_64")]
+    let path = if avx2::available() {
+        Path::Avx2Fma
+    } else {
+        Path::Portable
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let path = Path::Portable;
+    let code = match path {
+        Path::Avx2Fma => PATH_AVX2,
+        Path::Portable => PATH_PORTABLE,
+    };
+    PATH.store(code, Ordering::Relaxed);
+    path
+}
+
+/// Dispatches one kernel call to the active tier. The AVX2 arm is `unsafe`
+/// only for the `target_feature` contract, which `active_path()` has
+/// verified.
+macro_rules! dispatch {
+    ($name:ident($($arg:expr),*)) => {
+        match active_path() {
+            #[cfg(target_arch = "x86_64")]
+            Path::Avx2Fma => unsafe { avx2::$name($($arg),*) },
+            #[cfg(not(target_arch = "x86_64"))]
+            Path::Avx2Fma => unreachable!("AVX2 tier selected off x86-64"),
+            Path::Portable => portable::$name($($arg),*),
+        }
+    };
+}
+
+/// Hard (release-mode) length-agreement check. The dispatch wrappers are
+/// the safety boundary in front of the raw-pointer AVX2 tier, which sizes
+/// its loops by one slice — a mismatch must panic, never read past an
+/// allocation (the pre-SIMD iterator kernels merely truncated via `zip`).
+#[inline]
+fn check_same_len(a: &[f32], b: &[f32]) {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "kernel dimension mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
+}
+
+/// Dot product `a · b` (chunked summation order, see the module docs).
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    check_same_len(a, b);
+    dispatch!(dot(a, b))
+}
+
+/// Squared Euclidean distance `‖a − b‖²`.
+#[inline]
+pub fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
+    check_same_len(a, b);
+    dispatch!(dist_sq(a, b))
+}
+
+/// `y ← y + alpha · x`.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    check_same_len(x, y);
+    dispatch!(axpy(alpha, x, y))
+}
+
+/// Per-row dot products over flat `k × dim` buffers:
+/// `out[r] = a_r · b_r`. Row `r` is computed by the same per-row kernel as
+/// [`dot`], so the two agree bitwise.
+#[inline]
+pub fn dot_rows(a: &[f32], b: &[f32], dim: usize, out: &mut [f32]) {
+    row_kernel_checks(a, b, dim, out);
+    dispatch!(dot_rows(a, b, dim, out))
+}
+
+/// Per-row squared distances: `out[r] = ‖a_r − b_r‖²` (bitwise equal to
+/// [`dist_sq`] per row).
+#[inline]
+pub fn dist_sq_rows(a: &[f32], b: &[f32], dim: usize, out: &mut [f32]) {
+    row_kernel_checks(a, b, dim, out);
+    dispatch!(dist_sq_rows(a, b, dim, out))
+}
+
+/// One-vs-rows dot products: `out[r] = x · b_r` (bitwise equal to [`dot`]
+/// per row).
+#[inline]
+pub fn dot_one_rows(x: &[f32], b: &[f32], out: &mut [f32]) {
+    one_rows_checks(x, b, out);
+    dispatch!(dot_one_rows(x, b, out))
+}
+
+/// One-vs-rows squared distances: `out[r] = ‖x − b_r‖²` (bitwise equal to
+/// [`dist_sq`] per row).
+#[inline]
+pub fn dist_sq_one_rows(x: &[f32], b: &[f32], out: &mut [f32]) {
+    one_rows_checks(x, b, out);
+    dispatch!(dist_sq_one_rows(x, b, out))
+}
+
+/// Fused multi-row axpy with one coefficient per row:
+/// `y_r ← y_r + alpha[r] · x_r`. Rows with `alpha[r] == 0` are skipped
+/// entirely (their `x` values are never read — they may be NaN).
+#[inline]
+pub fn axpy_rows(alpha: &[f32], x: &[f32], y: &mut [f32], dim: usize) {
+    assert!(dim > 0, "row kernels need dim ≥ 1");
+    check_same_len(x, y);
+    assert_eq!(alpha.len() * dim, x.len(), "axpy_rows: alpha mismatch");
+    dispatch!(axpy_rows(alpha, x, y, dim))
+}
+
+/// The fused three-output Euclidean triplet gradient over one facet row:
+/// with `diff_p = u − p` and `diff_q = u − q` elementwise,
+///
+/// ```text
+/// dp[i] =  wp2 · diff_p[i]
+/// dq[i] =  wq2 · diff_q[i]
+/// du[i] = −wp2 · diff_p[i] − wq2 · diff_q[i]
+/// ```
+///
+/// One pass over the five buffers (this was the fused loop in
+/// `mars-core::kernels`; it lives here so the batched trainer's hottest
+/// Euclidean section rides the vectorized tier). **Overwrites** the three
+/// outputs.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn euclid_grad_row(
+    wp2: f32,
+    wq2: f32,
+    u: &[f32],
+    p: &[f32],
+    q: &[f32],
+    du: &mut [f32],
+    dp: &mut [f32],
+    dq: &mut [f32],
+) {
+    check_same_len(u, p);
+    check_same_len(u, q);
+    check_same_len(u, du);
+    check_same_len(u, dp);
+    check_same_len(u, dq);
+    dispatch!(euclid_grad_row(wp2, wq2, u, p, q, du, dp, dq))
+}
+
+// Like `check_same_len`, the row-kernel shape checks are hard asserts: they
+// stand between safe callers and the raw-pointer tier.
+#[inline]
+fn row_kernel_checks(a: &[f32], b: &[f32], dim: usize, out: &[f32]) {
+    assert!(dim > 0, "row kernels need dim ≥ 1");
+    check_same_len(a, b);
+    assert_eq!(a.len() % dim, 0, "row kernel: ragged buffer");
+    assert_eq!(out.len() * dim, a.len(), "row kernel: out length");
+}
+
+#[inline]
+fn one_rows_checks(x: &[f32], b: &[f32], out: &[f32]) {
+    assert!(!x.is_empty(), "one-vs-rows kernels need dim ≥ 1");
+    assert_eq!(b.len() % x.len(), 0, "one-vs-rows kernel: ragged buffer");
+    assert_eq!(out.len() * x.len(), b.len(), "one-vs-rows kernel: out");
+}
+
+/// The PR 2 reference kernels: strictly sequential scalar loops. Baseline
+/// for the kernel microbench (`BENCH_kernels.json`) and oracle for the
+/// cross-tier agreement tests — the engine itself no longer calls these.
+pub mod scalar {
+    /// Sequential dot product.
+    #[inline]
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    /// Sequential squared Euclidean distance.
+    #[inline]
+    pub fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+
+    /// Sequential `y ← y + alpha · x`.
+    #[inline]
+    pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += alpha * xi;
+        }
+    }
+
+    /// Per-row [`dot`] over a flat `k × dim` pair of buffers.
+    pub fn dot_rows(a: &[f32], b: &[f32], dim: usize, out: &mut [f32]) {
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = dot(&a[r * dim..(r + 1) * dim], &b[r * dim..(r + 1) * dim]);
+        }
+    }
+
+    /// Per-row [`dist_sq`] over a flat `k × dim` pair of buffers.
+    pub fn dist_sq_rows(a: &[f32], b: &[f32], dim: usize, out: &mut [f32]) {
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = dist_sq(&a[r * dim..(r + 1) * dim], &b[r * dim..(r + 1) * dim]);
+        }
+    }
+
+    /// Per-row axpy with one coefficient per row (zero rows skipped).
+    pub fn axpy_rows(alpha: &[f32], x: &[f32], y: &mut [f32], dim: usize) {
+        for (r, &a) in alpha.iter().enumerate() {
+            if a != 0.0 {
+                axpy(
+                    a,
+                    &x[r * dim..(r + 1) * dim],
+                    &mut y[r * dim..(r + 1) * dim],
+                );
+            }
+        }
+    }
+}
+
+/// Lane-chunked portable tier: plain Rust over an 8×`f32` accumulator
+/// block, mirroring the AVX2 tier's summation order exactly (same chunking,
+/// same horizontal-reduction tree, same sequential tail) so the two tiers
+/// differ only by FMA contraction.
+pub mod portable {
+    use super::LANES;
+
+    /// Folds the 8-lane accumulator in the AVX2 horizontal-reduction order:
+    /// halves first (`l + l+4`), then pairwise.
+    #[inline]
+    fn hsum(acc: &[f32; LANES]) -> f32 {
+        let h = [
+            acc[0] + acc[4],
+            acc[1] + acc[5],
+            acc[2] + acc[6],
+            acc[3] + acc[7],
+        ];
+        (h[0] + h[1]) + (h[2] + h[3])
+    }
+
+    /// Chunked dot product. The body iterates `[f32; LANES]` array views
+    /// (via `chunks_exact` + `try_into`), so the lane loop carries no
+    /// bounds checks and LLVM vectorizes it without reassociating.
+    #[inline]
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        let mut acc = [0.0f32; LANES];
+        let mut chunks_a = a.chunks_exact(LANES);
+        let mut chunks_b = b.chunks_exact(LANES);
+        for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+            let ca: &[f32; LANES] = ca.try_into().unwrap();
+            let cb: &[f32; LANES] = cb.try_into().unwrap();
+            for l in 0..LANES {
+                acc[l] += ca[l] * cb[l];
+            }
+        }
+        let mut tail = 0.0f32;
+        for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+            tail += x * y;
+        }
+        hsum(&acc) + tail
+    }
+
+    /// Chunked squared Euclidean distance.
+    #[inline]
+    pub fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
+        let mut acc = [0.0f32; LANES];
+        let mut chunks_a = a.chunks_exact(LANES);
+        let mut chunks_b = b.chunks_exact(LANES);
+        for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+            let ca: &[f32; LANES] = ca.try_into().unwrap();
+            let cb: &[f32; LANES] = cb.try_into().unwrap();
+            for l in 0..LANES {
+                let d = ca[l] - cb[l];
+                acc[l] += d * d;
+            }
+        }
+        let mut tail = 0.0f32;
+        for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+            let d = x - y;
+            tail += d * d;
+        }
+        hsum(&acc) + tail
+    }
+
+    /// Elementwise `y ← y + alpha · x` (no reduction, so no ordering
+    /// subtleties; LLVM vectorizes the loop as-is).
+    #[inline]
+    pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += alpha * xi;
+        }
+    }
+
+    /// Per-row [`dot`].
+    pub fn dot_rows(a: &[f32], b: &[f32], dim: usize, out: &mut [f32]) {
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = dot(&a[r * dim..(r + 1) * dim], &b[r * dim..(r + 1) * dim]);
+        }
+    }
+
+    /// Per-row [`dist_sq`].
+    pub fn dist_sq_rows(a: &[f32], b: &[f32], dim: usize, out: &mut [f32]) {
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = dist_sq(&a[r * dim..(r + 1) * dim], &b[r * dim..(r + 1) * dim]);
+        }
+    }
+
+    /// One-vs-rows [`dot`].
+    pub fn dot_one_rows(x: &[f32], b: &[f32], out: &mut [f32]) {
+        let dim = x.len();
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = dot(x, &b[r * dim..(r + 1) * dim]);
+        }
+    }
+
+    /// One-vs-rows [`dist_sq`].
+    pub fn dist_sq_one_rows(x: &[f32], b: &[f32], out: &mut [f32]) {
+        let dim = x.len();
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = dist_sq(x, &b[r * dim..(r + 1) * dim]);
+        }
+    }
+
+    /// Per-row axpy with one coefficient per row (zero rows skipped).
+    pub fn axpy_rows(alpha: &[f32], x: &[f32], y: &mut [f32], dim: usize) {
+        for (r, &a) in alpha.iter().enumerate() {
+            if a != 0.0 {
+                axpy(
+                    a,
+                    &x[r * dim..(r + 1) * dim],
+                    &mut y[r * dim..(r + 1) * dim],
+                );
+            }
+        }
+    }
+
+    /// Fused three-output Euclidean triplet gradient (see
+    /// [`super::euclid_grad_row`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn euclid_grad_row(
+        wp2: f32,
+        wq2: f32,
+        u: &[f32],
+        p: &[f32],
+        q: &[f32],
+        du: &mut [f32],
+        dp: &mut [f32],
+        dq: &mut [f32],
+    ) {
+        for i in 0..u.len() {
+            let gp = wp2 * (u[i] - p[i]);
+            let gq = wq2 * (u[i] - q[i]);
+            du[i] = -(gp + gq);
+            dp[i] = gp;
+            dq[i] = gq;
+        }
+    }
+}
+
+/// Hand-vectorized x86-64 tier: 256-bit loads, FMA, one 8-lane accumulator
+/// per reduction. Every function carries
+/// `#[target_feature(enable = "avx2,fma")]` and is therefore `unsafe` to
+/// call — the dispatcher (and only the dispatcher, plus tests/benches that
+/// check [`avx2::available`] first) upholds the contract.
+#[cfg(target_arch = "x86_64")]
+pub mod avx2 {
+    use super::LANES;
+    use core::arch::x86_64::*;
+
+    /// Whether this host supports the AVX2 + FMA tier.
+    pub fn available() -> bool {
+        std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma")
+    }
+
+    /// Horizontal sum of one 256-bit accumulator: halves first
+    /// (`l + l+4`), then pairwise — the tree [`super::portable`] mirrors.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn hsum256(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        let halves = _mm_add_ps(lo, hi); // [l0+l4, l1+l5, l2+l6, l3+l7]
+        let odd = _mm_movehdup_ps(halves); // [h1, h1, h3, h3]
+        let pairs = _mm_add_ps(halves, odd); // [h0+h1, _, h2+h3, _]
+        let upper = _mm_movehl_ps(pairs, pairs);
+        _mm_cvtss_f32(_mm_add_ss(pairs, upper))
+    }
+
+    /// Chunked dot product.
+    ///
+    /// # Safety
+    /// Requires AVX2 + FMA (check [`available`]). Slices must be equal
+    /// length.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let body = n / LANES * LANES;
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc = _mm256_setzero_ps();
+        let mut i = 0;
+        while i < body {
+            acc = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc);
+            i += LANES;
+        }
+        let mut tail = 0.0f32;
+        while i < n {
+            tail += *pa.add(i) * *pb.add(i);
+            i += 1;
+        }
+        hsum256(acc) + tail
+    }
+
+    /// Chunked squared Euclidean distance.
+    ///
+    /// # Safety
+    /// Requires AVX2 + FMA (check [`available`]). Slices must be equal
+    /// length.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let body = n / LANES * LANES;
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc = _mm256_setzero_ps();
+        let mut i = 0;
+        while i < body {
+            let d = _mm256_sub_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)));
+            acc = _mm256_fmadd_ps(d, d, acc);
+            i += LANES;
+        }
+        let mut tail = 0.0f32;
+        while i < n {
+            let d = *pa.add(i) - *pb.add(i);
+            tail += d * d;
+            i += 1;
+        }
+        hsum256(acc) + tail
+    }
+
+    /// `y ← y + alpha · x` with FMA.
+    ///
+    /// # Safety
+    /// Requires AVX2 + FMA (check [`available`]). Slices must be equal
+    /// length.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+        debug_assert_eq!(x.len(), y.len());
+        let n = x.len();
+        let body = n / LANES * LANES;
+        let va = _mm256_set1_ps(alpha);
+        let px = x.as_ptr();
+        let py = y.as_mut_ptr();
+        let mut i = 0;
+        while i < body {
+            let acc = _mm256_fmadd_ps(va, _mm256_loadu_ps(px.add(i)), _mm256_loadu_ps(py.add(i)));
+            _mm256_storeu_ps(py.add(i), acc);
+            i += LANES;
+        }
+        while i < n {
+            *py.add(i) += alpha * *px.add(i);
+            i += 1;
+        }
+    }
+
+    /// Per-row [`dot`].
+    ///
+    /// # Safety
+    /// Requires AVX2 + FMA (check [`available`]); buffers must hold
+    /// `out.len()` rows of `dim`.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dot_rows(a: &[f32], b: &[f32], dim: usize, out: &mut [f32]) {
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = dot(&a[r * dim..(r + 1) * dim], &b[r * dim..(r + 1) * dim]);
+        }
+    }
+
+    /// Per-row [`dist_sq`].
+    ///
+    /// # Safety
+    /// Requires AVX2 + FMA (check [`available`]); buffers must hold
+    /// `out.len()` rows of `dim`.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dist_sq_rows(a: &[f32], b: &[f32], dim: usize, out: &mut [f32]) {
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = dist_sq(&a[r * dim..(r + 1) * dim], &b[r * dim..(r + 1) * dim]);
+        }
+    }
+
+    /// One-vs-rows [`dot`].
+    ///
+    /// # Safety
+    /// Requires AVX2 + FMA (check [`available`]); `b` must hold
+    /// `out.len()` rows of `x.len()`.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dot_one_rows(x: &[f32], b: &[f32], out: &mut [f32]) {
+        let dim = x.len();
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = dot(x, &b[r * dim..(r + 1) * dim]);
+        }
+    }
+
+    /// One-vs-rows [`dist_sq`].
+    ///
+    /// # Safety
+    /// Requires AVX2 + FMA (check [`available`]); `b` must hold
+    /// `out.len()` rows of `x.len()`.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dist_sq_one_rows(x: &[f32], b: &[f32], out: &mut [f32]) {
+        let dim = x.len();
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = dist_sq(x, &b[r * dim..(r + 1) * dim]);
+        }
+    }
+
+    /// Per-row axpy with one coefficient per row (zero rows skipped, their
+    /// `x` values never read).
+    ///
+    /// # Safety
+    /// Requires AVX2 + FMA (check [`available`]); buffers must hold
+    /// `alpha.len()` rows of `dim`.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn axpy_rows(alpha: &[f32], x: &[f32], y: &mut [f32], dim: usize) {
+        for (r, &a) in alpha.iter().enumerate() {
+            if a != 0.0 {
+                axpy(
+                    a,
+                    &x[r * dim..(r + 1) * dim],
+                    &mut y[r * dim..(r + 1) * dim],
+                );
+            }
+        }
+    }
+
+    /// Fused three-output Euclidean triplet gradient (see
+    /// [`super::euclid_grad_row`]). The negation is a sign-bit flip, so
+    /// `du = −(dp + dq)` matches the scalar `−gp − gq` bit-for-bit.
+    ///
+    /// # Safety
+    /// Requires AVX2 + FMA (check [`available`]); all six slices must be
+    /// equal length.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn euclid_grad_row(
+        wp2: f32,
+        wq2: f32,
+        u: &[f32],
+        p: &[f32],
+        q: &[f32],
+        du: &mut [f32],
+        dp: &mut [f32],
+        dq: &mut [f32],
+    ) {
+        let n = u.len();
+        let body = n / LANES * LANES;
+        let vwp = _mm256_set1_ps(wp2);
+        let vwq = _mm256_set1_ps(wq2);
+        let sign = _mm256_set1_ps(-0.0);
+        let (pu, pp, pq) = (u.as_ptr(), p.as_ptr(), q.as_ptr());
+        let (pdu, pdp, pdq) = (du.as_mut_ptr(), dp.as_mut_ptr(), dq.as_mut_ptr());
+        let mut i = 0;
+        while i < body {
+            let vu = _mm256_loadu_ps(pu.add(i));
+            let gp = _mm256_mul_ps(vwp, _mm256_sub_ps(vu, _mm256_loadu_ps(pp.add(i))));
+            let gq = _mm256_mul_ps(vwq, _mm256_sub_ps(vu, _mm256_loadu_ps(pq.add(i))));
+            _mm256_storeu_ps(pdp.add(i), gp);
+            _mm256_storeu_ps(pdq.add(i), gq);
+            _mm256_storeu_ps(pdu.add(i), _mm256_xor_ps(_mm256_add_ps(gp, gq), sign));
+            i += LANES;
+        }
+        while i < n {
+            let gp = wp2 * (*pu.add(i) - *pp.add(i));
+            let gq = wq2 * (*pu.add(i) - *pq.add(i));
+            *pdp.add(i) = gp;
+            *pdq.add(i) = gq;
+            *pdu.add(i) = -(gp + gq);
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_is_stable_across_calls() {
+        let first = active_path();
+        for _ in 0..10 {
+            assert_eq!(active_path(), first);
+        }
+        #[cfg(target_arch = "x86_64")]
+        assert_eq!(first == Path::Avx2Fma, avx2::available());
+    }
+
+    #[test]
+    fn empty_and_tail_only_inputs() {
+        assert_eq!(dot(&[], &[]), 0.0);
+        assert_eq!(dist_sq(&[], &[]), 0.0);
+        assert_eq!(dot(&[2.0, 3.0], &[4.0, 5.0]), 23.0);
+        assert_eq!(dist_sq(&[1.0], &[4.0]), 9.0);
+        let mut y = vec![1.0f32; 3];
+        axpy(2.0, &[1.0, 2.0, 3.0], &mut y);
+        assert_eq!(y, vec![3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn dispatched_reductions_match_scalar_within_tolerance() {
+        // Chunking reorders the sum, so compare against the sequential
+        // oracle with a relative tolerance.
+        for n in [1usize, 7, 8, 9, 31, 32, 64, 67] {
+            let a: Vec<f32> = (0..n)
+                .map(|i| ((i * 37 + 11) % 23) as f32 * 0.37 - 3.0)
+                .collect();
+            let b: Vec<f32> = (0..n)
+                .map(|i| ((i * 17 + 5) % 19) as f32 * 0.29 - 2.0)
+                .collect();
+            let (d0, d1) = (scalar::dot(&a, &b), dot(&a, &b));
+            assert!((d0 - d1).abs() <= 1e-4 * d0.abs().max(1.0), "dot at n={n}");
+            let (s0, s1) = (scalar::dist_sq(&a, &b), dist_sq(&a, &b));
+            assert!(
+                (s0 - s1).abs() <= 1e-4 * s0.abs().max(1.0),
+                "dist_sq at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn row_kernels_agree_with_per_row_calls_bitwise() {
+        let dim = 13;
+        let k = 5;
+        let a: Vec<f32> = (0..k * dim).map(|i| (i as f32 * 0.3).sin()).collect();
+        let b: Vec<f32> = (0..k * dim).map(|i| (i as f32 * 0.7).cos()).collect();
+        let mut out = vec![0.0; k];
+        dot_rows(&a, &b, dim, &mut out);
+        for r in 0..k {
+            let per_row = dot(&a[r * dim..(r + 1) * dim], &b[r * dim..(r + 1) * dim]);
+            assert_eq!(out[r].to_bits(), per_row.to_bits(), "dot row {r}");
+        }
+        dist_sq_rows(&a, &b, dim, &mut out);
+        for r in 0..k {
+            let per_row = dist_sq(&a[r * dim..(r + 1) * dim], &b[r * dim..(r + 1) * dim]);
+            assert_eq!(out[r].to_bits(), per_row.to_bits(), "dist row {r}");
+        }
+        let x = &a[..dim];
+        dot_one_rows(x, &b, &mut out);
+        for r in 0..k {
+            let per_row = dot(x, &b[r * dim..(r + 1) * dim]);
+            assert_eq!(out[r].to_bits(), per_row.to_bits(), "one-vs row {r}");
+        }
+    }
+
+    #[test]
+    fn axpy_rows_skips_zero_alpha_rows() {
+        let x = [f32::NAN, f32::NAN, 1.0, 1.0];
+        let mut y = [1.0, 1.0, 2.0, 2.0];
+        axpy_rows(&[0.0, 3.0], &x, &mut y, 2);
+        assert_eq!(y, [1.0, 1.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn euclid_grad_row_matches_reference() {
+        let n = 19; // body + tail
+        let u: Vec<f32> = (0..n).map(|i| (i as f32 * 0.11).sin()).collect();
+        let p: Vec<f32> = (0..n).map(|i| (i as f32 * 0.23).cos()).collect();
+        let q: Vec<f32> = (0..n).map(|i| (i as f32 * 0.31).sin() - 0.2).collect();
+        let (wp2, wq2) = (1.4f32, -0.6f32);
+        let mut du = vec![0.0; n];
+        let mut dp = vec![0.0; n];
+        let mut dq = vec![0.0; n];
+        euclid_grad_row(wp2, wq2, &u, &p, &q, &mut du, &mut dp, &mut dq);
+        for i in 0..n {
+            let gp = wp2 * (u[i] - p[i]);
+            let gq = wq2 * (u[i] - q[i]);
+            assert!((dp[i] - gp).abs() < 1e-6);
+            assert!((dq[i] - gq).abs() < 1e-6);
+            assert!((du[i] + gp + gq).abs() < 1e-6);
+        }
+    }
+}

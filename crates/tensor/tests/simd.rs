@@ -1,0 +1,225 @@
+//! Cross-tier agreement and dispatch tests for the vectorized kernel layer
+//! (`mars_tensor::simd`).
+//!
+//! The portable and AVX2 tiers share summation *structure* but differ in
+//! FMA contraction, so cross-tier comparisons use a relative tolerance;
+//! the dispatched entry points must match the active tier **bitwise**
+//! (they are the same code).
+
+// Indexed `for r in 0..rows` loops are deliberate here: the assertions
+// compare slot `r` of a row-kernel output against an independently computed
+// per-row value, and the subscript form keeps the two sides visibly aligned.
+#![allow(clippy::needless_range_loop)]
+
+use mars_tensor::simd::{self, portable, scalar, Path};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Relative-tolerance check: `|a − b| ≤ tol · max(|a|, |b|, 1)`.
+fn rel_close(a: f32, b: f32, tol: f32) -> bool {
+    (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Deterministic pseudo-random vector for a given dim/salt.
+fn vec_for(dim: usize, salt: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(salt.wrapping_mul(0x9E3779B97F4A7C15) + dim as u64);
+    (0..dim).map(|_| rng.gen_range(-2.0f32..2.0)).collect()
+}
+
+/// Runs `check(dim)` over every dim 1..=67 — odd sizes, powers of two, and
+/// every tail length against the 8-lane body.
+fn for_all_dims(check: impl Fn(usize)) {
+    for dim in 1..=67 {
+        check(dim);
+    }
+}
+
+#[test]
+fn simd_and_portable_reductions_agree_across_dims() {
+    for_all_dims(|dim| {
+        let a = vec_for(dim, 1);
+        let b = vec_for(dim, 2);
+        // Dispatched vs portable: within tolerance (equal when the
+        // portable tier is active; FMA-contraction distance otherwise).
+        assert!(
+            rel_close(simd::dot(&a, &b), portable::dot(&a, &b), 1e-5),
+            "dot diverged at dim {dim}"
+        );
+        assert!(
+            rel_close(simd::dist_sq(&a, &b), portable::dist_sq(&a, &b), 1e-5),
+            "dist_sq diverged at dim {dim}"
+        );
+        // And both stay near the sequential scalar oracle.
+        assert!(
+            rel_close(simd::dot(&a, &b), scalar::dot(&a, &b), 1e-4),
+            "dot far from scalar at dim {dim}"
+        );
+        assert!(
+            rel_close(simd::dist_sq(&a, &b), scalar::dist_sq(&a, &b), 1e-4),
+            "dist_sq far from scalar at dim {dim}"
+        );
+    });
+}
+
+#[cfg(target_arch = "x86_64")]
+#[test]
+fn avx2_and_portable_kernels_agree_across_dims() {
+    use mars_tensor::simd::avx2;
+    if !avx2::available() {
+        eprintln!("AVX2+FMA not available; cross-tier test skipped");
+        return;
+    }
+    for_all_dims(|dim| {
+        let a = vec_for(dim, 3);
+        let b = vec_for(dim, 4);
+        let (d_a, d_p) = (unsafe { avx2::dot(&a, &b) }, portable::dot(&a, &b));
+        assert!(
+            rel_close(d_a, d_p, 1e-5),
+            "dot: avx2 {d_a} vs portable {d_p} at dim {dim}"
+        );
+        let (s_a, s_p) = (unsafe { avx2::dist_sq(&a, &b) }, portable::dist_sq(&a, &b));
+        assert!(rel_close(s_a, s_p, 1e-5), "dist_sq diverged at dim {dim}");
+
+        let mut y_a = vec_for(dim, 5);
+        let mut y_p = y_a.clone();
+        unsafe { avx2::axpy(0.37, &a, &mut y_a) };
+        portable::axpy(0.37, &a, &mut y_p);
+        for i in 0..dim {
+            assert!(
+                rel_close(y_a[i], y_p[i], 1e-5),
+                "axpy diverged at dim {dim} lane {i}"
+            );
+        }
+
+        // Row kernels: 3 rows of `dim`, plus the fused gradient kernel.
+        let ra = vec_for(dim * 3, 6);
+        let rb = vec_for(dim * 3, 7);
+        let mut out_a = vec![0.0f32; 3];
+        let mut out_p = vec![0.0f32; 3];
+        unsafe { avx2::dot_rows(&ra, &rb, dim, &mut out_a) };
+        portable::dot_rows(&ra, &rb, dim, &mut out_p);
+        for r in 0..3 {
+            assert!(
+                rel_close(out_a[r], out_p[r], 1e-5),
+                "dot_rows row {r} dim {dim}"
+            );
+        }
+        unsafe { avx2::dist_sq_one_rows(&a, &rb, &mut out_a) };
+        portable::dist_sq_one_rows(&a, &rb, &mut out_p);
+        for r in 0..3 {
+            assert!(
+                rel_close(out_a[r], out_p[r], 1e-5),
+                "dist_sq_one_rows row {r} dim {dim}"
+            );
+        }
+
+        let u = vec_for(dim, 8);
+        let p = vec_for(dim, 9);
+        let q = vec_for(dim, 10);
+        let mut grads_a = vec![vec![0.0f32; dim]; 3];
+        let mut grads_p = vec![vec![0.0f32; dim]; 3];
+        {
+            let [du, dp, dq] = grads_a.get_disjoint_mut([0, 1, 2]).unwrap();
+            unsafe { avx2::euclid_grad_row(1.3, -0.7, &u, &p, &q, du, dp, dq) };
+        }
+        {
+            let [du, dp, dq] = grads_p.get_disjoint_mut([0, 1, 2]).unwrap();
+            portable::euclid_grad_row(1.3, -0.7, &u, &p, &q, du, dp, dq);
+        }
+        for k in 0..3 {
+            for i in 0..dim {
+                assert!(
+                    rel_close(grads_a[k][i], grads_p[k][i], 1e-5),
+                    "euclid_grad_row out {k} lane {i} dim {dim}"
+                );
+            }
+        }
+    });
+}
+
+/// The dispatch test: asserts which tier is active and that — on AVX2
+/// hardware — **both** tiers were actually exercised and routed correctly
+/// (the dispatched result is bitwise the active tier's result).
+#[test]
+fn dispatch_routes_to_the_detected_tier_and_both_paths_run() {
+    let a = vec_for(33, 11);
+    let b = vec_for(33, 12);
+    let dispatched = simd::dot(&a, &b);
+    let from_portable = portable::dot(&a, &b); // the portable tier always runs here
+    match simd::active_path() {
+        Path::Avx2Fma => {
+            #[cfg(target_arch = "x86_64")]
+            {
+                use mars_tensor::simd::avx2;
+                assert!(avx2::available(), "AVX2 tier active but not detected");
+                let from_avx2 = unsafe { avx2::dot(&a, &b) }; // ...and so does the AVX2 tier
+                assert_eq!(
+                    dispatched.to_bits(),
+                    from_avx2.to_bits(),
+                    "dispatch did not route to the AVX2 tier"
+                );
+                assert!(rel_close(from_avx2, from_portable, 1e-5));
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            panic!("AVX2 tier selected on a non-x86-64 target");
+        }
+        Path::Portable => {
+            #[cfg(target_arch = "x86_64")]
+            assert!(
+                !mars_tensor::simd::avx2::available(),
+                "portable tier active although AVX2 is available"
+            );
+            assert_eq!(
+                dispatched.to_bits(),
+                from_portable.to_bits(),
+                "dispatch did not route to the portable tier"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Property form of the agreement check: random contents at every odd
+    /// dim 1..=67, dispatched vs portable vs scalar oracle.
+    #[test]
+    fn reduction_tiers_agree_on_random_vectors(
+        half_dim in 0usize..34,
+        seed in 0u64..1_000,
+    ) {
+        let dim = (2 * half_dim + 1).min(67); // odd dims 1..=67
+        let a = vec_for(dim, seed * 2 + 101);
+        let b = vec_for(dim, seed * 2 + 102);
+        prop_assert!(rel_close(simd::dot(&a, &b), portable::dot(&a, &b), 1e-5));
+        prop_assert!(rel_close(simd::dot(&a, &b), scalar::dot(&a, &b), 1e-4));
+        prop_assert!(rel_close(simd::dist_sq(&a, &b), portable::dist_sq(&a, &b), 1e-5));
+        prop_assert!(rel_close(simd::dist_sq(&a, &b), scalar::dist_sq(&a, &b), 1e-4));
+    }
+
+    /// Row kernels must agree with their per-row scalar form bitwise —
+    /// this is the `score` / `score_block` agreement contract.
+    #[test]
+    fn row_kernels_match_per_row_dispatch_bitwise(
+        dim in 1usize..68,
+        rows in 1usize..7,
+        seed in 0u64..500,
+    ) {
+        let a = vec_for(dim * rows, seed + 7_000);
+        let b = vec_for(dim * rows, seed + 8_000);
+        let mut out = vec![0.0f32; rows];
+        simd::dot_rows(&a, &b, dim, &mut out);
+        for r in 0..rows {
+            let lo = r * dim;
+            let per_row = simd::dot(&a[lo..lo + dim], &b[lo..lo + dim]);
+            prop_assert_eq!(out[r].to_bits(), per_row.to_bits());
+        }
+        simd::dist_sq_one_rows(&a[..dim], &b, &mut out);
+        for r in 0..rows {
+            let lo = r * dim;
+            let per_row = simd::dist_sq(&a[..dim], &b[lo..lo + dim]);
+            prop_assert_eq!(out[r].to_bits(), per_row.to_bits());
+        }
+    }
+}
