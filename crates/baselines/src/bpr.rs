@@ -17,6 +17,7 @@ use mars_data::batch::Triplet;
 use mars_data::dataset::Dataset;
 use mars_data::{ItemId, UserId};
 use mars_metrics::Scorer;
+use mars_runtime::rng::seeds;
 use mars_tensor::{nonlin, ops};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -33,7 +34,7 @@ impl Bpr {
     /// Creates an (untrained) model for the catalogue sizes.
     pub fn new(cfg: BaselineConfig, num_users: usize, num_items: usize) -> Self {
         cfg.validate().expect("invalid baseline config");
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut rng = StdRng::seed_from_u64(seeds::model_init(cfg.seed));
         let scale = 1.0 / (cfg.dim as f32).sqrt();
         Self {
             user: EmbeddingTable::uniform(&mut rng, num_users, cfg.dim, scale),

@@ -15,6 +15,7 @@ use mars_data::batch::Triplet;
 use mars_data::dataset::Dataset;
 use mars_data::{ItemId, UserId};
 use mars_metrics::Scorer;
+use mars_runtime::rng::seeds;
 use mars_tensor::ops;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -30,7 +31,7 @@ impl Cml {
     /// Creates an (untrained) model.
     pub fn new(cfg: BaselineConfig, num_users: usize, num_items: usize) -> Self {
         cfg.validate().expect("invalid baseline config");
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut rng = StdRng::seed_from_u64(seeds::model_init(cfg.seed));
         let scale = 1.0 / (cfg.dim as f32).sqrt();
         let mut user = EmbeddingTable::uniform(&mut rng, num_users, cfg.dim, scale);
         let mut item = EmbeddingTable::uniform(&mut rng, num_items, cfg.dim, scale);

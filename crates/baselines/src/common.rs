@@ -3,14 +3,13 @@
 //! on — the same execution model as `mars-core`'s batched trainer, so the
 //! paper's baseline-table comparisons exercise identical machinery.
 
-use mars_data::batch::{Triplet, TripletBatcher};
+use mars_data::batch::{FillMode, Triplet, TripletBatcher, TripletStream};
 use mars_data::dataset::Dataset;
 use mars_data::sampler::{UniformNegativeSampler, UserSampler};
 use mars_metrics::Scorer;
 use mars_optim::{BatchMode, GradAccumulator};
+use mars_runtime::rng::seeds;
 use mars_runtime::{shard_items, WorkerPool};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Hyperparameters shared by the baselines. Model-specific knobs (memory
 /// slots for LRML, tower widths for NeuMF, …) live on the model structs with
@@ -39,6 +38,10 @@ pub struct BaselineConfig {
     /// Worker threads for the batched engine (shard-by-user); `0` = all
     /// cores, `1` = serial.
     pub threads: usize,
+    /// Draw batch `b + 1` on a background thread while batch `b` trains
+    /// (identical triplet stream either way — batches are pure functions of
+    /// `(seed, index)`). Off = fill inline, fanned across the worker pool.
+    pub prefetch: bool,
     /// RNG seed.
     pub seed: u64,
 }
@@ -55,6 +58,7 @@ impl Default for BaselineConfig {
             negatives_per_positive: 4,
             batch_mode: BatchMode::Batched,
             threads: 1,
+            prefetch: true,
             seed: 42,
         }
     }
@@ -122,15 +126,17 @@ pub trait TripletUpdate: Scorer + Sync {
     /// nothing.
     fn triplet_update(&self, t: Triplet, up: &mut [f32], ui: &mut [f32], uj: &mut [f32]) -> bool;
 
-    /// Updates any *scalar side parameters* — SML's learnable per-user /
-    /// per-item margins — for one triplet. The engine calls it once per
-    /// triplet, in **original batch order**, against the same parameters
-    /// `triplet_update` saw: before the row applies of the triplet
-    /// (per-triplet mode) or of the batch (batched mode). Margin updates
-    /// may cascade within a batch (they touch no embedding row, so the
-    /// frozen-parameter contract of the row accumulation is unaffected).
-    /// Models without side parameters keep the default no-op.
-    fn margin_update(&mut self, _t: Triplet) {}
+    /// Updates any *side parameters* — parameters outside the user/item
+    /// embedding rows, such as SML's learnable per-user / per-item margins
+    /// or LRML's relation memory and attention keys — for one triplet. The
+    /// engine calls it once per triplet, in **original batch order**,
+    /// against the same embedding rows `triplet_update` saw: before the row
+    /// applies of the triplet (per-triplet mode) or of the batch (batched
+    /// mode). Side updates may cascade within a batch (they touch no
+    /// embedding row, so the frozen-parameter contract of the row
+    /// accumulation is unaffected). Models without side parameters keep the
+    /// default no-op.
+    fn side_update(&mut self, _t: Triplet) {}
 
     /// Applies an update to user row `u` (plus any projection/constraint).
     fn apply_user(&mut self, u: usize, lr: f32, upd: &[f32]);
@@ -147,9 +153,31 @@ fn row_key(kind: u64, row: usize) -> u64 {
     ((row as u64) << 1) | kind
 }
 
+/// The engines' shared batch source: a counter-keyed [`TripletBatcher`]
+/// over uniform user/negative sampling, seeded by the workspace convention
+/// ([`seeds::sampling`]). Batch `b` is a pure function of `(seed, b)`, so
+/// prefetching and pool-parallel fills produce the identical stream (see
+/// the `mars-data::batch` module docs).
+fn make_batcher(
+    x: &mars_data::Interactions,
+    slots: usize,
+    negatives_per_slot: usize,
+    seed: u64,
+) -> TripletBatcher<UniformNegativeSampler> {
+    TripletBatcher::with_negatives(
+        UserSampler::uniform(x),
+        UniformNegativeSampler,
+        slots,
+        negatives_per_slot,
+        seeds::sampling(seed),
+    )
+}
+
 /// Trains `model` on the dataset's train split with the shared engine:
-/// uniform user/negative sampling into [`TripletBatcher`] batches, then —
-/// per [`BaselineConfig::batch_mode`] —
+/// counter-keyed uniform user/negative sampling into [`TripletBatcher`]
+/// batches (prefetched on a background thread per
+/// [`BaselineConfig::prefetch`], else filled inline across the pool), then
+/// — per [`BaselineConfig::batch_mode`] —
 ///
 /// * **PerTriplet**: the reference path, one immediate apply per triplet;
 /// * **Batched**: updates accumulate per row over the batch against frozen
@@ -157,18 +185,14 @@ fn row_key(kind: u64, row: usize) -> u64 {
 ///   With `threads > 1` each batch is sharded by user across a persistent
 ///   [`mars_runtime::WorkerPool`] (created once for the whole fit, no
 ///   per-batch spawn/join) and shard accumulators merge in shard order, so
-///   training stays deterministic for a fixed seed and thread count.
+///   training stays deterministic for a fixed seed — at **any** thread
+///   count for the sampling, and per thread count for the float merges.
 pub fn fit_triplets<M: TripletUpdate>(model: &mut M, data: &Dataset, cfg: &BaselineConfig) {
     let x = &data.train;
     if x.num_interactions() == 0 {
         return;
     }
-    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(1));
-    let mut batcher = TripletBatcher::new(
-        UserSampler::uniform(x),
-        UniformNegativeSampler,
-        cfg.batch_size,
-    );
+    let batcher = make_batcher(x, cfg.batch_size, 1, cfg.seed);
     let batches = batcher.batches_per_epoch(x);
     let lr = cfg.lr;
     let dim = model.dim();
@@ -178,24 +202,32 @@ pub fn fit_triplets<M: TripletUpdate>(model: &mut M, data: &Dataset, cfg: &Basel
     // state on the batch mode).
     if cfg.batch_mode == BatchMode::PerTriplet {
         let (mut up, mut ui, mut uj) = (vec![0.0; dim], vec![0.0; dim], vec![0.0; dim]);
-        for _ in 0..cfg.epochs {
-            model.begin_epoch(data);
-            for _ in 0..batches {
-                // The batcher's internal buffer is borrowed directly — no
-                // per-batch copy on the hot path.
-                for &t in batcher.next_batch(x, &mut rng) {
-                    let active = model.triplet_update(t, &mut up, &mut ui, &mut uj);
-                    // Margins first: the hook sees the same parameters the
-                    // update was computed against.
-                    model.margin_update(t);
-                    if active {
-                        model.apply_user(t.user as usize, lr, &up);
-                        model.apply_item(t.positive as usize, lr, &ui);
-                        model.apply_item(t.negative as usize, lr, &uj);
+        std::thread::scope(|scope| {
+            let mode = if cfg.prefetch {
+                FillMode::Prefetch
+            } else {
+                FillMode::Serial
+            };
+            let mut stream = TripletStream::spawn(scope, x, batcher, mode);
+            for _ in 0..cfg.epochs {
+                model.begin_epoch(data);
+                for _ in 0..batches {
+                    // The stream's buffer is borrowed directly — no
+                    // per-batch copy on the hot path.
+                    for &t in stream.next_batch().triplets() {
+                        let active = model.triplet_update(t, &mut up, &mut ui, &mut uj);
+                        // Side parameters first: the hook sees the same
+                        // parameters the update was computed against.
+                        model.side_update(t);
+                        if active {
+                            model.apply_user(t.user as usize, lr, &up);
+                            model.apply_item(t.positive as usize, lr, &ui);
+                            model.apply_item(t.negative as usize, lr, &uj);
+                        }
                     }
                 }
             }
-        }
+        });
         return;
     }
 
@@ -222,53 +254,126 @@ pub fn fit_triplets<M: TripletUpdate>(model: &mut M, data: &Dataset, cfg: &Basel
         .collect();
     let mut merged = GradAccumulator::new(dim);
 
-    for _ in 0..cfg.epochs {
-        model.begin_epoch(data);
-        for _ in 0..batches {
-            if threads <= 1 {
-                let batch = batcher.next_batch(x, &mut rng);
-                let Shard {
-                    up, ui, uj, acc, ..
-                } = &mut shards[0];
-                acc.clear();
-                accumulate_shard(model, batch, up, ui, uj, acc);
-                // Side parameters (margins) update serially in batch order
-                // against the frozen rows, then the rows apply.
-                for &t in batch {
-                    model.margin_update(t);
+    std::thread::scope(|scope| {
+        // With prefetch the pool is free during the fill, so it is reserved
+        // for the gradient scatter; without it the fill itself fans across
+        // the pool between scatters.
+        let mode = if cfg.prefetch {
+            FillMode::Prefetch
+        } else {
+            FillMode::Pool(&pool)
+        };
+        let mut stream = TripletStream::spawn(scope, x, batcher, mode);
+        for _ in 0..cfg.epochs {
+            model.begin_epoch(data);
+            for _ in 0..batches {
+                if threads <= 1 {
+                    let batch = stream.next_batch().triplets();
+                    let Shard {
+                        up, ui, uj, acc, ..
+                    } = &mut shards[0];
+                    acc.clear();
+                    accumulate_shard(model, batch, up, ui, uj, acc);
+                    // Side parameters update serially in batch order against
+                    // the frozen rows, then the rows apply.
+                    for &t in batch {
+                        model.side_update(t);
+                    }
+                    apply_accumulated(model, acc, lr);
+                } else {
+                    let batch = stream.next_batch().triplets();
+                    shard_items(batch, shards.iter_mut().map(|s| &mut s.buf), |t| {
+                        t.user as usize
+                    });
+                    let frozen: &M = model;
+                    pool.scatter(&mut shards, |_, sh| {
+                        sh.acc.clear();
+                        accumulate_shard(
+                            frozen,
+                            &sh.buf,
+                            &mut sh.up,
+                            &mut sh.ui,
+                            &mut sh.uj,
+                            &mut sh.acc,
+                        );
+                    });
+                    // Side parameters update in *original batch order* (not
+                    // shard order), so they are identical at every thread
+                    // count.
+                    for &t in batch {
+                        model.side_update(t);
+                    }
+                    // Deterministic merge: fixed shard order.
+                    merged.clear();
+                    for sh in &shards {
+                        merged.merge_from(&sh.acc);
+                    }
+                    apply_accumulated(model, &mut merged, lr);
                 }
-                apply_accumulated(model, acc, lr);
-            } else {
-                let batch = batcher.next_batch(x, &mut rng);
-                shard_items(batch, shards.iter_mut().map(|s| &mut s.buf), |t| {
-                    t.user as usize
-                });
-                let frozen: &M = model;
-                pool.scatter(&mut shards, |_, sh| {
-                    sh.acc.clear();
-                    accumulate_shard(
-                        frozen,
-                        &sh.buf,
-                        &mut sh.up,
-                        &mut sh.ui,
-                        &mut sh.uj,
-                        &mut sh.acc,
-                    );
-                });
-                // Margins update in *original batch order* (not shard
-                // order), so they are identical at every thread count.
-                for &t in batch {
-                    model.margin_update(t);
-                }
-                // Deterministic merge: fixed shard order.
-                merged.clear();
-                for sh in &shards {
-                    merged.merge_from(&sh.acc);
-                }
-                apply_accumulated(model, &mut merged, lr);
             }
         }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Shared pointwise engine (the triplet engine's twin)
+// ---------------------------------------------------------------------------
+
+/// A pointwise model trainable by [`fit_pointwise`]: it consumes labelled
+/// `(user, item, label)` samples one at a time (the training protocol of
+/// NeuMF and MetricF, whose updates are inherently sequential — shared MLP
+/// towers, immediate ball projections). The engine owns everything around
+/// the step: the counter-keyed sampling pipeline, the worker pool that
+/// parallelizes the pre-draw, the prefetch overlap, and the epoch schedule.
+pub trait PointwiseUpdate: Scorer {
+    /// Called once at the start of every epoch, before any sample of that
+    /// epoch is drawn. The default is a no-op.
+    fn begin_epoch(&mut self, _data: &Dataset) {}
+
+    /// One SGD step on the labelled pair (`label` 1 = observed positive,
+    /// 0 = sampled negative).
+    fn pointwise_step(&mut self, user: usize, item: usize, label: f32);
+}
+
+/// Trains `model` with the shared pointwise engine — the same counter-keyed
+/// batcher/pool/prefetch plumbing as [`fit_triplets`], reshaped: each slot
+/// draws one user, one positive and [`BaselineConfig::negatives_per_positive`]
+/// negatives, and the model steps on the positive (label 1) then each
+/// negative (label 0) in slot order — the sample order of the bespoke
+/// per-sample loops this engine replaced. Sampling is bit-identical at any
+/// worker count and with prefetch on or off; the updates themselves run
+/// serially (pointwise models share non-row parameters such as MLP towers).
+pub fn fit_pointwise<M: PointwiseUpdate>(model: &mut M, data: &Dataset, cfg: &BaselineConfig) {
+    let x = &data.train;
+    if x.num_interactions() == 0 {
+        return;
     }
+    let k = cfg.negatives_per_positive;
+    let slots = (cfg.batch_size / k).max(1);
+    let batcher = make_batcher(x, slots, k, cfg.seed);
+    let batches = batcher.batches_per_epoch(x);
+    // The updates are serial, so the pool only ever fills batches — don't
+    // spawn its workers when the prefetch thread does the filling instead.
+    let pool = (!cfg.prefetch).then(|| WorkerPool::with_threads(cfg.threads));
+    std::thread::scope(|scope| {
+        let mode = match &pool {
+            None => FillMode::Prefetch,
+            Some(pool) => FillMode::Pool(pool),
+        };
+        let mut stream = TripletStream::spawn(scope, x, batcher, mode);
+        for _ in 0..cfg.epochs {
+            model.begin_epoch(data);
+            for _ in 0..batches {
+                for slot in stream.next_batch().slots() {
+                    let first = slot[0];
+                    model.pointwise_step(first.user as usize, first.positive as usize, 1.0);
+                    for t in slot {
+                        model.pointwise_step(t.user as usize, t.negative as usize, 0.0);
+                    }
+                }
+            }
+        }
+    });
 }
 
 /// Runs `f` with a thread-local scratch buffer — the gather block
@@ -437,6 +542,36 @@ mod tests {
                 run(),
                 run(),
                 "mode {mode:?} threads {threads} not deterministic"
+            );
+        }
+    }
+
+    #[test]
+    fn prefetch_does_not_change_training() {
+        // Batches are pure functions of (seed, index), so overlapping the
+        // fill with gradient work must not move a single float.
+        let data = tiny_dataset();
+        for (mode, threads) in [
+            (BatchMode::PerTriplet, 1usize),
+            (BatchMode::Batched, 1),
+            (BatchMode::Batched, 3),
+        ] {
+            let run = |prefetch: bool| {
+                let cfg = BaselineConfig {
+                    batch_mode: mode,
+                    threads,
+                    prefetch,
+                    epochs: 2,
+                    ..BaselineConfig::quick(8)
+                };
+                let mut m = Bpr::new(cfg, data.num_users(), data.num_items());
+                m.fit(&data);
+                scores(&m, data.num_users() as u32, data.num_items() as u32)
+            };
+            assert_eq!(
+                run(true),
+                run(false),
+                "prefetch changed training (mode {mode:?}, threads {threads})"
             );
         }
     }

@@ -14,14 +14,24 @@
 //! flows through the attention into the keys `K`, memories `M`, and both
 //! embeddings (the `u ⊙ v` product couples them) — all derived by hand
 //! below and covered by the crate's improvement tests.
+//!
+//! Runs on the shared triplet engine ([`fit_triplets`]): the user/item row
+//! gradients of both hinge pairs ride
+//! [`TripletUpdate::triplet_update`] (computed against the frozen
+//! parameters, the user row accumulating both pairs' contributions), and
+//! the per-step memory-attention state — the relation memory `M` and
+//! attention keys `K` — rides the [`TripletUpdate::side_update`] hook,
+//! which the engine calls once per triplet in original batch order. LRML
+//! thereby inherits the counter-keyed sampling pipeline, the worker pool
+//! and the prefetch overlap like every other pairwise baseline.
 
-use crate::common::{BaselineConfig, ImplicitRecommender};
+use crate::common::{fit_triplets, BaselineConfig, ImplicitRecommender, TripletUpdate};
 use mars_core::embedding::EmbeddingTable;
-use mars_data::batch::TripletBatcher;
+use mars_data::batch::Triplet;
 use mars_data::dataset::Dataset;
-use mars_data::sampler::{UniformNegativeSampler, UserSampler};
 use mars_data::{ItemId, UserId};
 use mars_metrics::Scorer;
+use mars_runtime::rng::seeds;
 use mars_tensor::{init, nonlin, ops, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -53,7 +63,7 @@ impl Lrml {
     /// Creates an (untrained) model.
     pub fn new(cfg: BaselineConfig, num_users: usize, num_items: usize) -> Self {
         cfg.validate().expect("invalid baseline config");
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut rng = StdRng::seed_from_u64(seeds::model_init(cfg.seed));
         let scale = 1.0 / (cfg.dim as f32).sqrt();
         let mut user = EmbeddingTable::uniform(&mut rng, num_users, cfg.dim, scale);
         let mut item = EmbeddingTable::uniform(&mut rng, num_items, cfg.dim, scale);
@@ -107,20 +117,13 @@ impl Lrml {
         (s, st)
     }
 
-    /// Applies the gradient of `sign · d(u,v)²` (sign = +1 for the positive
-    /// pair, −1 for the negative) to every parameter.
-    fn apply_pair_grad(&mut self, u: usize, v: usize, st: &RelationState, sign: f32) {
-        let dim = self.cfg.dim;
-        let lr = self.cfg.lr;
-        // diff = u + r − v ; ∂d²/∂(·) = 2·diff·∂(·)
-        let mut diff = vec![0.0; dim];
-        for d in 0..dim {
-            diff[d] = self.user.row(u)[d] + st.relation[d] - self.item.row(v)[d];
-        }
+    /// Backward pass of `sign · d(u,v)²` through the relation module up to
+    /// the attention logits: `∂L/∂r` and `∂L/∂s` (`diff` is `u + r − v`
+    /// against the current parameters).
+    fn relation_backward(&self, diff: &[f32], st: &RelationState, sign: f32) -> RelationGrads {
         // ∂L/∂r = 2·sign·diff.
-        let mut d_rel = diff.clone();
+        let mut d_rel = diff.to_vec();
         ops::scale(&mut d_rel, 2.0 * sign);
-
         // Memory: ∂L/∂M_i = a_i · d_rel. Attention logits: ds_i = d_rel·M_i.
         let mut d_logits_upstream = vec![0.0; MEMORY_SLOTS];
         for i in 0..MEMORY_SLOTS {
@@ -128,26 +131,81 @@ impl Lrml {
         }
         let mut d_logits = vec![0.0; MEMORY_SLOTS];
         nonlin::softmax_backward(&st.attention, &d_logits_upstream, &mut d_logits);
+        RelationGrads { d_rel, d_logits }
+    }
 
+    /// `diff = u + r − v` against the current parameters.
+    fn pair_diff(&self, u: usize, v: usize, st: &RelationState) -> Vec<f32> {
+        let dim = self.cfg.dim;
+        let mut diff = vec![0.0; dim];
+        for d in 0..dim {
+            diff[d] = self.user.row(u)[d] + st.relation[d] - self.item.row(v)[d];
+        }
+        diff
+    }
+
+    /// Accumulates (`+=`) the *descent* gradients of `sign · d(u,v)²` on
+    /// the user and item rows into `gu` / `gv`: the direct distance term
+    /// plus the path through the attention input `had = u ⊙ v`.
+    fn accumulate_row_grads(
+        &self,
+        u: usize,
+        v: usize,
+        st: &RelationState,
+        sign: f32,
+        gu: &mut [f32],
+        gv: &mut [f32],
+    ) {
+        let dim = self.cfg.dim;
+        let diff = self.pair_diff(u, v, st);
+        let grads = self.relation_backward(&diff, st, sign);
         // ∂L/∂had = Kᵀ d_logits.
         let mut d_had = vec![0.0; dim];
-        self.keys.matvec_t(&d_logits, &mut d_had);
-
-        // Parameter updates (order: reads before writes of the same rows).
-        // u: direct distance term + through had (had = u ⊙ v).
+        self.keys.matvec_t(&grads.d_logits, &mut d_had);
         for d in 0..dim {
-            let du = 2.0 * sign * diff[d] + d_had[d] * self.item.row(v)[d];
-            let dv = -2.0 * sign * diff[d] + d_had[d] * self.user.row(u)[d];
-            self.user.row_mut(u)[d] -= lr * du;
-            self.item.row_mut(v)[d] -= lr * dv;
+            gu[d] += 2.0 * sign * diff[d] + d_had[d] * self.item.row(v)[d];
+            gv[d] += -2.0 * sign * diff[d] + d_had[d] * self.user.row(u)[d];
         }
+    }
+
+    /// One SGD step of `sign · d(u,v)²` on the memory-attention state (the
+    /// relation memory `M` and the attention keys `K`) — the side-parameter
+    /// half of the pair gradient, leaving the embedding rows untouched.
+    fn apply_side_grad(&mut self, u: usize, v: usize, st: &RelationState, sign: f32) {
+        let diff = self.pair_diff(u, v, st);
+        let grads = self.relation_backward(&diff, st, sign);
+        let lr = self.cfg.lr;
         for i in 0..MEMORY_SLOTS {
-            ops::axpy(-lr * st.attention[i], &d_rel, self.memory.row_mut(i));
-            ops::axpy(-lr * d_logits[i], &st.had, self.keys.row_mut(i));
+            ops::axpy(-lr * st.attention[i], &grads.d_rel, self.memory.row_mut(i));
+            ops::axpy(-lr * grads.d_logits[i], &st.had, self.keys.row_mut(i));
         }
+    }
+
+    /// Applies the full gradient of `sign · d(u,v)²` (sign = +1 for the
+    /// positive pair, −1 for the negative) to every parameter — the
+    /// reference per-pair step the engine hooks decompose; kept for the
+    /// gradient tests.
+    #[cfg(test)]
+    fn apply_pair_grad(&mut self, u: usize, v: usize, st: &RelationState, sign: f32) {
+        let dim = self.cfg.dim;
+        let (mut gu, mut gv) = (vec![0.0; dim], vec![0.0; dim]);
+        self.accumulate_row_grads(u, v, st, sign, &mut gu, &mut gv);
+        // Side first: it reads the rows the gradients were computed against.
+        self.apply_side_grad(u, v, st, sign);
+        let lr = self.cfg.lr;
+        ops::axpy(-lr, &gu, self.user.row_mut(u));
+        ops::axpy(-lr, &gv, self.item.row_mut(v));
         ops::clip_to_unit_ball(self.user.row_mut(u));
         ops::clip_to_unit_ball(self.item.row_mut(v));
     }
+}
+
+/// Relation-module gradients shared by the row and side updates.
+struct RelationGrads {
+    /// `∂L/∂r` (through the translated distance).
+    d_rel: Vec<f32>,
+    /// `∂L/∂s` (through the attention softmax).
+    d_logits: Vec<f32>,
 }
 
 impl Scorer for Lrml {
@@ -156,36 +214,73 @@ impl Scorer for Lrml {
     }
 }
 
-impl ImplicitRecommender for Lrml {
-    fn fit(&mut self, data: &Dataset) {
-        let x = &data.train;
-        if x.num_interactions() == 0 {
+impl TripletUpdate for Lrml {
+    fn dim(&self) -> usize {
+        self.cfg.dim
+    }
+
+    fn triplet_update(&self, t: Triplet, up: &mut [f32], ui: &mut [f32], uj: &mut [f32]) -> bool {
+        let (u, i, j) = (t.user as usize, t.positive as usize, t.negative as usize);
+        let (d_pos, st_pos) = self.dist_sq_with_state(u, i);
+        let (d_neg, st_neg) = self.dist_sq_with_state(u, j);
+        if self.cfg.margin + d_pos - d_neg <= 0.0 {
+            return false;
+        }
+        up.fill(0.0);
+        ui.fill(0.0);
+        uj.fill(0.0);
+        // Descent gradients of both hinge pairs against the frozen
+        // parameters; the user row takes both pairs' contributions…
+        self.accumulate_row_grads(u, i, &st_pos, 1.0, up, ui);
+        self.accumulate_row_grads(u, j, &st_neg, -1.0, up, uj);
+        // …and the engine applies `row += lr · upd`, so negate into the
+        // ascent convention.
+        for d in 0..self.cfg.dim {
+            up[d] = -up[d];
+            ui[d] = -ui[d];
+            uj[d] = -uj[d];
+        }
+        true
+    }
+
+    fn side_update(&mut self, t: Triplet) {
+        let (u, i, j) = (t.user as usize, t.positive as usize, t.negative as usize);
+        // Recomputed against the current memory/keys (which cascade within
+        // a batch) and the frozen rows — same recompute-in-batch-order
+        // pattern as SML's margins; the hinge may therefore gate slightly
+        // differently from `triplet_update`'s frozen-state decision. The
+        // forward/backward duplication with `triplet_update` cannot be
+        // cached away: in the sharded engine that hook runs shard-ordered
+        // on pool workers against `&self`, while this one runs later, in
+        // batch order, against memory/keys other triplets may already have
+        // moved — there is no per-triplet channel that preserves both the
+        // determinism contract and the cascade semantics.
+        let (d_pos, st_pos) = self.dist_sq_with_state(u, i);
+        let (d_neg, st_neg) = self.dist_sq_with_state(u, j);
+        if self.cfg.margin + d_pos - d_neg <= 0.0 {
             return;
         }
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(1));
-        let mut batcher = TripletBatcher::new(
-            UserSampler::uniform(x),
-            UniformNegativeSampler,
-            self.cfg.batch_size,
-        );
-        let batches = batcher.batches_per_epoch(x);
-        for _ in 0..self.cfg.epochs {
-            for _ in 0..batches {
-                let batch: Vec<_> = batcher.next_batch(x, &mut rng).to_vec();
-                for t in batch {
-                    let u = t.user as usize;
-                    let i = t.positive as usize;
-                    let j = t.negative as usize;
-                    let (d_pos, st_pos) = self.dist_sq_with_state(u, i);
-                    let (d_neg, st_neg) = self.dist_sq_with_state(u, j);
-                    if self.cfg.margin + d_pos - d_neg <= 0.0 {
-                        continue;
-                    }
-                    self.apply_pair_grad(u, i, &st_pos, 1.0);
-                    self.apply_pair_grad(u, j, &st_neg, -1.0);
-                }
-            }
-        }
+        self.apply_side_grad(u, i, &st_pos, 1.0);
+        self.apply_side_grad(u, j, &st_neg, -1.0);
+    }
+
+    fn apply_user(&mut self, u: usize, lr: f32, upd: &[f32]) {
+        let row = self.user.row_mut(u);
+        ops::axpy(lr, upd, row);
+        ops::clip_to_unit_ball(row);
+    }
+
+    fn apply_item(&mut self, v: usize, lr: f32, upd: &[f32]) {
+        let row = self.item.row_mut(v);
+        ops::axpy(lr, upd, row);
+        ops::clip_to_unit_ball(row);
+    }
+}
+
+impl ImplicitRecommender for Lrml {
+    fn fit(&mut self, data: &Dataset) {
+        let cfg = self.cfg.clone();
+        fit_triplets(self, data, &cfg);
     }
 
     fn name(&self) -> &'static str {
@@ -209,6 +304,43 @@ mod tests {
             )
         };
         improves_over_untrained(make, &data);
+    }
+
+    #[test]
+    fn per_triplet_engine_mode_also_learns() {
+        // LRML rides the shared engine now; the reference per-sample
+        // scheduling must train too.
+        let data = tiny_dataset();
+        let cfg = BaselineConfig {
+            batch_mode: mars_optim::BatchMode::PerTriplet,
+            ..BaselineConfig::quick(16)
+        };
+        improves_over_untrained(
+            || Lrml::new(cfg.clone(), data.num_users(), data.num_items()),
+            &data,
+        );
+    }
+
+    #[test]
+    fn sharded_training_is_deterministic() {
+        let data = tiny_dataset();
+        let cfg = BaselineConfig {
+            threads: 3,
+            epochs: 2,
+            ..BaselineConfig::quick(8)
+        };
+        let run = || {
+            let mut m = Lrml::new(cfg.clone(), data.num_users(), data.num_items());
+            m.fit(&data);
+            let mut scores = Vec::new();
+            for u in 0..data.num_users() as u32 {
+                for v in 0..data.num_items() as u32 {
+                    scores.push(m.score(u, v).to_bits());
+                }
+            }
+            scores
+        };
+        assert_eq!(run(), run(), "sharded LRML training not deterministic");
     }
 
     #[test]

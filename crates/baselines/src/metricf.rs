@@ -11,14 +11,18 @@
 //!
 //! with embeddings kept in the unit ball (`d_max = 2` is the ball
 //! diameter). Per-sample SGD; `negatives_per_positive` sampled negatives
-//! per observed pair.
+//! per observed pair. Runs on the shared pointwise engine
+//! ([`fit_pointwise`]): the counter-keyed sampling pipeline draws each
+//! slot's positive and negatives (pool-parallel pre-draw or prefetched),
+//! and the engine feeds them to [`PointwiseUpdate::pointwise_step`] in the
+//! reference per-sample order.
 
-use crate::common::{BaselineConfig, ImplicitRecommender};
+use crate::common::{fit_pointwise, BaselineConfig, ImplicitRecommender, PointwiseUpdate};
 use mars_core::embedding::EmbeddingTable;
 use mars_data::dataset::Dataset;
-use mars_data::sampler::{NegativeSampler, UniformNegativeSampler, UserSampler};
 use mars_data::{ItemId, UserId};
 use mars_metrics::Scorer;
+use mars_runtime::rng::seeds;
 use mars_tensor::ops;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -39,7 +43,7 @@ impl MetricF {
     /// Creates an (untrained) model.
     pub fn new(cfg: BaselineConfig, num_users: usize, num_items: usize) -> Self {
         cfg.validate().expect("invalid baseline config");
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut rng = StdRng::seed_from_u64(seeds::model_init(cfg.seed));
         let scale = 1.0 / (cfg.dim as f32).sqrt();
         let mut user = EmbeddingTable::uniform(&mut rng, num_users, cfg.dim, scale);
         let mut item = EmbeddingTable::uniform(&mut rng, num_items, cfg.dim, scale);
@@ -71,28 +75,22 @@ impl Scorer for MetricF {
     }
 }
 
+impl PointwiseUpdate for MetricF {
+    fn pointwise_step(&mut self, user: usize, item: usize, label: f32) {
+        if label > 0.5 {
+            // Observed pair: regress the distance onto 0.
+            self.step_pair(user, item, 0.0, 1.0);
+        } else {
+            // Sampled negative: push towards the ball diameter, weakly.
+            self.step_pair(user, item, D_MAX, NEGATIVE_WEIGHT);
+        }
+    }
+}
+
 impl ImplicitRecommender for MetricF {
     fn fit(&mut self, data: &Dataset) {
-        let x = &data.train;
-        if x.num_interactions() == 0 {
-            return;
-        }
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(1));
-        let sampler = UserSampler::uniform(x);
-        let neg = UniformNegativeSampler;
-        let steps_per_epoch = x.num_interactions();
-        for _ in 0..self.cfg.epochs {
-            for _ in 0..steps_per_epoch {
-                let u = sampler.sample(&mut rng);
-                let v = mars_data::sampler::sample_positive(x, u, &mut rng);
-                self.step_pair(u as usize, v as usize, 0.0, 1.0);
-                for _ in 0..self.cfg.negatives_per_positive {
-                    if let Some(j) = neg.sample_negative(x, u, &mut rng) {
-                        self.step_pair(u as usize, j as usize, D_MAX, NEGATIVE_WEIGHT);
-                    }
-                }
-            }
-        }
+        let cfg = self.cfg.clone();
+        fit_pointwise(self, data, &cfg);
     }
 
     fn name(&self) -> &'static str {
@@ -155,6 +153,29 @@ mod tests {
             after > before && after > 0.0,
             "distance gap should widen: {before} → {after}"
         );
+    }
+
+    #[test]
+    fn pointwise_engine_is_deterministic_and_prefetch_invariant() {
+        let data = tiny_dataset();
+        let run = |prefetch: bool| {
+            let cfg = BaselineConfig {
+                prefetch,
+                epochs: 2,
+                ..BaselineConfig::quick(8)
+            };
+            let mut m = MetricF::new(cfg, data.num_users(), data.num_items());
+            m.fit(&data);
+            let mut scores = Vec::new();
+            for u in 0..data.num_users() as u32 {
+                for v in 0..data.num_items() as u32 {
+                    scores.push(m.score(u, v).to_bits());
+                }
+            }
+            scores
+        };
+        assert_eq!(run(true), run(true), "pointwise engine not deterministic");
+        assert_eq!(run(true), run(false), "prefetch changed pointwise training");
     }
 
     #[test]

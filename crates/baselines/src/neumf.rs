@@ -12,15 +12,18 @@
 //! trained pointwise with binary cross-entropy over observed positives and
 //! `negatives_per_positive` sampled negatives — the protocol of the
 //! original paper. All gradients are hand-derived over the [`crate::nn`]
-//! substrate.
+//! substrate. Runs on the shared pointwise engine ([`fit_pointwise`]): the
+//! counter-keyed pipeline draws the samples (pool-parallel pre-draw or
+//! prefetched) and feeds [`PointwiseUpdate::pointwise_step`] in the
+//! reference positive-then-negatives order.
 
-use crate::common::{BaselineConfig, ImplicitRecommender};
+use crate::common::{fit_pointwise, BaselineConfig, ImplicitRecommender, PointwiseUpdate};
 use crate::nn::{Activation, Mlp};
 use mars_core::embedding::EmbeddingTable;
 use mars_data::dataset::Dataset;
-use mars_data::sampler::{sample_positive, NegativeSampler, UniformNegativeSampler, UserSampler};
 use mars_data::{ItemId, UserId};
 use mars_metrics::Scorer;
+use mars_runtime::rng::seeds;
 use mars_tensor::{init, nonlin, ops};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -43,7 +46,7 @@ impl NeuMf {
     /// Creates an (untrained) model.
     pub fn new(cfg: BaselineConfig, num_users: usize, num_items: usize) -> Self {
         cfg.validate().expect("invalid baseline config");
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut rng = StdRng::seed_from_u64(seeds::model_init(cfg.seed));
         let d = cfg.dim;
         let scale = 1.0 / (d as f32).sqrt();
         let tower_out = (d / 2).max(1);
@@ -162,28 +165,16 @@ impl Scorer for NeuMf {
     }
 }
 
+impl PointwiseUpdate for NeuMf {
+    fn pointwise_step(&mut self, user: usize, item: usize, label: f32) {
+        self.step(user, item, label);
+    }
+}
+
 impl ImplicitRecommender for NeuMf {
     fn fit(&mut self, data: &Dataset) {
-        let x = &data.train;
-        if x.num_interactions() == 0 {
-            return;
-        }
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(1));
-        let sampler = UserSampler::uniform(x);
-        let neg = UniformNegativeSampler;
-        let steps = x.num_interactions();
-        for _ in 0..self.cfg.epochs {
-            for _ in 0..steps {
-                let u = sampler.sample(&mut rng);
-                let v = sample_positive(x, u, &mut rng);
-                self.step(u as usize, v as usize, 1.0);
-                for _ in 0..self.cfg.negatives_per_positive {
-                    if let Some(j) = neg.sample_negative(x, u, &mut rng) {
-                        self.step(u as usize, j as usize, 0.0);
-                    }
-                }
-            }
-        }
+        let cfg = self.cfg.clone();
+        fit_pointwise(self, data, &cfg);
     }
 
     fn name(&self) -> &'static str {

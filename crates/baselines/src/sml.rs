@@ -18,7 +18,7 @@
 //! (`common::fit_triplets`) like BPR / CML / TransCF: the embedding-row
 //! updates ride [`TripletUpdate::triplet_update`] (both hinges evaluated
 //! against the frozen parameters, their row contributions summed), and the
-//! learnable margins ride the [`TripletUpdate::margin_update`] hook, which
+//! learnable margins ride the [`TripletUpdate::side_update`] hook, which
 //! the engine calls once per triplet in batch order. SML thereby inherits
 //! the worker pool and the vectorized kernels.
 
@@ -28,6 +28,7 @@ use mars_data::batch::Triplet;
 use mars_data::dataset::Dataset;
 use mars_data::{ItemId, UserId};
 use mars_metrics::Scorer;
+use mars_runtime::rng::seeds;
 use mars_tensor::ops;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -53,7 +54,7 @@ impl Sml {
     /// Creates an (untrained) model with margins at the config value.
     pub fn new(cfg: BaselineConfig, num_users: usize, num_items: usize) -> Self {
         cfg.validate().expect("invalid baseline config");
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut rng = StdRng::seed_from_u64(seeds::model_init(cfg.seed));
         let scale = 1.0 / (cfg.dim as f32).sqrt();
         let mut user = EmbeddingTable::uniform(&mut rng, num_users, cfg.dim, scale);
         let mut item = EmbeddingTable::uniform(&mut rng, num_items, cfg.dim, scale);
@@ -148,7 +149,7 @@ impl TripletUpdate for Sml {
         true
     }
 
-    fn margin_update(&mut self, t: Triplet) {
+    fn side_update(&mut self, t: Triplet) {
         // Hinge gradient on an active margin is +1; the reward −γ pushes
         // margins up always. Activities are recomputed against the current
         // (frozen within a batch) rows and the *current* margins, so margin

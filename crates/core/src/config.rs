@@ -115,6 +115,11 @@ pub struct MarsConfig {
     /// standard stochastic realization (and matches the update budget of
     /// the pointwise baselines).
     pub negatives_per_positive: usize,
+    /// Draw batch `b + 1` on a background thread while batch `b` trains.
+    /// The triplet stream is identical either way — batches are pure
+    /// functions of `(seed, index)` (see `mars-data::batch`) — so this is a
+    /// pure throughput knob.
+    pub prefetch: bool,
     /// How many steps between spectral re-clipping of the projection
     /// matrices in factored mode (0 = every epoch end only).
     pub spectral_clip_every: usize,
@@ -157,6 +162,7 @@ impl MarsConfig {
             batch_mode: BatchMode::Batched,
             threads: 1,
             negatives_per_positive: 4,
+            prefetch: true,
             spectral_clip_every: 512,
             seed: 42,
         }

@@ -21,8 +21,12 @@
 //!   fixed seed, batch size and thread count (see the determinism contract
 //!   in the `mars-runtime` module docs).
 //!
-//! Triplet *sampling* is identical in both modes (one serial RNG stream), so
-//! switching engines changes update scheduling, never the data order.
+//! Triplet *sampling* is identical in both modes — and, since PR 4, a pure
+//! function of `(seed, batch index)`: the trainer consumes the
+//! counter-keyed [`TripletBatcher`] through a prefetching
+//! [`TripletStream`] (batch `b + 1` is drawn on a background thread while
+//! batch `b` trains; see the determinism contract in `mars-data::batch`).
+//! Switching engines changes update scheduling, never the data order.
 
 use crate::config::{BatchMode, MarsConfig, NegativeSampling, UserSampling};
 use crate::engine::BatchAccum;
@@ -30,7 +34,7 @@ use crate::kernels::Scratch;
 use crate::loss::BatchLoss;
 use crate::model::MultiFacetModel;
 
-use mars_data::batch::Triplet;
+use mars_data::batch::{FillMode, Triplet, TripletBatcher, TripletStream};
 use mars_data::dataset::Dataset;
 use mars_data::margin::compute_margins;
 use mars_data::sampler::{
@@ -38,9 +42,8 @@ use mars_data::sampler::{
 };
 use mars_metrics::{EvalConfig, RankingEvaluator};
 use mars_optim::LrSchedule;
+use mars_runtime::rng::seeds;
 use mars_runtime::WorkerPool;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Per-epoch training diagnostics.
 #[derive(Clone, Debug)]
@@ -152,7 +155,6 @@ impl Trainer {
             }
         };
 
-        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0x5EED));
         let dev_eval = RankingEvaluator::new(EvalConfig {
             num_negatives: 100,
             cutoffs: vec![10],
@@ -175,75 +177,79 @@ impl Trainer {
             since: 0,
         };
 
-        // One epoch visits as many positives as there are interactions;
-        // each positive is contrasted against `negatives_per_positive`
-        // sampled negatives (the stochastic form of Eq. 5/8's double sum).
-        let positives_per_epoch = x.num_interactions().max(1);
-        let batch_size = cfg.batch_size.max(1);
-        let mut buf: Vec<(Triplet, f32)> = Vec::with_capacity(batch_size);
+        // One epoch visits approximately as many positives as there are
+        // interactions; each positive (= batcher slot) is contrasted against
+        // `negatives_per_positive` sampled negatives (the stochastic form of
+        // Eq. 5/8's double sum), so a batch carries up to
+        // `slots × negatives_per_positive ≈ batch_size` triplets.
+        let k = cfg.negatives_per_positive.max(1);
+        let slots = (cfg.batch_size.max(1) / k).max(1);
+        let batcher =
+            TripletBatcher::with_negatives(user_sampler, neg, slots, k, seeds::sampling(cfg.seed));
+        let batches_per_epoch = batcher.batches_per_epoch(x);
+        let mut buf: Vec<(Triplet, f32)> = Vec::with_capacity(slots * k);
         let mut history = Vec::with_capacity(cfg.epochs);
 
-        for epoch in 0..cfg.epochs {
-            let lr = self.schedule.lr(cfg.lr, epoch, cfg.epochs);
-            let mut sums = BatchLoss::default();
+        std::thread::scope(|scope| {
+            let mode = if cfg.prefetch {
+                FillMode::Prefetch
+            } else {
+                FillMode::Serial
+            };
+            let mut stream = TripletStream::spawn(scope, x, batcher, mode);
+            for epoch in 0..cfg.epochs {
+                let lr = self.schedule.lr(cfg.lr, epoch, cfg.epochs);
+                let mut sums = BatchLoss::default();
 
-            for _ in 0..positives_per_epoch {
-                let u = user_sampler.sample(&mut rng);
-                let vp = mars_data::sampler::sample_positive(x, u, &mut rng);
-                let gamma = margins[u as usize];
-                for _ in 0..cfg.negatives_per_positive {
-                    let Some(vq) = neg.sample_negative(x, u, &mut rng) else {
-                        break;
-                    };
-                    let t = Triplet {
-                        user: u,
-                        positive: vp,
-                        negative: vq,
-                    };
+                for _ in 0..batches_per_epoch {
+                    let batch = stream.next_batch();
                     match cfg.batch_mode {
                         BatchMode::PerTriplet => {
-                            let l = model.train_triplet(t, gamma, lr, &mut scratch);
-                            sums.add(l);
-                            clip.tick(1, &mut model);
+                            for &t in batch.triplets() {
+                                let gamma = margins[t.user as usize];
+                                let l = model.train_triplet(t, gamma, lr, &mut scratch);
+                                sums.add(l);
+                                clip.tick(1, &mut model);
+                            }
                         }
                         BatchMode::Batched => {
-                            buf.push((t, gamma));
-                            if buf.len() == batch_size {
-                                let shards = shards.as_mut().expect("batched mode has shards");
-                                run_batch(&mut model, &buf, lr, &mut scratch, shards, &mut sums);
-                                clip.tick(buf.len(), &mut model);
-                                buf.clear();
+                            if batch.is_empty() {
+                                continue;
                             }
+                            buf.clear();
+                            buf.extend(
+                                batch
+                                    .triplets()
+                                    .iter()
+                                    .map(|&t| (t, margins[t.user as usize])),
+                            );
+                            let shards = shards.as_mut().expect("batched mode has shards");
+                            run_batch(&mut model, &buf, lr, &mut scratch, shards, &mut sums);
+                            clip.tick(buf.len(), &mut model);
                         }
                     }
                 }
-            }
-            if !buf.is_empty() {
-                let shards = shards.as_mut().expect("batched mode has shards");
-                run_batch(&mut model, &buf, lr, &mut scratch, shards, &mut sums);
-                clip.tick(buf.len(), &mut model);
-                buf.clear();
-            }
-            model.enforce_projection_constraint();
+                model.enforce_projection_constraint();
 
-            let n = sums.count.max(1) as f64;
-            let dev_hr10 = if self.dev_eval_every > 0
-                && (epoch + 1) % self.dev_eval_every == 0
-                && !data.dev.is_empty()
-            {
-                Some(dev_eval.evaluate_dev(&model, data).hr_at(10))
-            } else {
-                None
-            };
-            history.push(EpochStats {
-                epoch,
-                mean_loss: (sums.total(cfg.lambda_pull, cfg.lambda_facet) / n) as f32,
-                mean_push: (sums.push / n) as f32,
-                mean_pull: (sums.pull / n) as f32,
-                mean_facet: (sums.facet / n) as f32,
-                dev_hr10,
-            });
-        }
+                let n = sums.count.max(1) as f64;
+                let dev_hr10 = if self.dev_eval_every > 0
+                    && (epoch + 1) % self.dev_eval_every == 0
+                    && !data.dev.is_empty()
+                {
+                    Some(dev_eval.evaluate_dev(&model, data).hr_at(10))
+                } else {
+                    None
+                };
+                history.push(EpochStats {
+                    epoch,
+                    mean_loss: (sums.total(cfg.lambda_pull, cfg.lambda_facet) / n) as f32,
+                    mean_push: (sums.push / n) as f32,
+                    mean_pull: (sums.pull / n) as f32,
+                    mean_facet: (sums.facet / n) as f32,
+                    dev_hr10,
+                });
+            }
+        });
 
         debug_assert!(
             model.check_norm_invariant(1e-3),

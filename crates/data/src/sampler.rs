@@ -41,21 +41,26 @@ impl NegativeSampler for UniformNegativeSampler {
         rng: &mut R,
     ) -> Option<ItemId> {
         let n = x.num_items();
-        if x.user_degree(u) >= n {
+        let deg = x.user_degree(u);
+        if deg >= n {
             return None;
         }
-        // With degree < n a negative exists; cap attempts generously and
-        // fall back to a linear scan if astronomically unlucky.
+        // With degree < n a negative exists; rejection almost always wins on
+        // sparse data (expected `1/(1−density)` ≈ 1 draws).
         for _ in 0..64 {
             let v = rng.gen_range(0..n) as ItemId;
             if !x.contains(u, v) {
                 return Some(v);
             }
         }
-        let offset = rng.gen_range(0..n);
-        (0..n)
-            .map(|i| ((i + offset) % n) as ItemId)
-            .find(|&v| !x.contains(u, v))
+        // Rejection-free fallback for dense users (degree close to `n`,
+        // where rejection stalls): draw a rank uniformly over the complement
+        // and select the rank-th *non-interacted* item exactly, by binary
+        // search over the user's sorted positives. One draw, O(log deg),
+        // exactly uniform over the negatives — so the sampler terminates
+        // with `Some` whenever a negative exists.
+        let k = rng.gen_range(0..n - deg);
+        Some(kth_missing_item(x.items_of(u), k))
     }
 }
 
@@ -160,6 +165,23 @@ impl UserSampler {
     }
 }
 
+/// The `rank`-th smallest item id **not** present in the sorted positive
+/// list `items` (0-based). The number of missing ids below `items[i]` is
+/// `items[i] − i`, which is non-decreasing, so a binary search finds how
+/// many positives precede the answer.
+fn kth_missing_item(items: &[ItemId], rank: usize) -> ItemId {
+    let (mut lo, mut hi) = (0usize, items.len());
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if items[mid] as usize - mid <= rank {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    (rank + lo) as ItemId
+}
+
 fn eligible_users(x: &Interactions) -> Vec<UserId> {
     (0..x.num_users() as UserId)
         .filter(|&u| x.user_degree(u) > 0)
@@ -214,6 +236,36 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(s.sample_negative(&x, 0, &mut rng), Some(2));
         }
+    }
+
+    #[test]
+    fn dense_user_always_finds_the_single_negative() {
+        // The dense-user edge case: 1 user who interacted with all but one
+        // of 2000 items. The rejection loop hits a positive with probability
+        // 1999/2000 per try, so the rejection-free fallback carries the
+        // load — and must return the unique negative every single time.
+        let n = 2000u32;
+        let missing = 1337u32;
+        let pairs: Vec<(UserId, ItemId)> =
+            (0..n).filter(|&v| v != missing).map(|v| (0, v)).collect();
+        let x = Interactions::from_pairs(1, n as usize, &pairs);
+        let s = UniformNegativeSampler;
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..200 {
+            assert_eq!(s.sample_negative(&x, 0, &mut rng), Some(missing));
+        }
+    }
+
+    #[test]
+    fn kth_missing_item_enumerates_the_complement() {
+        // items = {1, 3, 4} over 0..7 ⇒ complement = [0, 2, 5, 6].
+        let items: &[ItemId] = &[1, 3, 4];
+        let complement: Vec<ItemId> = (0..4).map(|k| kth_missing_item(items, k)).collect();
+        assert_eq!(complement, vec![0, 2, 5, 6]);
+        // Empty positives: identity.
+        assert_eq!(kth_missing_item(&[], 5), 5);
+        // Prefix positives: shifted by the prefix length.
+        assert_eq!(kth_missing_item(&[0, 1, 2], 0), 3);
     }
 
     #[test]

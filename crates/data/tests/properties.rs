@@ -196,3 +196,132 @@ proptest! {
         prop_assert_eq!(d.dev.len(), d.test.len());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Counter-keyed batcher determinism (the PR 4 sampling-pipeline contract)
+// ---------------------------------------------------------------------------
+
+mod batcher_determinism {
+    use mars_data::batch::{FillMode, TripletBatch, TripletBatcher, TripletStream};
+    use mars_data::sampler::{PopularityNegativeSampler, UniformNegativeSampler, UserSampler};
+    use mars_data::{Interactions, SyntheticConfig, SyntheticDataset};
+    use mars_runtime::WorkerPool;
+
+    fn medium() -> Interactions {
+        SyntheticDataset::generate(
+            "batcher-prop",
+            &SyntheticConfig {
+                num_users: 80,
+                num_items: 60,
+                num_interactions: 2000,
+                num_categories: 3,
+                dirichlet_alpha: 0.3,
+                seed: 13,
+                ..Default::default()
+            },
+        )
+        .dataset
+        .train
+        .clone()
+    }
+
+    fn serial_batches(x: &Interactions, slots: usize, negs: usize, n: u64) -> Vec<TripletBatch> {
+        let mut b = TripletBatcher::with_negatives(
+            UserSampler::explorative(x, 0.8),
+            UniformNegativeSampler,
+            slots,
+            negs,
+            99,
+        );
+        (0..n).map(|i| b.fill(x, i).clone()).collect()
+    }
+
+    #[test]
+    fn parallel_fill_is_bit_identical_at_1_to_8_workers() {
+        let x = medium();
+        let reference = serial_batches(&x, 256, 2, 6);
+        for workers in 1..=8 {
+            let pool = WorkerPool::new(workers);
+            let mut b = TripletBatcher::with_negatives(
+                UserSampler::explorative(&x, 0.8),
+                UniformNegativeSampler,
+                256,
+                2,
+                99,
+            );
+            for (i, want) in reference.iter().enumerate() {
+                assert_eq!(
+                    want,
+                    b.fill_parallel(&x, &pool, i as u64),
+                    "batch {i} diverged at {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefetch_stream_matches_inline_fills_exactly() {
+        let x = medium();
+        let reference = serial_batches(&x, 128, 3, 10);
+        std::thread::scope(|scope| {
+            let batcher = TripletBatcher::with_negatives(
+                UserSampler::explorative(&x, 0.8),
+                UniformNegativeSampler,
+                128,
+                3,
+                99,
+            );
+            let mut stream = TripletStream::spawn(scope, &x, batcher, FillMode::Prefetch);
+            for (i, want) in reference.iter().enumerate() {
+                assert_eq!(want, stream.next_batch(), "prefetched batch {i} diverged");
+            }
+        });
+    }
+
+    #[test]
+    fn batch_content_is_independent_of_visit_order() {
+        // Batch b is a pure function of (seed, b): visiting batches in
+        // reverse produces the same content as visiting them forward.
+        let x = medium();
+        let forward = serial_batches(&x, 64, 1, 8);
+        let mut b = TripletBatcher::new(
+            UserSampler::explorative(&x, 0.8),
+            UniformNegativeSampler,
+            64,
+            99,
+        );
+        for i in (0..8u64).rev() {
+            assert_eq!(&forward[i as usize], b.fill(&x, i), "batch {i} diverged");
+        }
+    }
+
+    #[test]
+    fn popularity_sampler_rides_the_same_contract() {
+        // The keyed-stream guarantees hold for any NegativeSampler, not
+        // just the uniform one.
+        let x = medium();
+        let make = || {
+            TripletBatcher::new(
+                UserSampler::uniform(&x),
+                PopularityNegativeSampler::new(&x, 0.75),
+                200,
+                7,
+            )
+        };
+        let reference: Vec<TripletBatch> = {
+            let mut b = make();
+            (0..4).map(|i| b.fill(&x, i).clone()).collect()
+        };
+        for workers in [2usize, 5, 8] {
+            let pool = WorkerPool::new(workers);
+            let mut b = make();
+            for (i, want) in reference.iter().enumerate() {
+                assert_eq!(
+                    want,
+                    b.fill_parallel(&x, &pool, i as u64),
+                    "batch {i} diverged at {workers} workers"
+                );
+            }
+        }
+    }
+}

@@ -22,6 +22,35 @@
 /// 64-bit golden-ratio increment (the splitmix64 gamma).
 const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
 
+pub mod seeds {
+    //! The workspace's seed-derivation convention, in one place.
+    //!
+    //! Every model in the workspace draws randomness for two distinct
+    //! purposes: **initialization** (embedding tables, tower weights) and
+    //! **training-time sampling** (users, positives, negatives). The two must
+    //! not share a stream — otherwise adding an init parameter would shift
+    //! every triplet drawn afterwards — so each purpose derives its own seed
+    //! from the one user-facing `seed` knob. Before PR 4 the derivation
+    //! (`seed` for init, `seed.wrapping_add(1)` for sampling) was
+    //! copy-pasted across every baseline and the trainer; these helpers are
+    //! now the single definition, so the convention cannot drift between
+    //! models.
+
+    /// Seed for parameter initialization: the config seed itself.
+    #[inline]
+    pub fn model_init(seed: u64) -> u64 {
+        seed
+    }
+
+    /// Seed for training-time sampling (the batcher's counter-keyed streams,
+    /// or any remaining sequential sampler): decorrelated from
+    /// [`model_init`] by the fixed `+1` offset the baselines always used.
+    #[inline]
+    pub fn sampling(seed: u64) -> u64 {
+        seed.wrapping_add(1)
+    }
+}
+
 /// The splitmix64 output finalizer (Stafford's mix; also murmur3-strength):
 /// a bijection on `u64` that diffuses every input bit to every output bit.
 #[inline]
