@@ -1,0 +1,202 @@
+//! Serving bench: single-query retrieval latency (bounded-heap select vs
+//! the full-sort reference) and batched multi-user throughput (serial vs
+//! fanned across the worker pool) over a catalogue-scale MARS model.
+//!
+//! Run with `cargo bench --bench serving`. Results are printed as a table
+//! and written to `BENCH_serving.json` at the workspace root (same shape
+//! as the other BENCH artifacts). Set `SERVING_BENCH_SMOKE=1` (CI) to run
+//! the same measurement loop in check mode — a fraction of the
+//! repetitions, enough to prove the harness and every variant still run,
+//! without overwriting the recorded artifact.
+//!
+//! This is a custom `harness = false` bench (not criterion): the JSON
+//! artifact is the point. `full_sort_top_k` is the pre-serve
+//! `MultiFacetModel::recommend` algorithm, kept in `mars-serve` as the
+//! A/B baseline the way the evaluator keeps its sequential protocol.
+
+use mars_core::{MarsConfig, MultiFacetModel};
+use mars_data::{ItemId, UserId};
+use mars_runtime::WorkerPool;
+use mars_serve::{full_sort_top_k, RecQuery, RetrievalScratch, Retriever};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Catalogue size of the served snapshot — big enough that the
+/// O(n·log n) sort vs O(n + k·log n) select gap is visible.
+const CATALOG: usize = 4_000;
+const USERS: usize = 512;
+/// Items returned per query (a typical recommendation carousel).
+const K: usize = 10;
+/// Seen-history length per user (filtered out before scoring).
+const SEEN: usize = 40;
+/// Queries measured per pass.
+const QUERIES_PER_PASS: usize = 64;
+
+fn best_ns(reps: usize, mut pass: impl FnMut() -> usize) -> (f64, usize) {
+    let mut served = pass(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        served = pass();
+        best = best.min(t.elapsed().as_nanos() as f64);
+    }
+    (best, served)
+}
+
+struct Variant {
+    name: &'static str,
+    ns_per_query: f64,
+    served: usize,
+}
+
+fn main() {
+    let smoke = std::env::var("SERVING_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let reps = if smoke { 2 } else { 40 };
+    let threads = mars_runtime::resolve_threads(0);
+
+    // An untrained MARS snapshot scores exactly like a trained one — the
+    // arithmetic is the same; only the values differ.
+    let model = MultiFacetModel::new(MarsConfig::mars(4, 32), USERS, CATALOG);
+    println!(
+        "serving: catalogue {CATALOG} items, K=4 facets × dim 32, top-{K}, \
+         {SEEN} seen/user, {QUERIES_PER_PASS} queries/pass, best of {reps}; \
+         {threads} threads detected"
+    );
+
+    // Per-user sorted seen histories (synthetic, deterministic).
+    let seen: Vec<Vec<ItemId>> = (0..USERS)
+        .map(|u| {
+            (0..SEEN)
+                .map(|i| ((u * 131 + i * 97) % CATALOG) as ItemId)
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect()
+        })
+        .collect();
+    let queries: Vec<RecQuery<'_>> = (0..QUERIES_PER_PASS)
+        .map(|i| {
+            let u = (i * 13 % USERS) as UserId;
+            RecQuery::top_k(u, K).excluding(&seen[u as usize])
+        })
+        .collect();
+
+    let retriever = Retriever::new(model, CATALOG);
+    let mut variants: Vec<Variant> = Vec::new();
+
+    // 1. Full-sort reference: materialize + score + sort the catalogue.
+    {
+        let model = retriever.model().as_ref();
+        let (ns, n) = best_ns(reps, || {
+            for q in &queries {
+                black_box(full_sort_top_k(model, CATALOG, q));
+            }
+            queries.len()
+        });
+        variants.push(Variant {
+            name: "full_sort",
+            ns_per_query: ns / QUERIES_PER_PASS as f64,
+            served: n,
+        });
+    }
+
+    // 2. Bounded-heap select with reused scratch (the steady-state
+    //    single-query serving path: zero allocations per request).
+    {
+        let mut scratch = RetrievalScratch::new();
+        let mut out = Vec::new();
+        let (ns, n) = best_ns(reps, || {
+            for q in &queries {
+                retriever.retrieve_ranked_into(q, &mut scratch, &mut out);
+                black_box(out.len());
+            }
+            queries.len()
+        });
+        variants.push(Variant {
+            name: "heap_select",
+            ns_per_query: ns / QUERIES_PER_PASS as f64,
+            served: n,
+        });
+    }
+
+    // 3 & 4. Batched retrieval: one worker vs the full pool (bit-identical
+    //        responses — only the wall clock may differ).
+    {
+        let pool = WorkerPool::new(1);
+        let (ns, n) = best_ns(reps, || {
+            black_box(retriever.retrieve_batch(&queries, &pool)).len()
+        });
+        variants.push(Variant {
+            name: "batched_serial",
+            ns_per_query: ns / QUERIES_PER_PASS as f64,
+            served: n,
+        });
+    }
+    {
+        let pool = WorkerPool::with_threads(0);
+        let (ns, n) = best_ns(reps, || {
+            black_box(retriever.retrieve_batch(&queries, &pool)).len()
+        });
+        variants.push(Variant {
+            name: "batched_pool",
+            ns_per_query: ns / QUERIES_PER_PASS as f64,
+            served: n,
+        });
+    }
+
+    // Table + JSON. Single-query variants compare against the full sort;
+    // the pooled batch compares against the serial batch.
+    let sort_base = variants[0].ns_per_query;
+    let serial_base = variants
+        .iter()
+        .find(|v| v.name == "batched_serial")
+        .map(|v| v.ns_per_query)
+        .unwrap_or(f64::NAN);
+    let mut json = String::from("{\n  \"bench\": \"serving\",\n");
+    let _ = writeln!(json, "  \"catalog_items\": {CATALOG},");
+    let _ = writeln!(json, "  \"k\": {K},");
+    let _ = writeln!(json, "  \"seen_per_user\": {SEEN},");
+    let _ = writeln!(json, "  \"queries_per_pass\": {QUERIES_PER_PASS},");
+    let _ = writeln!(json, "  \"threads_detected\": {threads},");
+    let _ = writeln!(json, "  \"smoke_mode\": {smoke},");
+    if threads == 1 {
+        let _ = writeln!(
+            json,
+            "  \"note\": \"1-core machine: the pooled batch degenerates to serial \
+             execution; its speedup materializes on multicore\","
+        );
+    }
+    json.push_str("  \"variants\": [\n");
+    for (idx, v) in variants.iter().enumerate() {
+        let reference = if v.name.starts_with("batched") {
+            serial_base
+        } else {
+            sort_base
+        };
+        let speedup = reference / v.ns_per_query;
+        println!(
+            "{:<16} {:>12.0} ns/query  ({:>5.2}x vs reference, {} queries/pass)",
+            v.name, v.ns_per_query, speedup, v.served
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"variant\": \"{}\", \"ns_per_query\": {:.0}, \
+             \"speedup_vs_reference\": {:.2}}}{}",
+            v.name,
+            v.ns_per_query,
+            speedup,
+            if idx + 1 < variants.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
+    if smoke {
+        // Check mode proves the harness; it must not overwrite the real
+        // artifact with throwaway numbers.
+        println!("\nsmoke mode: skipped writing {path}");
+    } else {
+        std::fs::write(path, &json).expect("write BENCH_serving.json");
+        println!("\nwrote {path}");
+    }
+}

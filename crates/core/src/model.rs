@@ -54,6 +54,7 @@ use mars_data::batch::Triplet;
 use mars_data::{ItemId, UserId};
 use mars_metrics::Scorer;
 use mars_optim::{CalibratedRiemannianSgd, Optimizer, RiemannianSgd, Sgd};
+use mars_serve::{RecQuery, RetrievalScratch};
 use mars_tensor::{init, nonlin, ops, rows, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -522,8 +523,18 @@ impl MultiFacetModel {
 
 impl MultiFacetModel {
     /// Top-N recommendation: the `n` highest-scoring items for `user`
-    /// excluding `seen` (typically the user's training interactions),
-    /// highest first. Deterministic tie-break by item id.
+    /// excluding `seen` (the user's training interactions, **sorted
+    /// ascending**), highest first. Deterministic tie-break by item id.
+    ///
+    /// Since the serving layer landed this is a thin wrapper over the
+    /// `mars-serve` retrieval engine (bounded-heap selection instead of a
+    /// catalogue-wide sort) — kept for convenience; production callers
+    /// should hold a `mars_serve::Retriever` and reuse its scratch. Ties
+    /// and NaN now follow `mars_serve::rank_cmp`'s total order: for real
+    /// scores this is exactly the old descending-score/ascending-id
+    /// order, while NaN scores — which used to poison the sort's
+    /// transitivity via `partial_cmp(..).unwrap_or(Equal)` — now
+    /// deterministically rank last.
     ///
     /// ```
     /// use mars_core::{MarsConfig, MultiFacetModel};
@@ -533,18 +544,16 @@ impl MultiFacetModel {
     /// assert!(recs.iter().all(|(v, _)| *v != 1 && *v != 2));
     /// ```
     pub fn recommend(&self, user: UserId, seen: &[ItemId], n: usize) -> Vec<(ItemId, f32)> {
-        let candidates: Vec<ItemId> = (0..self.num_items as ItemId)
-            .filter(|v| seen.binary_search(v).is_err())
-            .collect();
-        let mut scores = Vec::new();
-        self.score_many(user, &candidates, &mut scores);
-        let mut ranked: Vec<(ItemId, f32)> = candidates.into_iter().zip(scores).collect();
-        ranked.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
-        ranked.truncate(n);
+        let query = RecQuery::top_k(user, n).excluding(seen);
+        let mut ranked = Vec::new();
+        mars_serve::rank_into(
+            self,
+            self.num_items,
+            mars_serve::DEFAULT_CHUNK_ITEMS,
+            &query,
+            &mut RetrievalScratch::new(),
+            &mut ranked,
+        );
         ranked
     }
 }
@@ -693,6 +702,51 @@ mod tests {
         let m = mars_model();
         let recs = m.recommend(0, &[], 100);
         assert_eq!(recs.len(), 8); // only 8 items exist
+    }
+
+    #[test]
+    fn recommend_preserves_the_pre_serve_behaviour_exactly() {
+        // `recommend` is now a thin wrapper over the mars-serve engine;
+        // its output must stay bit-identical to the seed's materialize +
+        // full-sort implementation (whose comparator agrees with
+        // `rank_cmp` on every real score the model produces).
+        for (mut m, s) in [
+            (mar_model(), Scratch::new(3, 6)),
+            (mars_model(), Scratch::new(3, 6)),
+        ] {
+            let mut s = s;
+            for i in 0..60 {
+                let t = Triplet {
+                    user: (i % 4) as UserId,
+                    positive: (i % 8) as ItemId,
+                    negative: ((i + 3) % 8) as ItemId,
+                };
+                m.train_triplet(t, 0.4, 0.1, &mut s);
+            }
+            for u in 0..4u32 {
+                for (seen, n) in [(vec![], 3usize), (vec![1, 2], 8), (vec![0, 4, 7], 100)] {
+                    // The seed implementation, inlined verbatim.
+                    let candidates: Vec<ItemId> =
+                        (0..8).filter(|v| seen.binary_search(v).is_err()).collect();
+                    let mut scores = Vec::new();
+                    m.score_many(u, &candidates, &mut scores);
+                    let mut expect: Vec<(ItemId, f32)> =
+                        candidates.into_iter().zip(scores).collect();
+                    expect.sort_by(|a, b| {
+                        b.1.partial_cmp(&a.1)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(a.0.cmp(&b.0))
+                    });
+                    expect.truncate(n);
+
+                    let got = m.recommend(u, &seen, n);
+                    let as_bits = |v: &[(ItemId, f32)]| -> Vec<(ItemId, u32)> {
+                        v.iter().map(|&(i, s)| (i, s.to_bits())).collect()
+                    };
+                    assert_eq!(as_bits(&got), as_bits(&expect), "user {u} seen {seen:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -31,6 +31,19 @@ use mars_data::{ItemId, UserId};
 /// batched scores the whole candidate block via `score_block`), so a model
 /// whose entry points disagree in even the last bit can flip a rank on a
 /// near-tie and silently break that guarantee.
+///
+/// **Ordering contract (retrieval):** scores only need to be *comparable*,
+/// not calibrated. `mars-serve`'s top-k retriever orders candidates by
+/// descending score under a **total** order (`mars_serve::rank_cmp`):
+/// equal scores — including `+0.0` vs `-0.0`, which compare IEEE-equal —
+/// break by ascending item id, and NaN ranks strictly after every real
+/// score (either sign, any payload). A scorer should avoid NaN — it means
+/// "rank this item last", never "rank it high" — but emitting one cannot
+/// produce nondeterminism, an inconsistent sort, or a panic downstream.
+/// Note the *evaluation* protocol's tie convention is different and
+/// stricter: `rank_of_positive` is pessimistic (a negative tying the
+/// held-out item ranks above it, with no id tie-break), so score ties are
+/// harmless in serving but cost HR/nDCG in evaluation.
 pub trait Scorer {
     /// Preference score of `user` for `item`.
     fn score(&self, user: UserId, item: ItemId) -> f32;

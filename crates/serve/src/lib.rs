@@ -1,0 +1,65 @@
+//! # mars-serve
+//!
+//! The serving layer: ranked top-k retrieval over any [`Scorer`]. Offline
+//! evaluation ranks a held-out item against 100 sampled negatives; serving
+//! ranks the *whole catalogue* (or a caller-restricted candidate set) and
+//! returns the k best. This crate makes that retrieval the first-class
+//! public surface — every model that implements [`Scorer`] (MAR/MARS, all
+//! eight baselines, any future scorer) rides the same engine:
+//!
+//! * [`RecQuery`] — one retrieval request: user, `k`, a sorted seen-item
+//!   exclusion list, and an optional candidate restriction.
+//! * [`Retriever`] — an `Arc`-shared frozen model snapshot plus the scan
+//!   configuration. Single-query retrieval ([`Retriever::retrieve`]) scans
+//!   the catalogue in chunks through [`Scorer::score_block`] and selects
+//!   the top k with a bounded heap ([`topk`]); batched retrieval
+//!   ([`Retriever::retrieve_batch`]) fans queries across a
+//!   `mars-runtime` [`WorkerPool`](mars_runtime::WorkerPool).
+//! * [`RecResponse`] — the ranked `(item, score)` list, best first.
+//! * [`RetrievalScratch`] — reusable per-thread buffers; steady-state
+//!   retrieval performs no allocation beyond the response itself, and the
+//!   [`Retriever::retrieve_ranked_into`] variant none at all.
+//!
+//! ## Ordering contract
+//!
+//! Results are ordered by [`order::rank_cmp`], a **total** order: higher
+//! score first, ties broken by ascending item id, and NaN scores ranked
+//! strictly after every real score (see the module docs for the exact
+//! rules). Totality is what makes retrieval well-defined on arbitrary
+//! float output — a scorer that emits NaN degrades to "those items rank
+//! last", never to an inconsistent comparator or a panic.
+//!
+//! ## Determinism contract
+//!
+//! The ranked list returned for a query is **bit-identical** to the
+//! full-sort reference ([`topk::full_sort_top_k`]: materialize every
+//! surviving candidate, sort, truncate) at *any* chunk size and *any*
+//! worker count:
+//!
+//! * Per-item scores cannot depend on how the catalogue is chunked —
+//!   that is [`Scorer`]'s bitwise-agreement contract (`score_block` ≡
+//!   `score_many` ≡ per-item `score`).
+//! * Bounded-heap selection keeps exactly the k first elements of the
+//!   total order, and the final k·log k sort emits them in that order —
+//!   the selection *strategy* can never change the selection *result*.
+//! * Batched retrieval shards queries positionally
+//!   ([`mars_runtime::chunk_ranges`]) and concatenates per-shard responses
+//!   in shard order; each query is served independently, so the fan-out
+//!   cannot reorder or perturb anything.
+//!
+//! The property tests assert all three axes (chunk size, worker count,
+//! heap vs. full sort) down to the bit, for every scorer in the workspace.
+
+pub mod order;
+pub mod query;
+pub mod retriever;
+pub mod topk;
+
+pub use order::rank_cmp;
+pub use query::{RecQuery, RecResponse};
+pub use retriever::{rank_into, RetrievalScratch, Retriever, DEFAULT_CHUNK_ITEMS};
+pub use topk::full_sort_top_k;
+
+// Doc-link target for the crate-level docs.
+#[doc(no_inline)]
+pub use mars_metrics::Scorer;

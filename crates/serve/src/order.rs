@@ -1,0 +1,110 @@
+//! The total-order ranking comparator every retrieval path shares.
+//!
+//! `f32` is only partially ordered (NaN compares to nothing), so ranking
+//! raw scores with `partial_cmp(..).unwrap_or(Equal)` — what
+//! `MultiFacetModel::recommend` did before this crate existed — silently
+//! breaks sort transitivity the moment a scorer emits NaN: `sort_by` may
+//! then produce *any* permutation, including different ones for the same
+//! input on different code paths. Retrieval instead ranks by
+//! [`rank_cmp`], which is total, antisymmetric and transitive over every
+//! `(item, score)` pair, NaN included.
+
+use mars_data::ItemId;
+use std::cmp::Ordering;
+
+/// Ranking comparator: `Less` means `a` ranks strictly before (is a better
+/// recommendation than) `b`. Sorting a candidate list ascending under this
+/// comparator yields the response order.
+///
+/// The order, from best to worst:
+///
+/// 1. Real (non-NaN) scores, descending. `-0.0` and `+0.0` compare equal
+///    (IEEE equality), so they fall through to the id tie-break.
+/// 2. Equal real scores: ascending item id — the deterministic tie-break.
+/// 3. NaN scores rank after every real score (even `-∞`), regardless of
+///    the NaN's sign or payload; among themselves NaN-scored items order
+///    by ascending item id.
+///
+/// This is a **total order** as long as ids are distinct within one
+/// candidate set, and deterministic even with duplicates (equal ids imply
+/// bit-equal scores under the [`Scorer`](mars_metrics::Scorer) purity
+/// contract, so `Equal` elements are indistinguishable).
+#[inline]
+pub fn rank_cmp(a: (ItemId, f32), b: (ItemId, f32)) -> Ordering {
+    match (a.1.is_nan(), b.1.is_nan()) {
+        // Descending score; the unwrap cannot fail — neither side is NaN.
+        (false, false) => b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)),
+        (true, true) => a.0.cmp(&b.0),
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn higher_score_ranks_first() {
+        assert_eq!(rank_cmp((5, 2.0), (1, 1.0)), Ordering::Less);
+        assert_eq!(rank_cmp((1, 1.0), (5, 2.0)), Ordering::Greater);
+        assert_eq!(rank_cmp((0, f32::INFINITY), (1, f32::MAX)), Ordering::Less);
+    }
+
+    #[test]
+    fn ties_break_by_ascending_item_id() {
+        assert_eq!(rank_cmp((3, 1.0), (7, 1.0)), Ordering::Less);
+        assert_eq!(rank_cmp((7, 1.0), (3, 1.0)), Ordering::Greater);
+        assert_eq!(rank_cmp((4, 1.0), (4, 1.0)), Ordering::Equal);
+        // Signed zeros are IEEE-equal: the id decides.
+        assert_eq!(rank_cmp((2, -0.0), (9, 0.0)), Ordering::Less);
+        assert_eq!(rank_cmp((9, 0.0), (2, -0.0)), Ordering::Greater);
+    }
+
+    #[test]
+    fn nan_ranks_after_everything_real() {
+        assert_eq!(
+            rank_cmp((0, f32::NAN), (9, f32::NEG_INFINITY)),
+            Ordering::Greater
+        );
+        assert_eq!(
+            rank_cmp((9, f32::NEG_INFINITY), (0, f32::NAN)),
+            Ordering::Less
+        );
+        // Sign and payload of the NaN are irrelevant; ids order NaNs.
+        assert_eq!(rank_cmp((1, -f32::NAN), (2, f32::NAN)), Ordering::Less);
+        assert_eq!(rank_cmp((2, f32::NAN), (1, -f32::NAN)), Ordering::Greater);
+    }
+
+    #[test]
+    fn total_order_on_a_hostile_score_set() {
+        // Sorting under rank_cmp must be a permutation-stable total order
+        // even with NaN / ±∞ / ±0 mixed in: sort twice from different
+        // starting permutations and require identical results.
+        let scores = [
+            1.0,
+            f32::NAN,
+            -0.0,
+            0.0,
+            f32::NEG_INFINITY,
+            f32::INFINITY,
+            -f32::NAN,
+            1.0,
+        ];
+        let mut a: Vec<(ItemId, f32)> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (i as ItemId, s))
+            .collect();
+        let mut b: Vec<(ItemId, f32)> = a.iter().rev().copied().collect();
+        a.sort_by(|&x, &y| rank_cmp(x, y));
+        b.sort_by(|&x, &y| rank_cmp(x, y));
+        let bits = |v: &[(ItemId, f32)]| -> Vec<(ItemId, u32)> {
+            v.iter().map(|&(i, s)| (i, s.to_bits())).collect()
+        };
+        assert_eq!(bits(&a), bits(&b));
+        let order: Vec<ItemId> = a.iter().map(|&(i, _)| i).collect();
+        // +∞, then the two 1.0s by id, then ±0 by id, then -∞, then NaNs by id.
+        assert_eq!(order, vec![5, 0, 7, 2, 3, 4, 1, 6]);
+    }
+}

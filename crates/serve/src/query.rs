@@ -1,0 +1,89 @@
+//! The request/response pair of the retrieval API.
+
+use mars_data::{ItemId, UserId};
+
+/// One top-k retrieval request.
+///
+/// Borrows its item lists so a serving loop can issue queries without
+/// copying per-request state; the struct is `Copy` and cheap to fan out.
+///
+/// ```
+/// use mars_serve::RecQuery;
+/// let seen = vec![3, 8, 21];
+/// let q = RecQuery::top_k(7, 10).excluding(&seen);
+/// assert_eq!(q.user, 7);
+/// assert_eq!(q.k, 10);
+/// assert_eq!(q.seen, &seen[..]);
+/// assert!(q.candidates.is_none());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct RecQuery<'a> {
+    /// The user to recommend for.
+    pub user: UserId,
+    /// How many items to return (fewer if the candidate set is smaller).
+    pub k: usize,
+    /// Items to exclude — typically the user's training interactions.
+    /// **Must be sorted ascending** (the engine filters by binary search,
+    /// exactly like `Interactions::items_of` provides its lists).
+    pub seen: &'a [ItemId],
+    /// Restrict scoring to these items instead of the whole catalogue
+    /// (e.g. a business-rules prefilter or an ANN shortlist). Ids must be
+    /// within the retriever's catalogue; duplicates are returned as drawn.
+    pub candidates: Option<&'a [ItemId]>,
+}
+
+impl<'a> RecQuery<'a> {
+    /// A catalogue-wide query with no exclusions.
+    pub fn top_k(user: UserId, k: usize) -> Self {
+        Self {
+            user,
+            k,
+            seen: &[],
+            candidates: None,
+        }
+    }
+
+    /// Excludes `seen` (sorted ascending) from the results.
+    pub fn excluding(mut self, seen: &'a [ItemId]) -> Self {
+        debug_assert!(
+            seen.windows(2).all(|w| w[0] <= w[1]),
+            "RecQuery::excluding requires a sorted seen list"
+        );
+        self.seen = seen;
+        self
+    }
+
+    /// Restricts scoring to `candidates` (in place of the full catalogue).
+    pub fn among(mut self, candidates: &'a [ItemId]) -> Self {
+        self.candidates = Some(candidates);
+        self
+    }
+}
+
+/// The ranked answer to one [`RecQuery`], best item first, ordered by
+/// [`crate::order::rank_cmp`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecResponse {
+    /// The user the query was for.
+    pub user: UserId,
+    /// Up to `k` `(item, score)` pairs in rank order.
+    pub ranked: Vec<(ItemId, f32)>,
+}
+
+impl RecResponse {
+    /// Just the item ids, in rank order — the shape the beyond-accuracy
+    /// metrics (`mars-metrics::beyond_accuracy`) consume.
+    pub fn items(&self) -> Vec<ItemId> {
+        self.ranked.iter().map(|&(v, _)| v).collect()
+    }
+
+    /// Number of returned items (≤ the query's `k`).
+    pub fn len(&self) -> usize {
+        self.ranked.len()
+    }
+
+    /// Whether nothing survived the filters.
+    pub fn is_empty(&self) -> bool {
+        self.ranked.is_empty()
+    }
+}

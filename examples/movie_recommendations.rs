@@ -5,16 +5,25 @@
 //! once (the paper's `Love Actually` is romantic *and* funny), and users
 //! like different movies for different reasons. A single-space model is
 //! forced into the paper's conflict; the multi-facet model resolves it.
-//! The example trains CML-style single-space and MARS side by side and
-//! compares them on the same evaluation protocol.
+//! The example trains CML-style single-space and MARS side by side,
+//! compares them on the same evaluation protocol, and then *serves* both
+//! through the retrieval API (`mars-serve`): one batched top-10 pass over
+//! every user, whose response lists feed the beyond-accuracy metrics
+//! (coverage / exposure Gini / intra-list diversity).
 //!
 //! ```text
 //! cargo run --release --example movie_recommendations
 //! ```
 
-use mars_repro::core::{MarsConfig, Trainer};
-use mars_repro::data::{generate_latent_metric, LatentMetricConfig};
+use mars_repro::core::{MarsConfig, MultiFacetModel, Trainer};
+use mars_repro::data::{generate_latent_metric, ItemId, LatentMetricConfig, UserId};
+use mars_repro::metrics::beyond_accuracy::{
+    catalogue_coverage, exposure_gini, intra_list_diversity,
+};
 use mars_repro::metrics::RankingEvaluator;
+use mars_repro::runtime::WorkerPool;
+use mars_repro::serve::{RecQuery, RecResponse, Retriever};
+use mars_repro::tensor::ops;
 
 const GENRES: [&str; 5] = ["Disaster", "Comedy", "Scary", "Romantic", "SciFi"];
 
@@ -70,6 +79,69 @@ fn main() {
     let gain = (multi_report.ndcg_at(10) / single_report.ndcg_at(10) - 1.0) * 100.0;
     println!("multi-facet gain: {gain:+.1}% nDCG@10 at equal total dimension");
 
+    // Serve both models through the retrieval API: one batched top-10
+    // pass per model over every user with history, fanned across the
+    // worker pool. The response lists are what a production front-end
+    // would render — and exactly the shape the beyond-accuracy metrics
+    // consume.
+    let pool = WorkerPool::with_threads(0);
+    let users: Vec<UserId> = (0..d.num_users() as UserId)
+        .filter(|&u| d.train.user_degree(u) > 0)
+        .collect();
+    let queries: Vec<RecQuery<'_>> = users
+        .iter()
+        .map(|&u| RecQuery::top_k(u, 10).excluding(d.train.items_of(u)))
+        .collect();
+    let top_lists = |model: &MultiFacetModel| -> Vec<Vec<ItemId>> {
+        Retriever::new(model.clone(), d.num_items())
+            .retrieve_batch(&queries, &pool)
+            .iter()
+            .map(RecResponse::items)
+            .collect()
+    };
+    let single_lists = top_lists(&single_model);
+    let multi_lists = top_lists(&multi_model);
+
+    // Embedding distance for intra-list diversity: mean over facets of
+    // (1 − cos) between item facet embeddings of the *MARS* model — a
+    // common yardstick applied to both models' lists.
+    let mut a = vec![0.0; 16];
+    let mut b = vec![0.0; 16];
+    let mut distance = |x: ItemId, y: ItemId| -> f32 {
+        let mut sum = 0.0;
+        for k in 0..2 {
+            multi_model.item_facet(x, k, &mut a);
+            multi_model.item_facet(y, k, &mut b);
+            sum += 1.0 - ops::cosine(&a, &b);
+        }
+        sum / 2.0
+    };
+    let mut mean_div = |lists: &[Vec<ItemId>]| -> f32 {
+        let sum: f32 = lists
+            .iter()
+            .map(|l| intra_list_diversity(l, &mut distance))
+            .sum();
+        sum / lists.len().max(1) as f32
+    };
+
+    println!(
+        "\nbeyond accuracy over the served top-10 lists ({} users):",
+        users.len()
+    );
+    println!("                 coverage  gini    diversity");
+    println!(
+        "single space     {:.4}    {:.4}  {:.4}",
+        catalogue_coverage(&single_lists, d.num_items()),
+        exposure_gini(&single_lists, d.num_items()),
+        mean_div(&single_lists)
+    );
+    println!(
+        "MARS (K=2)       {:.4}    {:.4}  {:.4}",
+        catalogue_coverage(&multi_lists, d.num_items()),
+        exposure_gini(&multi_lists, d.num_items()),
+        mean_div(&multi_lists)
+    );
+
     // Show the conflict resolution for one user: their top-5 movies in
     // *each* facet space differ, reflecting facet-specific preferences.
     let user = 2u32;
@@ -85,7 +157,7 @@ fn main() {
                 (v, multi_model.facet_similarity(&uf, &vf))
             })
             .collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        ranked.sort_by(|a, b| mars_repro::serve::rank_cmp(*a, *b));
         let names: Vec<String> = ranked
             .iter()
             .take(5)

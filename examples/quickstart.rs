@@ -7,7 +7,8 @@
 
 use mars_repro::core::{MarsConfig, Trainer};
 use mars_repro::data::{SyntheticConfig, SyntheticDataset};
-use mars_repro::metrics::{RankingEvaluator, Scorer};
+use mars_repro::metrics::RankingEvaluator;
+use mars_repro::serve::{RecQuery, Retriever};
 
 fn main() {
     // 1. Data: a planted multi-facet world — 200 users, 150 items, 6
@@ -60,20 +61,20 @@ fn main() {
         report.cases
     );
 
-    // 4. Recommend: top-5 unseen items for one user.
+    // 4. Serve: wrap the frozen model in a Retriever (the snapshot is
+    //    Arc-shared, so serving threads would each clone the handle) and
+    //    ask for the top-5 unseen items through the retrieval API.
     let user = 0;
-    let mut scored: Vec<(u32, f32)> = (0..d.num_items() as u32)
-        .filter(|&v| !d.train.contains(user, v))
-        .map(|v| (v, model.score(user, v)))
-        .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let retriever = Retriever::new(model, d.num_items());
+    let response = retriever.retrieve(&RecQuery::top_k(user, 5).excluding(d.train.items_of(user)));
     println!("\ntop-5 recommendations for user {user}:");
-    for (v, s) in scored.iter().take(5) {
+    for &(v, s) in &response.ranked {
         println!(
             "  item {v:>4}  score {s:.4}  categories {:?}",
-            d.item_categories[*v as usize]
+            d.item_categories[v as usize]
         );
     }
+    let model = retriever.model();
 
     // 5. Peek at the learned facet weights — the user's preference profile.
     println!(
