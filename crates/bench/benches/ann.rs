@@ -1,0 +1,243 @@
+//! ANN retrieval bench: the exact catalogue scan vs the IVF clustered
+//! index (`mars_serve::index`) on an ANN-scale synthetic catalogue, swept
+//! over `nprobe`.
+//!
+//! Run with `cargo bench --bench ann`. A ≥100k-item clustered embedding
+//! catalogue (`mars_data::synthetic::clustered_points`) is injected into a
+//! direct-parameterization MARS model, ground truth is the exact
+//! retriever's top-k, and each `(variant, nprobe)` cell reports latency
+//! plus recall@k against that truth. Results are printed as a table and
+//! written to `BENCH_ann.json` at the workspace root (same schema header
+//! as the other BENCH artifacts). Set `ANN_BENCH_SMOKE=1` (CI) to run a
+//! shrunken catalogue in check mode without overwriting the artifact.
+//!
+//! Latency is single-query, single-thread (the per-request serving path);
+//! the speedup column is work saved per query, so it carries over to any
+//! core count — batched fan-out multiplies both sides equally.
+
+use mars_bench::BenchArtifact;
+use mars_core::model::Params;
+use mars_core::{MarsConfig, MultiFacetModel};
+use mars_data::synthetic::clustered_points;
+use mars_data::{ItemId, UserId};
+use mars_serve::{CellStore, IvfConfig, IvfIndex, IvfMode, RecQuery, RetrievalScratch, Retriever};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Facets × per-facet dim of the served model (the workspace default dim).
+const FACETS: usize = 2;
+const DIM: usize = 32;
+/// Items returned per query — recall@10, the paper's headline cutoff.
+const K: usize = 10;
+
+struct Row {
+    variant: &'static str,
+    nprobe: usize,
+    ns_per_query: f64,
+    recall: f64,
+}
+
+fn best_ns(reps: usize, mut pass: impl FnMut()) -> f64 {
+    pass(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        pass();
+        best = best.min(t.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+/// Mean |got ∩ truth| / k over all queries, by item id.
+fn recall_at_k(got: &[Vec<ItemId>], truth: &[Vec<ItemId>]) -> f64 {
+    let mut hit = 0usize;
+    let mut total = 0usize;
+    for (g, t) in got.iter().zip(truth) {
+        hit += g.iter().filter(|v| t.contains(v)).count();
+        total += t.len();
+    }
+    hit as f64 / total.max(1) as f64
+}
+
+fn main() {
+    let smoke = BenchArtifact::smoke_from_env("ANN_BENCH_SMOKE");
+    let (n, clusters, queries, reps) = if smoke {
+        (12_000usize, 64usize, 8usize, 1usize)
+    } else {
+        (120_000, 512, 64, 5)
+    };
+    let cells = if smoke { 64 } else { 256 };
+
+    // A direct-parameterization spherical model whose entity blocks are
+    // overwritten with a planted-cluster point cloud: each item's K×D
+    // entity block is one (K·D)-dim clustered point, so the cluster
+    // structure survives in every facet subspace. Users sit on anchor
+    // items — their exact top-k is the anchor plus co-cluster neighbours,
+    // which is precisely the workload an IVF probe has to get right.
+    let mut cfg = MarsConfig::mars(FACETS, DIM);
+    cfg.seed = 42;
+    let mut model = MultiFacetModel::new(cfg, queries, n);
+    let (points, _labels) = clustered_points(n, FACETS * DIM, clusters, 0.2, 42);
+    let anchors: Vec<usize> = (0..queries).map(|u| (u * 9_973 + 101) % n).collect();
+    match model.params_mut() {
+        Params::Direct {
+            user_facets,
+            item_facets,
+        } => {
+            item_facets.as_mut_slice().copy_from_slice(&points);
+            let block = FACETS * DIM;
+            for (u, &a) in anchors.iter().enumerate() {
+                user_facets.as_mut_slice()[u * block..(u + 1) * block]
+                    .copy_from_slice(&points[a * block..(a + 1) * block]);
+            }
+        }
+        Params::Factored { .. } => unreachable!("MARS config is direct-parameterized"),
+    }
+
+    println!(
+        "ann: {n} items × {FACETS} facets × dim {DIM} ({clusters} planted clusters), \
+         {cells} cells, top-{K}, {queries} queries, best of {reps}{}",
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    let exact = Retriever::new(model, n);
+    let qs: Vec<RecQuery<'_>> = (0..queries)
+        .map(|u| RecQuery::top_k(u as UserId, K))
+        .collect();
+
+    // Ground truth + exact-scan baseline latency.
+    let truth: Vec<Vec<ItemId>> = qs.iter().map(|q| exact.retrieve(q).items()).collect();
+    let exact_ns = {
+        let mut scratch = RetrievalScratch::new();
+        let mut out = Vec::new();
+        best_ns(reps, || {
+            for q in &qs {
+                exact.retrieve_ranked_into(q, &mut scratch, &mut out);
+                black_box(out.len());
+            }
+        }) / queries as f64
+    };
+    let mut rows = vec![Row {
+        variant: "exact_scan",
+        nprobe: 0,
+        ns_per_query: exact_ns,
+        recall: 1.0,
+    }];
+
+    // One clustering per store; the nprobe/mode sweep retunes the built
+    // index (`with_nprobe`/`with_mode`) instead of re-running k-means.
+    let base_cfg = IvfConfig {
+        cells,
+        train_sample: 32_768,
+        seed: 42,
+        ..IvfConfig::default()
+    };
+    let build = |store: CellStore| -> (Arc<IvfIndex>, f64) {
+        let t = Instant::now();
+        let idx = IvfIndex::build(exact.model().as_ref(), n, IvfConfig { store, ..base_cfg });
+        (Arc::new(idx), t.elapsed().as_secs_f64() * 1e3)
+    };
+    let (idx_f32, build_f32_ms) = build(CellStore::F32);
+    let (idx_i8, build_i8_ms) = build(CellStore::Int8);
+    println!("index build: f32 {build_f32_ms:.0} ms, int8 {build_i8_ms:.0} ms");
+
+    // Sweep: candidate selection + exact rescore on the f32 store (the
+    // default, bit-exact-at-full-probe mode) and the quantized coarse scan
+    // with a small exact refine on the int8 store.
+    let variants: [(&'static str, &Arc<IvfIndex>, IvfMode); 2] = [
+        ("ivf_exact_rescore_f32", &idx_f32, IvfMode::ExactRescore),
+        (
+            "ivf_coarse_int8_refine4",
+            &idx_i8,
+            IvfMode::Coarse { refine: 4 },
+        ),
+    ];
+    let nprobes: &[usize] = if smoke {
+        &[1, 4]
+    } else {
+        &[1, 2, 4, 8, 16, 32]
+    };
+    for (name, idx, mode) in variants {
+        for &nprobe in nprobes {
+            let tuned = Arc::new((**idx).clone().with_nprobe(nprobe).with_mode(mode));
+            let r = exact.clone().with_prebuilt_index(tuned);
+            let got: Vec<Vec<ItemId>> = qs.iter().map(|q| r.retrieve(q).items()).collect();
+            let ns = {
+                let mut scratch = RetrievalScratch::new();
+                let mut out = Vec::new();
+                best_ns(reps, || {
+                    for q in &qs {
+                        r.retrieve_ranked_into(q, &mut scratch, &mut out);
+                        black_box(out.len());
+                    }
+                }) / queries as f64
+            };
+            rows.push(Row {
+                variant: name,
+                nprobe,
+                ns_per_query: ns,
+                recall: recall_at_k(&got, &truth),
+            });
+        }
+    }
+
+    let mut art = BenchArtifact::open("ann_retrieval", "BENCH_ann.json", smoke);
+    art.note(
+        "latency is single-query single-thread; speedup is per-query work \
+         saved, independent of core count",
+    );
+    let json = art.body();
+    let _ = writeln!(json, "  \"catalog_items\": {n},");
+    let _ = writeln!(json, "  \"facets\": {FACETS},");
+    let _ = writeln!(json, "  \"dim\": {DIM},");
+    let _ = writeln!(json, "  \"planted_clusters\": {clusters},");
+    let _ = writeln!(json, "  \"cells\": {cells},");
+    let _ = writeln!(json, "  \"k\": {K},");
+    let _ = writeln!(json, "  \"queries\": {queries},");
+    let _ = writeln!(json, "  \"build_ms_f32\": {build_f32_ms:.0},");
+    let _ = writeln!(json, "  \"build_ms_int8\": {build_i8_ms:.0},");
+    json.push_str("  \"variants\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let speedup = exact_ns / r.ns_per_query;
+        println!(
+            "{:<24} nprobe={:<3} {:>10.0} ns/query  ({:>6.2}x vs exact, recall@{K} {:.3})",
+            r.variant, r.nprobe, r.ns_per_query, speedup, r.recall
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"variant\": \"{}\", \"nprobe\": {}, \"ns_per_query\": {:.0}, \
+             \"speedup_vs_exact\": {:.2}, \"recall_at_{K}\": {:.4}}}{}",
+            r.variant,
+            r.nprobe,
+            r.ns_per_query,
+            speedup,
+            r.recall,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n");
+
+    // Headline: the best speedup among sweep points that kept recall ≥ 0.95.
+    if let Some(best) = rows
+        .iter()
+        .skip(1)
+        .filter(|r| r.recall >= 0.95)
+        .max_by(|a, b| {
+            (exact_ns / a.ns_per_query)
+                .partial_cmp(&(exact_ns / b.ns_per_query))
+                .unwrap()
+        })
+    {
+        println!(
+            "best at recall ≥ 0.95: {} nprobe={} — {:.2}x over exact",
+            best.variant,
+            best.nprobe,
+            exact_ns / best.ns_per_query
+        );
+    } else {
+        println!("no sweep point reached recall ≥ 0.95");
+    }
+    art.finish();
+}

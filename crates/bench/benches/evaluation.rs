@@ -12,6 +12,7 @@
 //! batched engine's bit-identity guarantee — so the numbers compare equal
 //! work, not approximations.
 
+use mars_bench::BenchArtifact;
 use mars_core::{MarsConfig, Trainer};
 use mars_data::{SyntheticConfig, SyntheticDataset};
 use mars_metrics::{EvalConfig, RankingEvaluator, Report};
@@ -19,6 +20,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 fn main() {
+    let smoke = BenchArtifact::smoke_from_env("EVAL_BENCH_SMOKE");
     // Catalogue sized so evaluation — not training — dominates: thousands
     // of leave-one-out cases, each ranking the held-out item against 100
     // sampled negatives (the paper's §V-A2 protocol).
@@ -84,10 +86,10 @@ fn main() {
 
     let mut results: Vec<Measurement> = Vec::new();
     for (name, threads, run) in &variants {
-        // Warm-up, then best-of-three measured runs.
+        // Warm-up, then best-of-three measured runs (one in smoke mode).
         let report = run();
         let mut best = f64::INFINITY;
-        for _ in 0..3 {
+        for _ in 0..if smoke { 1 } else { 3 } {
             let t = Instant::now();
             let r = run();
             best = best.min(t.elapsed().as_secs_f64());
@@ -122,7 +124,8 @@ fn main() {
     }
 
     let baseline = results[0].seconds;
-    let mut json = String::from("{\n  \"bench\": \"evaluation_throughput\",\n");
+    let mut art = BenchArtifact::open("evaluation_throughput", "BENCH_eval.json", smoke);
+    let json = art.body();
     let _ = writeln!(
         json,
         "  \"dataset\": {{\"users\": 6000, \"items\": 1500, \"test_pairs\": {pairs}}},"
@@ -131,7 +134,6 @@ fn main() {
         json,
         "  \"config\": {{\"model\": \"MARS\", \"facets\": 4, \"dim\": 32, \"num_negatives\": 100, \"cutoffs\": [10, 20]}},"
     );
-    let _ = writeln!(json, "  \"threads_detected\": {threads_detected},");
     json.push_str("  \"variants\": [\n");
     for (i, m) in results.iter().enumerate() {
         // Be honest when the "parallel" variant could not actually fan out:
@@ -153,11 +155,8 @@ fn main() {
             if i + 1 < results.len() { "," } else { "" }
         );
     }
-    json.push_str("  ]\n}\n");
-
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json");
-    std::fs::write(path, &json).expect("write BENCH_eval.json");
-    println!("\nwrote {path}");
+    json.push_str("  ]\n");
+    art.finish();
     for m in &results[1..] {
         println!(
             "speedup {} vs sequential: {:.2}x",

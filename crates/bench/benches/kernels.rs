@@ -12,6 +12,7 @@
 //! artifact is the point, and each measurement is a simple best-of-N over a
 //! row-kernel pass big enough to dwarf timer overhead.
 
+use mars_bench::BenchArtifact;
 use mars_tensor::simd::{self, portable, scalar};
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -59,7 +60,7 @@ struct KernelResult {
 }
 
 fn main() {
-    let smoke = std::env::var("KERNEL_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let smoke = BenchArtifact::smoke_from_env("KERNEL_BENCH_SMOKE");
     let reps = if smoke { 5 } else { 400 };
     let inner = if smoke { 4 } else { 64 };
     println!(
@@ -175,9 +176,9 @@ fn main() {
     }
 
     // Table + JSON.
-    let mut json = String::from("{\n  \"bench\": \"kernel_microbench\",\n");
+    let mut art = BenchArtifact::open("kernel_microbench", "BENCH_kernels.json", smoke);
+    let json = art.body();
     let _ = writeln!(json, "  \"rows_per_pass\": {ROWS},");
-    let _ = writeln!(json, "  \"smoke_mode\": {smoke},");
     let _ = writeln!(json, "  \"active_path\": \"{:?}\",", simd::active_path());
     json.push_str("  \"kernels\": [\n");
     for (idx, r) in results.iter().enumerate() {
@@ -208,15 +209,6 @@ fn main() {
             if idx + 1 < results.len() { "," } else { "" }
         );
     }
-    json.push_str("  ]\n}\n");
-
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
-    if smoke {
-        // Check mode proves the harness; it must not overwrite the real
-        // artifact with throwaway numbers.
-        println!("\nsmoke mode: skipped writing {path}");
-    } else {
-        std::fs::write(path, &json).expect("write BENCH_kernels.json");
-        println!("\nwrote {path}");
-    }
+    json.push_str("  ]\n");
+    art.finish();
 }

@@ -14,6 +14,7 @@
 //! of the pre-PR 4 `TripletBatcher::next_batch` draw loop (the code itself
 //! was deleted), kept here the way the kernel bench keeps the scalar tier.
 
+use mars_bench::BenchArtifact;
 use mars_data::batch::{FillMode, TripletBatcher, TripletStream};
 use mars_data::profiles::{Profile, Scale};
 use mars_data::sampler::{sample_positive, NegativeSampler, UniformNegativeSampler, UserSampler};
@@ -84,7 +85,7 @@ struct Variant {
 }
 
 fn main() {
-    let smoke = std::env::var("SAMPLING_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let smoke = BenchArtifact::smoke_from_env("SAMPLING_BENCH_SMOKE");
     let reps = if smoke { 2 } else { 60 };
     let threads = mars_runtime::resolve_threads(0);
     let data = Profile::Ciao.generate(Scale::Small);
@@ -207,18 +208,16 @@ fn main() {
         .find(|v| v.name == "train_no_prefetch")
         .map(|v| v.ns_per_pass)
         .unwrap_or(f64::NAN);
-    let mut json = String::from("{\n  \"bench\": \"sampling_pipeline\",\n");
-    let _ = writeln!(json, "  \"batch_size\": {BATCH},");
-    let _ = writeln!(json, "  \"batches_per_pass\": {BATCHES_PER_PASS},");
-    let _ = writeln!(json, "  \"threads_detected\": {threads},");
-    let _ = writeln!(json, "  \"smoke_mode\": {smoke},");
+    let mut art = BenchArtifact::open("sampling_pipeline", "BENCH_sampling.json", smoke);
     if threads == 1 {
-        let _ = writeln!(
-            json,
-            "  \"note\": \"1-core machine: the pool-parallel fill and the prefetch overlap \
-             degenerate to serial execution; their speedups materialize on multicore\","
+        art.note(
+            "1-core machine: the pool-parallel fill and the prefetch overlap \
+             degenerate to serial execution; their speedups materialize on multicore",
         );
     }
+    let json = art.body();
+    let _ = writeln!(json, "  \"batch_size\": {BATCH},");
+    let _ = writeln!(json, "  \"batches_per_pass\": {BATCHES_PER_PASS},");
     json.push_str("  \"variants\": [\n");
     for (idx, v) in variants.iter().enumerate() {
         // Fill-only variants compare against the StdRng fill; the two
@@ -244,15 +243,6 @@ fn main() {
             if idx + 1 < variants.len() { "," } else { "" }
         );
     }
-    json.push_str("  ]\n}\n");
-
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sampling.json");
-    if smoke {
-        // Check mode proves the harness; it must not overwrite the real
-        // artifact with throwaway numbers.
-        println!("\nsmoke mode: skipped writing {path}");
-    } else {
-        std::fs::write(path, &json).expect("write BENCH_sampling.json");
-        println!("\nwrote {path}");
-    }
+    json.push_str("  ]\n");
+    art.finish();
 }

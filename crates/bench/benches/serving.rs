@@ -14,6 +14,7 @@
 //! `MultiFacetModel::recommend` algorithm, kept in `mars-serve` as the
 //! A/B baseline the way the evaluator keeps its sequential protocol.
 
+use mars_bench::BenchArtifact;
 use mars_core::{MarsConfig, MultiFacetModel};
 use mars_data::{ItemId, UserId};
 use mars_runtime::WorkerPool;
@@ -51,7 +52,7 @@ struct Variant {
 }
 
 fn main() {
-    let smoke = std::env::var("SERVING_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let smoke = BenchArtifact::smoke_from_env("SERVING_BENCH_SMOKE");
     let reps = if smoke { 2 } else { 40 };
     let threads = mars_runtime::resolve_threads(0);
 
@@ -152,20 +153,18 @@ fn main() {
         .find(|v| v.name == "batched_serial")
         .map(|v| v.ns_per_query)
         .unwrap_or(f64::NAN);
-    let mut json = String::from("{\n  \"bench\": \"serving\",\n");
+    let mut art = BenchArtifact::open("serving", "BENCH_serving.json", smoke);
+    if threads == 1 {
+        art.note(
+            "1-core machine: the pooled batch degenerates to serial \
+             execution; its speedup materializes on multicore",
+        );
+    }
+    let json = art.body();
     let _ = writeln!(json, "  \"catalog_items\": {CATALOG},");
     let _ = writeln!(json, "  \"k\": {K},");
     let _ = writeln!(json, "  \"seen_per_user\": {SEEN},");
     let _ = writeln!(json, "  \"queries_per_pass\": {QUERIES_PER_PASS},");
-    let _ = writeln!(json, "  \"threads_detected\": {threads},");
-    let _ = writeln!(json, "  \"smoke_mode\": {smoke},");
-    if threads == 1 {
-        let _ = writeln!(
-            json,
-            "  \"note\": \"1-core machine: the pooled batch degenerates to serial \
-             execution; its speedup materializes on multicore\","
-        );
-    }
     json.push_str("  \"variants\": [\n");
     for (idx, v) in variants.iter().enumerate() {
         let reference = if v.name.starts_with("batched") {
@@ -188,15 +187,6 @@ fn main() {
             if idx + 1 < variants.len() { "," } else { "" }
         );
     }
-    json.push_str("  ]\n}\n");
-
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
-    if smoke {
-        // Check mode proves the harness; it must not overwrite the real
-        // artifact with throwaway numbers.
-        println!("\nsmoke mode: skipped writing {path}");
-    } else {
-        std::fs::write(path, &json).expect("write BENCH_serving.json");
-        println!("\nwrote {path}");
-    }
+    json.push_str("  ]\n");
+    art.finish();
 }

@@ -10,6 +10,7 @@
 //! measurement *is* a full multi-epoch training run, and the JSON artifact
 //! is the point.
 
+use mars_bench::BenchArtifact;
 use mars_core::{BatchMode, MarsConfig, Trainer};
 use mars_data::{SyntheticConfig, SyntheticDataset};
 use std::fmt::Write as _;
@@ -30,6 +31,7 @@ struct Measurement {
 }
 
 fn main() {
+    let smoke = BenchArtifact::smoke_from_env("TRAINING_BENCH_SMOKE");
     // Item catalogue deliberately smaller than the batch so popular rows
     // repeat within a batch — the regime the accumulate/apply engine is
     // built for (and the regime real recommendation data is in: Table I's
@@ -47,7 +49,7 @@ fn main() {
     );
 
     let mut base = MarsConfig::mars(4, 32);
-    base.epochs = 2;
+    base.epochs = if smoke { 1 } else { 2 };
     base.batch_size = 1024;
     base.seed = 7;
     let triplets_per_run =
@@ -106,7 +108,10 @@ fn main() {
     }
 
     let baseline = results[0].seconds;
-    let mut json = String::from("{\n  \"bench\": \"training_throughput\",\n");
+    // The header's thread count gives context for the per-variant thread
+    // counts below (the `*_parallel` variant uses exactly that many).
+    let mut art = BenchArtifact::open("training_throughput", "BENCH_training.json", smoke);
+    let json = art.body();
     let _ = writeln!(
         json,
         "  \"dataset\": {{\"users\": 300, \"items\": 150, \"interactions\": {}}},",
@@ -116,14 +121,6 @@ fn main() {
         json,
         "  \"config\": {{\"model\": \"MARS\", \"facets\": 4, \"dim\": 32, \"epochs\": {}, \"batch_size\": {}}},",
         base.epochs, base.batch_size
-    );
-    // Cores actually detected on the bench machine, so the per-variant
-    // thread counts below can be read in context (the `*_parallel` variant
-    // uses exactly this many workers).
-    let _ = writeln!(
-        json,
-        "  \"threads_detected\": {},",
-        mars_optim::resolve_threads(0)
     );
     json.push_str("  \"variants\": [\n");
     for (i, m) in results.iter().enumerate() {
@@ -147,11 +144,8 @@ fn main() {
             if i + 1 < results.len() { "," } else { "" }
         );
     }
-    json.push_str("  ]\n}\n");
-
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_training.json");
-    std::fs::write(path, &json).expect("write BENCH_training.json");
-    println!("\nwrote {path}");
+    json.push_str("  ]\n");
+    art.finish();
     for m in &results[1..] {
         println!(
             "speedup {} vs per_triplet: {:.2}x",

@@ -312,6 +312,88 @@ impl Args {
     }
 }
 
+// ---------------------------------------------------------------------------
+// BENCH_*.json artifacts
+// ---------------------------------------------------------------------------
+
+/// One `BENCH_*.json` artifact under construction.
+///
+/// Every artifact recorded by the workspace's `harness = false` benches
+/// opens with the same schema header — `bench`, `threads_detected`,
+/// `smoke_mode`, then an optional `note` — so tooling reading the
+/// workspace root can key on any artifact uniformly. The bench-specific
+/// body (parameters, then a result array) is appended through
+/// [`BenchArtifact::body`]; the final body line must not end with a comma.
+/// [`BenchArtifact::finish`] closes the object and writes the file —
+/// except in smoke mode, where a check run proves the harness but must
+/// not overwrite recorded numbers with throwaway ones.
+pub struct BenchArtifact {
+    json: String,
+    file: &'static str,
+    threads: usize,
+    smoke: bool,
+}
+
+impl BenchArtifact {
+    /// Reads a bench's `*_BENCH_SMOKE` env toggle (set to `1` in CI).
+    pub fn smoke_from_env(var: &str) -> bool {
+        std::env::var(var).is_ok_and(|v| v == "1")
+    }
+
+    /// Opens `file` (workspace-root relative, e.g. `"BENCH_serving.json"`)
+    /// with the shared schema header.
+    pub fn open(bench: &str, file: &'static str, smoke: bool) -> Self {
+        use std::fmt::Write as _;
+        let threads = mars_runtime::resolve_threads(0);
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"bench\": \"{bench}\",");
+        let _ = writeln!(json, "  \"threads_detected\": {threads},");
+        let _ = writeln!(json, "  \"smoke_mode\": {smoke},");
+        Self {
+            json,
+            file,
+            threads,
+            smoke,
+        }
+    }
+
+    /// Worker threads the header recorded (`mars_runtime::resolve_threads`).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether the artifact is in smoke (check) mode.
+    pub fn smoke(&self) -> bool {
+        self.smoke
+    }
+
+    /// Appends the shared `note` header field. Call before body fields.
+    pub fn note(&mut self, note: &str) {
+        use std::fmt::Write as _;
+        let _ = writeln!(self.json, "  \"note\": \"{note}\",");
+    }
+
+    /// The JSON buffer; benches `writeln!` body fields and rows into it.
+    pub fn body(&mut self) -> &mut String {
+        &mut self.json
+    }
+
+    /// Closes the object and writes the artifact to the workspace root
+    /// (skipped in smoke mode). Prints the outcome either way.
+    pub fn finish(mut self) {
+        self.json.push_str("}\n");
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        let path = std::path::Path::new(path).join(self.file);
+        if self.smoke {
+            println!("\nsmoke mode: skipped writing {}", path.display());
+        } else {
+            std::fs::write(&path, &self.json)
+                .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+            println!("\nwrote {}", path.display());
+        }
+    }
+}
+
 /// Harness-default training budget per scale: generous enough for the
 /// ordering between models to stabilize, small enough for the whole Table II
 /// run to finish in minutes.
@@ -353,6 +435,22 @@ mod tests {
         assert_eq!(p, vec![Profile::Ciao, Profile::BookX]);
         let b = Args::from_iter(std::iter::empty());
         assert_eq!(b.profiles(&[Profile::Ciao]), vec![Profile::Ciao]);
+    }
+
+    #[test]
+    fn bench_artifact_header_schema_and_smoke_skip() {
+        let mut art = BenchArtifact::open("unit_test", "BENCH_unit_test.json", true);
+        assert!(art.smoke());
+        assert!(art.threads() >= 1);
+        art.note("a note");
+        art.body().push_str("  \"x\": 1\n");
+        let json = art.body().clone();
+        assert!(json.starts_with("{\n  \"bench\": \"unit_test\",\n  \"threads_detected\": "));
+        assert!(json.contains("\"smoke_mode\": true,\n  \"note\": \"a note\",\n"));
+        // Smoke mode proves the harness without touching the artifact.
+        art.finish();
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_unit_test.json");
+        assert!(!std::path::Path::new(path).exists());
     }
 
     #[test]

@@ -290,7 +290,6 @@ pub fn segment_items(
     clusters: usize,
     seed: u64,
 ) -> (Vec<usize>, Option<f32>) {
-    use rand::SeedableRng;
     let k = model.config().facets;
     let d = model.config().dim;
     let m = model.num_items();
@@ -302,8 +301,7 @@ pub fn segment_items(
             features.row_mut(v)[f * d..(f + 1) * d].copy_from_slice(&buf);
         }
     }
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let result = mars_tensor::kmeans::kmeans(&features, clusters, 100, &mut rng);
+    let result = mars_tensor::kmeans::kmeans(&features, clusters, 100, seed);
 
     let purity = if data.num_categories == 0 {
         None

@@ -54,7 +54,7 @@ use mars_data::batch::Triplet;
 use mars_data::{ItemId, UserId};
 use mars_metrics::Scorer;
 use mars_optim::{CalibratedRiemannianSgd, Optimizer, RiemannianSgd, Sgd};
-use mars_serve::{RecQuery, RetrievalScratch};
+use mars_serve::{IndexEmbeddings, IndexMetric, RecQuery, RetrievalScratch};
 use mars_tensor::{init, nonlin, ops, rows, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -651,6 +651,58 @@ impl Scorer for MultiFacetModel {
     }
 }
 
+impl MultiFacetModel {
+    /// Scales `v` to unit length, or zeroes it when the norm underflows —
+    /// the same guard `facet_similarity`'s cosine applies, so a degenerate
+    /// facet contributes 0 on both the exact and the indexed path.
+    fn normalize_or_zero(v: &mut [f32]) {
+        let n = ops::norm(v);
+        if n <= f32::MIN_POSITIVE {
+            v.fill(0.0);
+        } else {
+            for x in v.iter_mut() {
+                *x /= n;
+            }
+        }
+    }
+}
+
+/// IVF index surface (`mars-serve::index`): per-facet vectors such that
+/// `Σ_f θ_u^f · m(q_f, x_f)` equals the model similarity. Spherical
+/// geometry pre-normalizes both sides so cosine becomes an inner product;
+/// Euclidean geometry exposes the raw facets under negative squared L2.
+impl IndexEmbeddings for MultiFacetModel {
+    fn num_index_facets(&self) -> usize {
+        self.cfg.facets
+    }
+
+    fn index_dim(&self) -> usize {
+        self.cfg.dim
+    }
+
+    fn index_metric(&self) -> IndexMetric {
+        match self.cfg.geometry {
+            Geometry::Spherical => IndexMetric::InnerProduct,
+            Geometry::Euclidean => IndexMetric::NegSquaredL2,
+        }
+    }
+
+    fn item_index_vector(&self, v: ItemId, f: usize, out: &mut [f32]) {
+        self.item_facet(v, f, out);
+        if self.cfg.geometry == Geometry::Spherical {
+            Self::normalize_or_zero(out);
+        }
+    }
+
+    fn query_index_vector(&self, user: UserId, f: usize, out: &mut [f32]) -> f32 {
+        self.user_facet(user, f, out);
+        if self.cfg.geometry == Geometry::Spherical {
+            Self::normalize_or_zero(out);
+        }
+        self.theta(user)[f]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -928,6 +980,51 @@ mod tests {
         assert!(spread > 1e-3, "theta stayed uniform: {theta:?}");
         let sum: f32 = theta.iter().sum();
         assert!((sum - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ivf_full_probe_reproduces_exact_retrieval_for_every_geometry() {
+        // The IndexEmbeddings impl must satisfy the index module's
+        // equivalence guarantee: with every cell probed, ExactRescore
+        // retrieval is bit-identical to the exact scan — spherical
+        // (normalized IP index), Euclidean (raw negative-L2 index), and
+        // the factored parameterization (facets projected on the fly).
+        use mars_serve::{IvfConfig, RecQuery, Retriever};
+        let mut direct_euclidean = MarsConfig::mar(3, 6);
+        direct_euclidean.seed = 9;
+        for (mut m, _) in [
+            (mars_model(), 0),
+            (MultiFacetModel::new(direct_euclidean, 4, 8), 0),
+            (mar_model(), 0),
+        ] {
+            let mut s = Scratch::new(3, 6);
+            for i in 0..40 {
+                let t = Triplet {
+                    user: (i % 4) as UserId,
+                    positive: (i % 8) as ItemId,
+                    negative: ((i + 3) % 8) as ItemId,
+                };
+                m.train_triplet(t, 0.4, 0.1, &mut s);
+            }
+            let n = m.num_items();
+            let exact = Retriever::new(m, n);
+            let indexed = exact.clone().with_index(IvfConfig {
+                cells: 4,
+                nprobe: 4,
+                ..IvfConfig::default()
+            });
+            let as_bits = |v: &[(ItemId, f32)]| -> Vec<(ItemId, u32)> {
+                v.iter().map(|&(i, s)| (i, s.to_bits())).collect()
+            };
+            for u in 0..4u32 {
+                let q = RecQuery::top_k(u, 5).excluding(&[1, 6]);
+                assert_eq!(
+                    as_bits(&indexed.retrieve(&q).ranked),
+                    as_bits(&exact.retrieve(&q).ranked),
+                    "user {u}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -65,15 +65,48 @@ pub struct Triplet {
 /// practice a slot succeeds on the first attempt.
 const SLOT_ATTEMPTS: usize = 8;
 
+/// Draws served per [`CounterRng::fill_block`] refill of a slot's buffer.
+/// A typical slot consumes 3–4 ticks (user, positive, negatives), so one
+/// block covers a multi-negative slot; over-drawn values are discarded,
+/// which is free — the stream is a pure function of `(seed, slot)` either
+/// way.
+const SLOT_BLOCK: usize = 8;
+
 /// Adapter exposing [`CounterRng`] through the `rand` shim's
 /// [`rand::RngCore`], so the samplers (uniform `gen_range`, alias-table
-/// draws) can consume a counter-keyed stream unchanged.
-pub struct SlotRng(pub CounterRng);
+/// draws) can consume a counter-keyed stream unchanged. Draws are served
+/// from a pre-computed block ([`CounterRng::fill_block`], whose mixes
+/// pipeline instead of serializing on the counter) — the values are
+/// bit-identical to sequential `next_u64` calls, so this is purely a
+/// throughput change.
+pub struct SlotRng {
+    rng: CounterRng,
+    buf: [u64; SLOT_BLOCK],
+    pos: usize,
+}
+
+impl SlotRng {
+    /// Wraps `rng`; the first draw triggers a block fill.
+    #[inline]
+    pub fn new(rng: CounterRng) -> Self {
+        Self {
+            rng,
+            buf: [0; SLOT_BLOCK],
+            pos: SLOT_BLOCK,
+        }
+    }
+}
 
 impl rand::RngCore for SlotRng {
     #[inline]
     fn next_u64(&mut self) -> u64 {
-        self.0.next_u64()
+        if self.pos == SLOT_BLOCK {
+            self.rng.fill_block(&mut self.buf);
+            self.pos = 0;
+        }
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        v
     }
 }
 
@@ -127,17 +160,19 @@ impl TripletBatch {
 
 /// Draws one slot from its own counter stream into `out`. The draw order
 /// within the stream — user, positive, then negatives — is part of the
-/// pinned determinism contract (see the module docs).
+/// pinned determinism contract (see the module docs). `base` is the
+/// hoisted [`CounterRng::stream_base`] of the batcher seed, computed once
+/// per fill instead of once per slot.
 fn fill_slot<N: NegativeSampler>(
     x: &Interactions,
     user_sampler: &UserSampler,
     negative_sampler: &N,
     negatives_per_slot: usize,
-    seed: u64,
+    base: u64,
     stream: u64,
     out: &mut TripletBatch,
 ) {
-    let mut rng = SlotRng(CounterRng::keyed(seed, stream));
+    let mut rng = SlotRng::new(CounterRng::keyed_from_base(base, stream));
     for _ in 0..SLOT_ATTEMPTS {
         let user = user_sampler.sample(&mut rng);
         let positive = sample_positive(x, user, &mut rng);
@@ -249,13 +284,14 @@ impl<N: NegativeSampler> TripletBatcher<N> {
     /// not call order, selects the content.
     pub fn fill(&mut self, x: &Interactions, batch_index: u64) -> &TripletBatch {
         self.batch.clear();
+        let base = CounterRng::stream_base(self.seed);
         for slot in 0..self.slots_per_batch {
             fill_slot(
                 x,
                 &self.user_sampler,
                 &self.negative_sampler,
                 self.negatives_per_slot,
-                self.seed,
+                base,
                 self.stream_of(batch_index, slot),
                 &mut self.batch,
             );
@@ -303,7 +339,8 @@ impl<N: NegativeSampler> TripletBatcher<N> {
             sh.range = range;
             sh.out.clear();
         }
-        let (seed, slots, negs) = (*seed, *slots_per_batch as u64, *negatives_per_slot);
+        let base = CounterRng::stream_base(*seed);
+        let (slots, negs) = (*slots_per_batch as u64, *negatives_per_slot);
         pool.scatter(&mut shards[..], |_, sh| {
             for slot in sh.range.clone() {
                 fill_slot(
@@ -311,7 +348,7 @@ impl<N: NegativeSampler> TripletBatcher<N> {
                     user_sampler,
                     negative_sampler,
                     negs,
-                    seed,
+                    base,
                     batch_index * slots + slot as u64,
                     &mut sh.out,
                 );

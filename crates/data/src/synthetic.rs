@@ -190,6 +190,47 @@ impl SyntheticDataset {
     }
 }
 
+/// Flat `n × dim` clustered point cloud, plus the planted cluster id of
+/// each row — the item-embedding side of an ANN-scale catalogue.
+///
+/// The interaction generator above stops being the right tool once the
+/// catalogue reaches IVF-bench scale (≥100k items): a retrieval bench
+/// needs item *embeddings* with real cluster structure, not interaction
+/// histories. This draws `num_clusters` Gaussian centers (standard normal
+/// per coordinate) and scatters `n` points around uniformly-chosen centers
+/// with per-coordinate noise `spread`. Deterministic given `seed`;
+/// `spread ≈ 0.15–0.3` against unit-scale centers gives the
+/// separated-but-overlapping geometry real embedding tables show.
+///
+/// # Panics
+/// If `n`, `dim`, or `num_clusters` is zero.
+pub fn clustered_points(
+    n: usize,
+    dim: usize,
+    num_clusters: usize,
+    spread: f32,
+    seed: u64,
+) -> (Vec<f32>, Vec<u32>) {
+    assert!(n > 0 && dim > 0 && num_clusters > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<f32> = (0..num_clusters * dim)
+        .map(|_| normal64(&mut rng) as f32)
+        .collect();
+    let mut points = Vec::with_capacity(n * dim);
+    let mut assignment = Vec::with_capacity(n);
+    for _ in 0..n {
+        let c = rng.gen_range(0..num_clusters);
+        assignment.push(c as u32);
+        let center = &centers[c * dim..(c + 1) * dim];
+        points.extend(
+            center
+                .iter()
+                .map(|&x| x + spread * normal64(&mut rng) as f32),
+        );
+    }
+    (points, assignment)
+}
+
 /// Crate-internal alias so the latent-metric generator shares the sampler.
 pub(crate) fn dirichlet_pub<R: Rng + ?Sized>(rng: &mut R, k: usize, alpha: f64) -> Vec<f32> {
     dirichlet(rng, k, alpha)
@@ -367,6 +408,45 @@ mod tests {
         for cats in &s.interaction_categories {
             assert!(cats.iter().all(|&c| (c as usize) < 4));
         }
+    }
+
+    #[test]
+    fn clustered_points_are_deterministic_and_clustered() {
+        let (pts_a, asg_a) = clustered_points(400, 8, 5, 0.1, 13);
+        let (pts_b, asg_b) = clustered_points(400, 8, 5, 0.1, 13);
+        assert_eq!(asg_a, asg_b);
+        assert!(pts_a
+            .iter()
+            .zip(&pts_b)
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+        assert_eq!(pts_a.len(), 400 * 8);
+        assert_eq!(asg_a.len(), 400);
+        assert!(asg_a.iter().all(|&c| c < 5));
+
+        // Same-cluster points sit closer together than cross-cluster ones
+        // on average — the structure an IVF index exploits.
+        let dist = |i: usize, j: usize| -> f32 {
+            (0..8)
+                .map(|d| (pts_a[i * 8 + d] - pts_a[j * 8 + d]).powi(2))
+                .sum()
+        };
+        let (mut within, mut wn, mut across, mut an) = (0.0f64, 0, 0.0f64, 0);
+        for i in 0..100 {
+            for j in (i + 1)..100 {
+                if asg_a[i] == asg_a[j] {
+                    within += dist(i, j) as f64;
+                    wn += 1;
+                } else {
+                    across += dist(i, j) as f64;
+                    an += 1;
+                }
+            }
+        }
+        assert!(wn > 0 && an > 0);
+        assert!(
+            within / wn as f64 * 4.0 < across / an as f64,
+            "within {within} ({wn}) vs across {across} ({an})"
+        );
     }
 
     #[test]

@@ -49,12 +49,28 @@
 //!
 //! The property tests assert all three axes (chunk size, worker count,
 //! heap vs. full sort) down to the bit, for every scorer in the workspace.
+//!
+//! ## Sublinear retrieval (opt-in)
+//!
+//! The exact scan is O(catalogue) per query. For large catalogues a
+//! [`Retriever`] can attach an IVF clustered index
+//! ([`Retriever::with_index`]): item embeddings are partitioned per facet
+//! with `mars-tensor::kmeans`, and a query scans only the `nprobe` best
+//! cells — see the [`index`] module for the cell layout, the f32 / int8
+//! block stores, and the two probe modes. The default
+//! [`IvfMode::ExactRescore`] uses the index purely as a candidate
+//! selector (returned scores are the model's own, and `nprobe == cells`
+//! reproduces the exact scan bit-for-bit); nothing changes for retrievers
+//! that never opt in, and candidate-restricted queries always take the
+//! exact path.
 
+pub mod index;
 pub mod order;
 pub mod query;
 pub mod retriever;
 pub mod topk;
 
+pub use index::{CellStore, IndexEmbeddings, IndexMetric, IvfConfig, IvfIndex, IvfMode};
 pub use order::rank_cmp;
 pub use query::{RecQuery, RecResponse};
 pub use retriever::{rank_into, RetrievalScratch, Retriever, DEFAULT_CHUNK_ITEMS};

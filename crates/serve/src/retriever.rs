@@ -1,6 +1,7 @@
 //! The retrieval engine: chunked catalogue scan → bounded-heap selection,
 //! single-query and batched.
 
+use crate::index::{IndexEmbeddings, IvfConfig, IvfIndex, IvfScratch};
 use crate::query::{RecQuery, RecResponse};
 use crate::topk;
 use mars_data::ItemId;
@@ -23,11 +24,13 @@ pub const DEFAULT_CHUNK_ITEMS: usize = 256;
 #[derive(Default)]
 pub struct RetrievalScratch {
     /// Current chunk's candidate ids, post seen-filter.
-    ids: Vec<ItemId>,
+    pub(crate) ids: Vec<ItemId>,
     /// Their scores (`score_block` output).
-    scores: Vec<f32>,
+    pub(crate) scores: Vec<f32>,
     /// The bounded top-k heap.
-    heap: Vec<(ItemId, f32)>,
+    pub(crate) heap: Vec<(ItemId, f32)>,
+    /// Buffers for the opt-in IVF probe path (unused by the exact scan).
+    pub(crate) ivf: IvfScratch,
 }
 
 impl RetrievalScratch {
@@ -142,6 +145,33 @@ pub struct Retriever<S: ?Sized> {
     model: Arc<S>,
     catalog_items: usize,
     chunk_items: usize,
+    ivf: Option<IvfHandle<S>>,
+}
+
+/// An attached IVF index plus the monomorphized probe entry point.
+///
+/// [`Retriever::with_index`] requires `S: IndexEmbeddings`, but the
+/// retrieval surface is generic over plain `S: Scorer` — storing the
+/// search routine as a `fn` pointer captured at attach time lets the
+/// `Scorer`-bounded paths route through the index without widening their
+/// bounds (and keeps `Clone` a cheap `Arc` + pointer copy).
+struct IvfHandle<S: ?Sized> {
+    index: Arc<IvfIndex>,
+    search: IvfSearchFn<S>,
+}
+
+/// The monomorphized probe routine an [`IvfHandle`] stores: the arguments
+/// of [`Retriever::retrieve_ranked_into`] plus the index and chunk size.
+type IvfSearchFn<S> =
+    fn(&S, &IvfIndex, usize, &RecQuery<'_>, &mut RetrievalScratch, &mut Vec<(ItemId, f32)>);
+
+impl<S: ?Sized> Clone for IvfHandle<S> {
+    fn clone(&self) -> Self {
+        Self {
+            index: Arc::clone(&self.index),
+            search: self.search,
+        }
+    }
 }
 
 // Manual impl: `#[derive(Clone)]` would demand `S: Clone`, but only the
@@ -152,6 +182,7 @@ impl<S: ?Sized> Clone for Retriever<S> {
             model: Arc::clone(&self.model),
             catalog_items: self.catalog_items,
             chunk_items: self.chunk_items,
+            ivf: self.ivf.clone(),
         }
     }
 }
@@ -171,6 +202,7 @@ impl<S: Scorer + ?Sized> Retriever<S> {
             model,
             catalog_items,
             chunk_items: DEFAULT_CHUNK_ITEMS,
+            ivf: None,
         }
     }
 
@@ -225,6 +257,22 @@ impl<S: Scorer + ?Sized> Retriever<S> {
         scratch: &mut RetrievalScratch,
         out: &mut Vec<(ItemId, f32)>,
     ) {
+        // Catalogue queries route through the attached IVF index, if any;
+        // candidate-restricted queries always take the exact path (the
+        // shortlist is already sublinear).
+        if query.candidates.is_none() {
+            if let Some(h) = &self.ivf {
+                (h.search)(
+                    self.model.as_ref(),
+                    &h.index,
+                    self.chunk_items,
+                    query,
+                    scratch,
+                    out,
+                );
+                return;
+            }
+        }
         rank_into(
             self.model.as_ref(),
             self.catalog_items,
@@ -233,6 +281,46 @@ impl<S: Scorer + ?Sized> Retriever<S> {
             scratch,
             out,
         );
+    }
+
+    /// The attached IVF index, if any.
+    pub fn index(&self) -> Option<&Arc<IvfIndex>> {
+        self.ivf.as_ref().map(|h| &h.index)
+    }
+
+    /// Detaches any IVF index: back to the exact full scan.
+    pub fn without_index(mut self) -> Self {
+        self.ivf = None;
+        self
+    }
+}
+
+impl<S: IndexEmbeddings + ?Sized> Retriever<S> {
+    /// Builds an IVF index over the served snapshot and routes every
+    /// catalogue query through it (see [`crate::index`] for the recall /
+    /// determinism trade-offs; the exact scan remains the default for
+    /// retrievers that never call this).
+    pub fn with_index(self, cfg: IvfConfig) -> Self {
+        let index = IvfIndex::build(self.model.as_ref(), self.catalog_items, cfg);
+        self.with_prebuilt_index(Arc::new(index))
+    }
+
+    /// Attaches an already-built index (e.g. one shared across retrievers,
+    /// or re-tuned via [`IvfIndex::with_nprobe`]).
+    ///
+    /// # Panics
+    /// If the index was built over a different catalogue size.
+    pub fn with_prebuilt_index(mut self, index: Arc<IvfIndex>) -> Self {
+        assert_eq!(
+            index.items(),
+            self.catalog_items,
+            "IVF index built for a different catalogue"
+        );
+        self.ivf = Some(IvfHandle {
+            index,
+            search: crate::index::ivf_search::<S>,
+        });
+        self
     }
 }
 

@@ -3,13 +3,17 @@
 //! Backs the paper's future-work item "infer clusters and attributes of
 //! users and items based on the learned MARS model, and utilize them to
 //! support other related downstream tasks like user/item segmentation"
-//! (`mars-core::analysis::segment_items`). Deterministic given the RNG:
-//! k-means++ seeding, Lloyd iterations until assignment fixpoint or the
-//! iteration cap, empty clusters re-seeded from the farthest point.
+//! (`mars-core::analysis::segment_items`) and the IVF retrieval index
+//! (`mars-serve::index`). Deterministic given the seed: the k-means++
+//! seeding draws from a [`CounterRng`] keyed on `(seed, 0)` — a pure
+//! function of the seed, pinned by a golden-value test, independent of any
+//! caller-side generator state — then Lloyd iterations run until an
+//! assignment fixpoint or the iteration cap, with empty clusters re-seeded
+//! from the farthest point.
 
 use crate::matrix::Matrix;
 use crate::ops;
-use rand::Rng;
+use mars_runtime::rng::CounterRng;
 
 /// Result of a clustering run.
 #[derive(Clone, Debug)]
@@ -24,34 +28,46 @@ pub struct KMeans {
     pub iterations: usize,
 }
 
-/// Runs k-means++ / Lloyd on the rows of `data`.
+/// Uniform `f64` in `[0, 1)` with 53 bits of precision — the distribution
+/// the distance-weighted k-means++ pick samples its threshold from.
+#[inline]
+fn unit_f64(rng: &mut CounterRng) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The k-means++ seeding pass: the `k` chosen row indices, in pick order.
+///
+/// Exactly one counter tick per pick (the first pick is uniform, each later
+/// pick samples a squared-distance-weighted threshold — or falls back to a
+/// uniform pick when every remaining distance is zero), so the stream is a
+/// pure function of `(seed, pick index)` and the golden test can pin it.
 ///
 /// # Panics
 /// If `k == 0`, `k > data.rows()`, or `data` has no rows.
-pub fn kmeans<R: Rng + ?Sized>(data: &Matrix, k: usize, max_iters: usize, rng: &mut R) -> KMeans {
-    let (n, dim) = data.shape();
+pub fn kmeans_pp_seed(data: &Matrix, k: usize, seed: u64) -> Vec<usize> {
+    let (n, _) = data.shape();
     assert!(n > 0, "k-means needs at least one sample");
     assert!(k > 0 && k <= n, "invalid cluster count {k} for {n} rows");
 
-    // --- k-means++ seeding ------------------------------------------------
-    let mut centroids = Matrix::zeros(k, dim);
-    let first = rng.gen_range(0..n);
-    centroids.row_mut(0).copy_from_slice(data.row(first));
+    let mut rng = CounterRng::keyed(seed, 0);
+    let mut picks = Vec::with_capacity(k);
+    picks.push(rng.gen_below(n as u64) as usize);
     let mut dist2 = vec![f32::INFINITY; n];
     for c in 1..k {
         // Update distance-to-nearest-chosen for every point.
+        let last = data.row(picks[c - 1]);
         for i in 0..n {
-            let d = ops::dist_sq(data.row(i), centroids.row(c - 1));
+            let d = ops::dist_sq(data.row(i), last);
             if d < dist2[i] {
                 dist2[i] = d;
             }
         }
         let total: f64 = dist2.iter().map(|&d| d as f64).sum();
         let chosen = if total <= 0.0 {
-            rng.gen_range(0..n)
+            rng.gen_below(n as u64) as usize
         } else {
             // Sample proportional to squared distance.
-            let mut target = rng.gen::<f64>() * total;
+            let mut target = unit_f64(&mut rng) * total;
             let mut pick = n - 1;
             for (i, &d) in dist2.iter().enumerate() {
                 target -= d as f64;
@@ -62,7 +78,21 @@ pub fn kmeans<R: Rng + ?Sized>(data: &Matrix, k: usize, max_iters: usize, rng: &
             }
             pick
         };
-        centroids.row_mut(c).copy_from_slice(data.row(chosen));
+        picks.push(chosen);
+    }
+    picks
+}
+
+/// Runs k-means++ / Lloyd on the rows of `data`.
+///
+/// # Panics
+/// If `k == 0`, `k > data.rows()`, or `data` has no rows.
+pub fn kmeans(data: &Matrix, k: usize, max_iters: usize, seed: u64) -> KMeans {
+    let (n, dim) = data.shape();
+    let picks = kmeans_pp_seed(data, k, seed);
+    let mut centroids = Matrix::zeros(k, dim);
+    for (c, &row) in picks.iter().enumerate() {
+        centroids.row_mut(c).copy_from_slice(data.row(row));
     }
 
     // --- Lloyd iterations ---------------------------------------------------
@@ -130,8 +160,6 @@ pub fn kmeans<R: Rng + ?Sized>(data: &Matrix, k: usize, max_iters: usize, rng: &
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     /// Three well-separated 2-D blobs must be recovered exactly.
     fn blobs() -> (Matrix, Vec<usize>) {
@@ -152,7 +180,7 @@ mod tests {
     #[test]
     fn recovers_separated_blobs() {
         let (data, truth) = blobs();
-        let result = kmeans(&data, 3, 50, &mut StdRng::seed_from_u64(5));
+        let result = kmeans(&data, 3, 50, 5);
         // Same-truth points share a cluster; different-truth points don't.
         for i in 0..60 {
             for j in 0..60 {
@@ -167,38 +195,66 @@ mod tests {
     #[test]
     fn inertia_decreases_with_more_clusters() {
         let (data, _) = blobs();
-        let mut rng = StdRng::seed_from_u64(6);
-        let k1 = kmeans(&data, 1, 50, &mut rng).inertia;
-        let k3 = kmeans(&data, 3, 50, &mut StdRng::seed_from_u64(6)).inertia;
+        let k1 = kmeans(&data, 1, 50, 6).inertia;
+        let k3 = kmeans(&data, 3, 50, 6).inertia;
         assert!(k3 < k1, "k=3 {k3} should beat k=1 {k1}");
     }
 
     #[test]
     fn k_equals_n_gives_zero_inertia() {
         let data = Matrix::from_vec(4, 2, vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 5.0, 5.0]);
-        let result = kmeans(&data, 4, 20, &mut StdRng::seed_from_u64(7));
+        let result = kmeans(&data, 4, 20, 7);
         assert!(result.inertia < 1e-9);
     }
 
     #[test]
     fn deterministic_given_seed() {
         let (data, _) = blobs();
-        let a = kmeans(&data, 3, 50, &mut StdRng::seed_from_u64(8));
-        let b = kmeans(&data, 3, 50, &mut StdRng::seed_from_u64(8));
+        let a = kmeans(&data, 3, 50, 8);
+        let b = kmeans(&data, 3, 50, 8);
         assert_eq!(a.assignment, b.assignment);
+        for (x, y) in a.centroids.as_slice().iter().zip(b.centroids.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// The seeding stream is `CounterRng::keyed(seed, 0)` — a contract, not
+    /// an implementation detail: `analysis::segment_items` results and every
+    /// serialized IVF cell layout depend on it. These literals pin the
+    /// chosen row indices; bump them only with a deliberate protocol break.
+    #[test]
+    fn golden_values_pin_the_seeding_stream() {
+        let (data, _) = blobs();
+        assert_eq!(kmeans_pp_seed(&data, 3, 8), [12, 44, 32]);
+        assert_eq!(kmeans_pp_seed(&data, 3, 2021), [29, 55, 13]);
+        assert_eq!(kmeans_pp_seed(&data, 5, 0), [52, 22, 0, 58, 4]);
+        // First pick is `gen_below(n)` on the keyed stream directly.
+        let mut rng = mars_runtime::rng::CounterRng::keyed(8, 0);
+        assert_eq!(kmeans_pp_seed(&data, 1, 8), [rng.gen_below(60) as usize]);
+    }
+
+    /// All-identical points: every distance is zero, so every pick after the
+    /// first falls back to the uniform branch — still one tick per pick.
+    #[test]
+    fn degenerate_seeding_stays_uniform_and_deterministic() {
+        let data = Matrix::from_vec(5, 2, vec![1.0; 10]);
+        let a = kmeans_pp_seed(&data, 3, 4);
+        let b = kmeans_pp_seed(&data, 3, 4);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&i| i < 5));
     }
 
     #[test]
     #[should_panic(expected = "invalid cluster count")]
     fn rejects_k_greater_than_n() {
         let data = Matrix::zeros(2, 2);
-        let _ = kmeans(&data, 3, 10, &mut StdRng::seed_from_u64(9));
+        let _ = kmeans(&data, 3, 10, 9);
     }
 
     #[test]
     fn identical_points_are_fine() {
         let data = Matrix::from_vec(5, 2, vec![1.0; 10]);
-        let result = kmeans(&data, 2, 10, &mut StdRng::seed_from_u64(10));
+        let result = kmeans(&data, 2, 10, 10);
         assert!(result.inertia < 1e-9);
         assert_eq!(result.assignment.len(), 5);
     }

@@ -236,6 +236,37 @@ fn one_rows_checks(x: &[f32], b: &[f32], out: &[f32]) {
     assert_eq!(out.len() * x.len(), b.len(), "one-vs-rows kernel: out");
 }
 
+/// One-vs-rows **int8** dot products — the quantized IVF cell scan's shape:
+/// `out[r] = Σ_i x[i] · rows[r·dim + i]` with `dim = x.len()`, accumulated
+/// in exact `i32` arithmetic.
+///
+/// Unlike the float reductions, integer addition is associative, so every
+/// tier produces the **exact same** `i32` — the cross-tier tests demand
+/// equality, not a tolerance. No overflow below `dim ≈ 2¹⁷` (each product
+/// is ≤ 2¹⁴), far above any embedding dimension here.
+#[inline]
+pub fn dot_rows_i8(x: &[i8], rows: &[i8], out: &mut [i32]) {
+    i8_rows_checks(x, rows, out);
+    dispatch!(dot_rows_i8(x, rows, out))
+}
+
+/// One-vs-rows **int8** squared Euclidean distances:
+/// `out[r] = Σ_i (x[i] − rows[r·dim + i])²` in exact `i32` arithmetic
+/// (differences fit `i16`, squares fit `i32`; see [`dot_rows_i8`] for the
+/// exactness contract shared by all tiers).
+#[inline]
+pub fn dist_sq_rows_i8(x: &[i8], rows: &[i8], out: &mut [i32]) {
+    i8_rows_checks(x, rows, out);
+    dispatch!(dist_sq_rows_i8(x, rows, out))
+}
+
+#[inline]
+fn i8_rows_checks(x: &[i8], rows: &[i8], out: &[i32]) {
+    assert!(!x.is_empty(), "int8 row kernels need dim ≥ 1");
+    assert_eq!(rows.len() % x.len(), 0, "int8 row kernel: ragged buffer");
+    assert_eq!(out.len() * x.len(), rows.len(), "int8 row kernel: out");
+}
+
 /// The PR 2 reference kernels: strictly sequential scalar loops. Baseline
 /// for the kernel microbench (`BENCH_kernels.json`) and oracle for the
 /// cross-tier agreement tests — the engine itself no longer calls these.
@@ -284,6 +315,32 @@ pub mod scalar {
                     &mut y[r * dim..(r + 1) * dim],
                 );
             }
+        }
+    }
+
+    /// One-vs-rows int8 dot products — the exact-`i32` oracle the other
+    /// tiers must match bit-for-bit.
+    pub fn dot_rows_i8(x: &[i8], rows: &[i8], out: &mut [i32]) {
+        let dim = x.len();
+        for (r, o) in out.iter_mut().enumerate() {
+            let row = &rows[r * dim..(r + 1) * dim];
+            *o = x.iter().zip(row).map(|(&a, &b)| a as i32 * b as i32).sum();
+        }
+    }
+
+    /// One-vs-rows int8 squared Euclidean distances (exact `i32`).
+    pub fn dist_sq_rows_i8(x: &[i8], rows: &[i8], out: &mut [i32]) {
+        let dim = x.len();
+        for (r, o) in out.iter_mut().enumerate() {
+            let row = &rows[r * dim..(r + 1) * dim];
+            *o = x
+                .iter()
+                .zip(row)
+                .map(|(&a, &b)| {
+                    let d = a as i32 - b as i32;
+                    d * d
+                })
+                .sum();
         }
     }
 }
@@ -401,6 +458,35 @@ pub mod portable {
                     &mut y[r * dim..(r + 1) * dim],
                 );
             }
+        }
+    }
+
+    /// One-vs-rows int8 dot products. Integer addition is associative, so
+    /// this plain loop (which LLVM auto-vectorizes) is bit-equal to every
+    /// other tier by construction — no chunk-order mirroring needed.
+    pub fn dot_rows_i8(x: &[i8], rows: &[i8], out: &mut [i32]) {
+        let dim = x.len();
+        for (r, o) in out.iter_mut().enumerate() {
+            let row = &rows[r * dim..(r + 1) * dim];
+            let mut acc = 0i32;
+            for i in 0..dim {
+                acc += x[i] as i32 * row[i] as i32;
+            }
+            *o = acc;
+        }
+    }
+
+    /// One-vs-rows int8 squared distances (exact `i32`, any order).
+    pub fn dist_sq_rows_i8(x: &[i8], rows: &[i8], out: &mut [i32]) {
+        let dim = x.len();
+        for (r, o) in out.iter_mut().enumerate() {
+            let row = &rows[r * dim..(r + 1) * dim];
+            let mut acc = 0i32;
+            for i in 0..dim {
+                let d = x[i] as i32 - row[i] as i32;
+                acc += d * d;
+            }
+            *o = acc;
         }
     }
 
@@ -645,6 +731,88 @@ pub mod avx2 {
             *pdq.add(i) = gq;
             *pdu.add(i) = -(gp + gq);
             i += 1;
+        }
+    }
+
+    /// Bytes consumed per int8 loop iteration: one 128-bit load widened to
+    /// sixteen `i16` lanes.
+    const I8_STEP: usize = 16;
+
+    /// Horizontal sum of a 256-bit `i32×8` accumulator. Order is
+    /// irrelevant: integer addition is exact.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum256_i32(v: __m256i) -> i32 {
+        let s = _mm_add_epi32(_mm256_castsi256_si128(v), _mm256_extracti128_si256(v, 1));
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b01_00_11_10));
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b00_00_00_01));
+        _mm_cvtsi128_si32(s)
+    }
+
+    /// One-vs-rows int8 dot products: widen sixteen `i8` to `i16`
+    /// (`cvtepi8_epi16`), multiply-add adjacent pairs into `i32`
+    /// (`madd_epi16`), accumulate. Products are ≤ 2¹⁴ so the pairwise adds
+    /// and the `i32` accumulator are exact for any realistic `dim`; the
+    /// result is bit-equal to the scalar tier.
+    ///
+    /// # Safety
+    /// Requires AVX2 (check [`available`]); `rows` must hold `out.len()`
+    /// rows of `x.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot_rows_i8(x: &[i8], rows: &[i8], out: &mut [i32]) {
+        let dim = x.len();
+        let body = dim / I8_STEP * I8_STEP;
+        let px = x.as_ptr();
+        for (r, o) in out.iter_mut().enumerate() {
+            let pr = rows.as_ptr().add(r * dim);
+            let mut acc = _mm256_setzero_si256();
+            let mut i = 0;
+            while i < body {
+                let vx = _mm256_cvtepi8_epi16(_mm_loadu_si128(px.add(i).cast()));
+                let vr = _mm256_cvtepi8_epi16(_mm_loadu_si128(pr.add(i).cast()));
+                acc = _mm256_add_epi32(acc, _mm256_madd_epi16(vx, vr));
+                i += I8_STEP;
+            }
+            let mut sum = hsum256_i32(acc);
+            while i < dim {
+                sum += *px.add(i) as i32 * *pr.add(i) as i32;
+                i += 1;
+            }
+            *o = sum;
+        }
+    }
+
+    /// One-vs-rows int8 squared distances: widen, subtract in `i16`
+    /// (differences fit: |d| ≤ 255), then `madd_epi16(d, d)` squares and
+    /// pair-sums into `i32` (each pair ≤ 2·255² < 2³¹). Exact, bit-equal to
+    /// the scalar tier.
+    ///
+    /// # Safety
+    /// Requires AVX2 (check [`available`]); `rows` must hold `out.len()`
+    /// rows of `x.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dist_sq_rows_i8(x: &[i8], rows: &[i8], out: &mut [i32]) {
+        let dim = x.len();
+        let body = dim / I8_STEP * I8_STEP;
+        let px = x.as_ptr();
+        for (r, o) in out.iter_mut().enumerate() {
+            let pr = rows.as_ptr().add(r * dim);
+            let mut acc = _mm256_setzero_si256();
+            let mut i = 0;
+            while i < body {
+                let vx = _mm256_cvtepi8_epi16(_mm_loadu_si128(px.add(i).cast()));
+                let vr = _mm256_cvtepi8_epi16(_mm_loadu_si128(pr.add(i).cast()));
+                let d = _mm256_sub_epi16(vx, vr);
+                acc = _mm256_add_epi32(acc, _mm256_madd_epi16(d, d));
+                i += I8_STEP;
+            }
+            let mut sum = hsum256_i32(acc);
+            while i < dim {
+                let d = *px.add(i) as i32 - *pr.add(i) as i32;
+                sum += d * d;
+                i += 1;
+            }
+            *o = sum;
         }
     }
 }

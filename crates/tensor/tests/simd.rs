@@ -179,6 +179,73 @@ fn dispatch_routes_to_the_detected_tier_and_both_paths_run() {
     }
 }
 
+/// Deterministic pseudo-random int8 vector covering the full range,
+/// including the `-128` edge.
+fn i8_vec_for(len: usize, salt: u64) -> Vec<i8> {
+    let mut rng = StdRng::seed_from_u64(salt.wrapping_mul(0x9E3779B97F4A7C15) + len as u64);
+    (0..len).map(|_| rng.gen::<i8>()).collect()
+}
+
+/// The int8 kernels accumulate in exact integer arithmetic, so every tier
+/// must agree to the bit — equality, not tolerance — at every dim 1..=67
+/// (all tail lengths against the 16-byte AVX2 body).
+#[test]
+fn int8_kernels_agree_exactly_across_tiers_and_dims() {
+    for_all_dims(|dim| {
+        let rows = 3;
+        let x = i8_vec_for(dim, 21);
+        let b = i8_vec_for(dim * rows, 22);
+        let mut expect = vec![0i32; rows];
+        let mut got = vec![0i32; rows];
+
+        scalar::dot_rows_i8(&x, &b, &mut expect);
+        simd::dot_rows_i8(&x, &b, &mut got);
+        assert_eq!(expect, got, "dispatched dot_rows_i8 at dim {dim}");
+        portable::dot_rows_i8(&x, &b, &mut got);
+        assert_eq!(expect, got, "portable dot_rows_i8 at dim {dim}");
+
+        scalar::dist_sq_rows_i8(&x, &b, &mut expect);
+        simd::dist_sq_rows_i8(&x, &b, &mut got);
+        assert_eq!(expect, got, "dispatched dist_sq_rows_i8 at dim {dim}");
+        portable::dist_sq_rows_i8(&x, &b, &mut got);
+        assert_eq!(expect, got, "portable dist_sq_rows_i8 at dim {dim}");
+
+        #[cfg(target_arch = "x86_64")]
+        {
+            use mars_tensor::simd::avx2;
+            if avx2::available() {
+                scalar::dot_rows_i8(&x, &b, &mut expect);
+                unsafe { avx2::dot_rows_i8(&x, &b, &mut got) };
+                assert_eq!(expect, got, "avx2 dot_rows_i8 at dim {dim}");
+                scalar::dist_sq_rows_i8(&x, &b, &mut expect);
+                unsafe { avx2::dist_sq_rows_i8(&x, &b, &mut got) };
+                assert_eq!(expect, got, "avx2 dist_sq_rows_i8 at dim {dim}");
+            }
+        }
+    });
+}
+
+/// Saturation edge: `madd_epi16` can overflow `i16` pairs only if a pair
+/// sum exceeds `i32` — impossible for int8 inputs, but the `-128 · -128`
+/// corner is where a sloppy widening scheme would break. Pin it.
+#[test]
+fn int8_kernels_survive_extreme_values() {
+    for dim in [1usize, 15, 16, 17, 32, 67] {
+        let x = vec![-128i8; dim];
+        let rows: Vec<i8> = (0..dim * 2)
+            .map(|i| if i % 2 == 0 { -128 } else { 127 })
+            .collect();
+        let mut expect = vec![0i32; 2];
+        let mut got = vec![0i32; 2];
+        scalar::dot_rows_i8(&x, &rows, &mut expect);
+        simd::dot_rows_i8(&x, &rows, &mut got);
+        assert_eq!(expect, got, "extreme dot at dim {dim}");
+        scalar::dist_sq_rows_i8(&x, &rows, &mut expect);
+        simd::dist_sq_rows_i8(&x, &rows, &mut got);
+        assert_eq!(expect, got, "extreme dist at dim {dim}");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -221,5 +288,25 @@ proptest! {
             let per_row = simd::dist_sq(&a[..dim], &b[lo..lo + dim]);
             prop_assert_eq!(out[r].to_bits(), per_row.to_bits());
         }
+    }
+
+    /// Property form of the int8 exactness contract: random contents and
+    /// row counts, dispatched tier vs the scalar oracle, `==` not `≈`.
+    #[test]
+    fn int8_kernels_match_scalar_exactly_on_random_input(
+        dim in 1usize..68,
+        rows in 1usize..7,
+        seed in 0u64..500,
+    ) {
+        let x = i8_vec_for(dim, seed + 9_000);
+        let b = i8_vec_for(dim * rows, seed + 10_000);
+        let mut expect = vec![0i32; rows];
+        let mut got = vec![0i32; rows];
+        scalar::dot_rows_i8(&x, &b, &mut expect);
+        simd::dot_rows_i8(&x, &b, &mut got);
+        prop_assert_eq!(&expect, &got);
+        scalar::dist_sq_rows_i8(&x, &b, &mut expect);
+        simd::dist_sq_rows_i8(&x, &b, &mut got);
+        prop_assert_eq!(&expect, &got);
     }
 }
