@@ -17,7 +17,10 @@
 use mars_bench::BenchArtifact;
 use mars_data::batch::{FillMode, TripletBatcher, TripletStream};
 use mars_data::profiles::{Profile, Scale};
-use mars_data::sampler::{sample_positive, NegativeSampler, UniformNegativeSampler, UserSampler};
+use mars_data::sampler::{
+    sample_positive, NegativeSampler, PopularityNegativeSampler, UniformNegativeSampler,
+    UserSampler,
+};
 use mars_data::Interactions;
 use mars_runtime::WorkerPool;
 use rand::rngs::StdRng;
@@ -139,7 +142,34 @@ fn main() {
         });
     }
 
-    // 3. Counter-keyed, slot ranges fanned across the pool.
+    // 3. Counter-keyed serial fill with the popularity-smoothed negative
+    // sampler (alias draw + exact complement fallback — PR 7 dropped the
+    // old uniform fallback). Compared against the uniform counter fill:
+    // the gap is the price of popularity-biased negatives.
+    {
+        let mut b = TripletBatcher::new(
+            UserSampler::explorative(x, 0.8),
+            PopularityNegativeSampler::new(x, 0.75),
+            BATCH,
+            42,
+        );
+        let mut next = 0u64;
+        let (ns, n) = best_ns(reps, || {
+            let mut drawn = 0;
+            for _ in 0..BATCHES_PER_PASS {
+                drawn += b.fill(x, next).len();
+                next += 1;
+            }
+            drawn
+        });
+        variants.push(Variant {
+            name: "popularity_serial",
+            ns_per_pass: ns,
+            triplets: n,
+        });
+    }
+
+    // 4. Counter-keyed, slot ranges fanned across the pool.
     {
         let pool = WorkerPool::with_threads(0);
         let mut b = make_batcher();
@@ -159,7 +189,7 @@ fn main() {
         });
     }
 
-    // 4 & 5. Sampling + simulated training, without and with the prefetch
+    // 5 & 6. Sampling + simulated training, without and with the prefetch
     // overlap (the end-to-end view: prefetch hides the fill behind the
     // gradient work).
     {
@@ -208,6 +238,11 @@ fn main() {
         .find(|v| v.name == "train_no_prefetch")
         .map(|v| v.ns_per_pass)
         .unwrap_or(f64::NAN);
+    let counter_base = variants
+        .iter()
+        .find(|v| v.name == "counter_serial")
+        .map(|v| v.ns_per_pass)
+        .unwrap_or(f64::NAN);
     let mut art = BenchArtifact::open("sampling_pipeline", "BENCH_sampling.json", smoke);
     if threads == 1 {
         art.note(
@@ -220,10 +255,14 @@ fn main() {
     let _ = writeln!(json, "  \"batches_per_pass\": {BATCHES_PER_PASS},");
     json.push_str("  \"variants\": [\n");
     for (idx, v) in variants.iter().enumerate() {
-        // Fill-only variants compare against the StdRng fill; the two
-        // train-loop variants compare against each other.
+        // Fill-only variants compare against the StdRng fill; the
+        // popularity fill (a different sampler, not a faster path)
+        // compares against the uniform counter fill; the two train-loop
+        // variants compare against each other.
         let reference = if v.name.starts_with("train") {
             overlap_base
+        } else if v.name == "popularity_serial" {
+            counter_base
         } else {
             base
         };

@@ -1,0 +1,275 @@
+//! Traffic-simulation bench for the `mars-serve` service layer: open-loop
+//! Poisson-ish arrivals against a live [`RecService`], sweeping offered
+//! load and the micro-batching knobs, recording throughput and
+//! p50/p99/p999 latency.
+//!
+//! Run with `cargo bench --bench service`. Results are printed as a table
+//! and written to `BENCH_service.json` at the workspace root (same shape
+//! as the other BENCH artifacts). Set `SERVICE_BENCH_SMOKE=1` (CI) to run
+//! the same measurement loop in check mode — a fraction of the requests,
+//! enough to prove the harness and every load/batching combination,
+//! without overwriting the recorded artifact.
+//!
+//! Methodology: arrival times are a fixed schedule drawn once per combo
+//! from `CounterRng` (exponential inter-arrival gaps at the offered
+//! rate), replayed by a small pool of client threads in round-robin.
+//! Latency is measured from a request's **scheduled arrival** to its
+//! response — so queueing delay from an overloaded service (or a client
+//! thread still blocked on its previous request) counts against the
+//! tail, which is what an open-loop load test is for. Offered loads are
+//! set relative to the calibrated single-thread exact-scan capacity, so
+//! the sweep brackets saturation on any machine.
+
+use mars_bench::{BenchArtifact, LatencyPercentiles};
+use mars_core::{MarsConfig, MultiFacetModel};
+use mars_data::ItemId;
+use mars_runtime::CounterRng;
+use mars_serve::{RecRequest, RecService, RetrievalScratch, Retriever, ServiceConfig};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Catalogue size of the served snapshot (the serving bench's scale).
+const CATALOG: usize = 4_000;
+const USERS: usize = 512;
+/// Items returned per query.
+const K: usize = 10;
+/// Seen-history length per user.
+const SEEN: usize = 40;
+/// Client threads replaying the arrival schedule.
+const CLIENTS: usize = 8;
+
+/// Offered load as a fraction of the calibrated single-thread capacity:
+/// comfortable, near-saturation, and past it.
+const LOADS: [f64; 3] = [0.5, 0.8, 1.1];
+
+struct BatchConfig {
+    name: &'static str,
+    max_batch: usize,
+    max_wait: Duration,
+}
+
+struct Row {
+    config: &'static str,
+    max_batch: usize,
+    max_wait_us: u64,
+    load: f64,
+    offered_qps: f64,
+    achieved_qps: f64,
+    requests: usize,
+    lat: LatencyPercentiles,
+}
+
+/// Uniform tick in [0, 1) — 53 mantissa bits of one counter draw.
+fn u01(rng: &mut CounterRng) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Sleep-then-spin until `deadline` (sleep undershoots by a safety
+/// margin, the spin closes the gap — scheduler wakeup jitter otherwise
+/// dwarfs sub-millisecond inter-arrival gaps).
+fn wait_until(deadline: Instant) {
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        let remaining = deadline - now;
+        if remaining > Duration::from_micros(800) {
+            thread::sleep(remaining - Duration::from_micros(500));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Replays `schedule` against `service` with round-robin clients; returns
+/// (achieved qps, per-request latencies in ns, scheduled order).
+fn run_open_loop(
+    service: &RecService<MultiFacetModel>,
+    requests: &[RecRequest],
+    schedule: &[Duration],
+) -> (f64, Vec<f64>) {
+    let n = requests.len();
+    let start = Instant::now() + Duration::from_millis(5); // line up the clients
+    let mut results: Vec<(Vec<f64>, Instant)> = Vec::new();
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(n / CLIENTS + 1);
+                    let mut last = start;
+                    for i in (c..n).step_by(CLIENTS) {
+                        let arrival = start + schedule[i];
+                        wait_until(arrival);
+                        let resp = service.retrieve(&requests[i]).expect("service alive");
+                        black_box(resp.len());
+                        let done = Instant::now();
+                        lat.push(done.saturating_duration_since(arrival).as_nanos() as f64);
+                        last = done;
+                    }
+                    (lat, last)
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("client panicked"));
+        }
+    });
+    let last_done = results.iter().map(|(_, t)| *t).max().unwrap_or(start);
+    let wall = last_done.saturating_duration_since(start).as_secs_f64();
+    let latencies: Vec<f64> = results.into_iter().flat_map(|(l, _)| l).collect();
+    let achieved = latencies.len() as f64 / wall.max(1e-9);
+    (achieved, latencies)
+}
+
+fn main() {
+    let smoke = BenchArtifact::smoke_from_env("SERVICE_BENCH_SMOKE");
+    let requests_per_combo = if smoke { 120 } else { 4_000 };
+    let threads = mars_runtime::resolve_threads(0);
+
+    // An untrained MARS snapshot scores exactly like a trained one.
+    let model = MultiFacetModel::new(MarsConfig::mars(4, 32), USERS, CATALOG);
+    println!(
+        "service: catalogue {CATALOG} items, K=4 facets × dim 32, top-{K}, \
+         {SEEN} seen/user, {CLIENTS} clients, {requests_per_combo} requests/combo; \
+         {threads} threads detected"
+    );
+
+    // Per-user sorted seen histories and the request pool.
+    let seen: Vec<Arc<[ItemId]>> = (0..USERS)
+        .map(|u| {
+            (0..SEEN)
+                .map(|i| ((u * 131 + i * 97) % CATALOG) as ItemId)
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect::<Vec<_>>()
+                .into()
+        })
+        .collect();
+    let requests: Vec<RecRequest> = (0..requests_per_combo)
+        .map(|i| {
+            let u = i * 13 % USERS;
+            RecRequest::top_k(u as u32, K).excluding(Arc::clone(&seen[u]))
+        })
+        .collect();
+
+    // Calibrate the single-thread exact-scan capacity (the direct-call
+    // path the service wraps): best-of pass over a query sample.
+    let retriever = Retriever::new(model, CATALOG);
+    let base_ns = {
+        let mut scratch = RetrievalScratch::new();
+        let mut out = Vec::new();
+        let sample = &requests[..requests.len().min(64)];
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let t = Instant::now();
+            for req in sample {
+                retriever.retrieve_ranked_into(&req.as_query(), &mut scratch, &mut out);
+                black_box(out.len());
+            }
+            best = best.min(t.elapsed().as_nanos() as f64 / sample.len() as f64);
+        }
+        best
+    };
+    let base_qps = 1e9 / base_ns;
+    println!(
+        "calibration: {base_ns:.0} ns/query single-thread exact scan \
+         ({base_qps:.0} qps capacity)"
+    );
+
+    let configs = [
+        BatchConfig {
+            name: "no_batching",
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+        },
+        BatchConfig {
+            name: "batch32_wait200us",
+            max_batch: 32,
+            max_wait: Duration::from_micros(200),
+        },
+    ];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (ci, cfg) in configs.iter().enumerate() {
+        for (li, &load) in LOADS.iter().enumerate() {
+            let offered_qps = base_qps * load;
+            // One fixed arrival schedule per combo, exponential gaps.
+            let mut rng = CounterRng::keyed(0x5E21, (ci * LOADS.len() + li) as u64);
+            let mut at = 0.0f64; // seconds
+            let schedule: Vec<Duration> = (0..requests_per_combo)
+                .map(|_| {
+                    let gap = -(1.0 - u01(&mut rng)).ln() / offered_qps;
+                    at += gap;
+                    Duration::from_secs_f64(at)
+                })
+                .collect();
+            let service = RecService::start(
+                retriever.clone(),
+                ServiceConfig {
+                    queue_depth: 1024,
+                    max_batch: cfg.max_batch,
+                    max_wait: cfg.max_wait,
+                    threads: 0,
+                },
+            );
+            let (achieved_qps, mut latencies) = run_open_loop(&service, &requests, &schedule);
+            let lat = LatencyPercentiles::from_ns(&mut latencies);
+            println!(
+                "{:<18} load {:>3.1}x  offered {:>7.0} qps  achieved {:>7.0} qps  \
+                 p50 {:>9.0} ns  p99 {:>10.0} ns  p999 {:>10.0} ns",
+                cfg.name, load, offered_qps, achieved_qps, lat.p50_ns, lat.p99_ns, lat.p999_ns
+            );
+            rows.push(Row {
+                config: cfg.name,
+                max_batch: cfg.max_batch,
+                max_wait_us: cfg.max_wait.as_micros() as u64,
+                load,
+                offered_qps,
+                achieved_qps,
+                requests: requests_per_combo,
+                lat,
+            });
+        }
+    }
+
+    let mut art = BenchArtifact::open("service", "BENCH_service.json", smoke);
+    if threads == 1 {
+        art.note(
+            "1-core machine: clients, dispatcher, and the fan-out pool share \
+             one core, so micro-batching cannot add parallel speedup here — \
+             it only amortizes dispatch; the batching win materializes on \
+             multicore",
+        );
+    }
+    let json = art.body();
+    let _ = writeln!(json, "  \"catalog_items\": {CATALOG},");
+    let _ = writeln!(json, "  \"k\": {K},");
+    let _ = writeln!(json, "  \"seen_per_user\": {SEEN},");
+    let _ = writeln!(json, "  \"clients\": {CLIENTS},");
+    let _ = writeln!(json, "  \"requests_per_combo\": {requests_per_combo},");
+    let _ = writeln!(json, "  \"base_single_thread_ns_per_query\": {base_ns:.0},");
+    json.push_str("  \"results\": [\n");
+    for (idx, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"config\": \"{}\", \"max_batch\": {}, \"max_wait_us\": {}, \
+             \"offered_load\": {:.2}, \"offered_qps\": {:.0}, \"achieved_qps\": {:.0}, \
+             \"requests\": {}, {}}}{}",
+            r.config,
+            r.max_batch,
+            r.max_wait_us,
+            r.load,
+            r.offered_qps,
+            r.achieved_qps,
+            r.requests,
+            r.lat.json_fields(),
+            if idx + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n");
+    art.finish();
+}

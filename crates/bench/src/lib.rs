@@ -394,6 +394,61 @@ impl BenchArtifact {
     }
 }
 
+/// Latency percentiles over one variant's recorded samples, in the shared
+/// artifact schema: every bench that records per-request latencies emits
+/// the same `p50_ns`/`p99_ns`/`p999_ns`/`max_ns` fields through
+/// [`LatencyPercentiles::json_fields`] instead of hand-rolling histograms.
+///
+/// Percentiles use the nearest-rank definition (`⌈q·n⌉`-th smallest): no
+/// interpolation, so a reported value is always a latency that actually
+/// occurred.
+#[derive(Clone, Copy, Debug)]
+pub struct LatencyPercentiles {
+    /// Median latency in nanoseconds.
+    pub p50_ns: f64,
+    /// 99th percentile.
+    pub p99_ns: f64,
+    /// 99.9th percentile.
+    pub p999_ns: f64,
+    /// Worst observed sample.
+    pub max_ns: f64,
+    /// Number of samples summarized.
+    pub samples: usize,
+}
+
+impl LatencyPercentiles {
+    /// Summarizes `samples_ns` (sorted in place; `f64::total_cmp`, so NaN
+    /// poisoning sorts last instead of breaking the order).
+    ///
+    /// # Panics
+    /// If `samples_ns` is empty.
+    pub fn from_ns(samples_ns: &mut [f64]) -> Self {
+        assert!(
+            !samples_ns.is_empty(),
+            "LatencyPercentiles over zero samples"
+        );
+        samples_ns.sort_by(f64::total_cmp);
+        let n = samples_ns.len();
+        let pick = |q: f64| samples_ns[((q * n as f64).ceil() as usize).max(1).min(n) - 1];
+        Self {
+            p50_ns: pick(0.50),
+            p99_ns: pick(0.99),
+            p999_ns: pick(0.999),
+            max_ns: samples_ns[n - 1],
+            samples: n,
+        }
+    }
+
+    /// The shared JSON fields (no surrounding braces), for embedding in a
+    /// bench's per-variant result row.
+    pub fn json_fields(&self) -> String {
+        format!(
+            "\"p50_ns\": {:.0}, \"p99_ns\": {:.0}, \"p999_ns\": {:.0}, \"max_ns\": {:.0}",
+            self.p50_ns, self.p99_ns, self.p999_ns, self.max_ns
+        )
+    }
+}
+
 /// Harness-default training budget per scale: generous enough for the
 /// ordering between models to stabilize, small enough for the whole Table II
 /// run to finish in minutes.
@@ -451,6 +506,29 @@ mod tests {
         art.finish();
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_unit_test.json");
         assert!(!std::path::Path::new(path).exists());
+    }
+
+    #[test]
+    fn latency_percentiles_nearest_rank() {
+        // 1..=1000 ns: nearest-rank percentiles are exact ranks.
+        let mut samples: Vec<f64> = (1..=1000).rev().map(|v| v as f64).collect();
+        let p = LatencyPercentiles::from_ns(&mut samples);
+        assert_eq!(p.p50_ns, 500.0);
+        assert_eq!(p.p99_ns, 990.0);
+        assert_eq!(p.p999_ns, 999.0);
+        assert_eq!(p.max_ns, 1000.0);
+        assert_eq!(p.samples, 1000);
+        // Tiny sample counts clamp to real samples (never out of range).
+        let mut tiny = vec![7.0, 3.0];
+        let t = LatencyPercentiles::from_ns(&mut tiny);
+        assert_eq!(t.p50_ns, 3.0);
+        assert_eq!(t.p99_ns, 7.0);
+        assert_eq!(t.p999_ns, 7.0);
+        assert_eq!(t.max_ns, 7.0);
+        let json = t.json_fields();
+        assert!(json.contains("\"p50_ns\": 3"));
+        assert!(json.contains("\"max_ns\": 7"));
+        assert!(!json.contains('{'));
     }
 
     #[test]

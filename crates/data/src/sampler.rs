@@ -64,13 +64,38 @@ impl NegativeSampler for UniformNegativeSampler {
     }
 }
 
-/// Popularity-smoothed negatives: items drawn ∝ `deg(v)^β`, rejected if
-/// positive. Harder negatives (popular items the user skipped) sharpen
+/// Popularity-smoothed negatives: items drawn ∝ `(deg(v)+1)^β`, rejected
+/// if positive. Harder negatives (popular items the user skipped) sharpen
 /// ranking; exposed for the ablation bench.
+///
+/// Two draw paths share one weight vector:
+///
+/// * **Alias rejection** (the common case): one O(1) [`AliasTable`] draw,
+///   retried a handful of times. On sparse data the first try almost
+///   always survives the positive check.
+/// * **Exact complement draw** (the fallback): the prefix-sum table
+///   `cum` is *split at the user's positives* — the complement of a
+///   sorted positive list is a union of contiguous id ranges, each with
+///   mass `cum[end] − cum[start]` — and one uniform tick lands in one
+///   range, then a binary search inside it finds the item. This is an
+///   **exact** draw from the popularity distribution restricted to the
+///   user's negatives (the pre-PR 7 fallback degraded to *uniform*
+///   negatives for hyper-active users, silently flattening the
+///   distribution exactly where rejection stalls), costs O(deg + log n),
+///   and always terminates.
 #[derive(Clone, Debug)]
 pub struct PopularityNegativeSampler {
     table: AliasTable,
+    /// `cum[v]` = total weight of items `< v` (`cum[n]` = grand total),
+    /// in f64 so catalogue-scale sums keep item-level resolution.
+    cum: Vec<f64>,
 }
+
+/// Alias-rejection tries before switching to the exact complement draw.
+/// Small: each miss costs two RNG ticks, and the fallback is exact — the
+/// only reason to retry at all is that an alias draw is cheaper than the
+/// O(deg) positive-mass scan.
+const POPULARITY_REJECTION_TRIES: usize = 8;
 
 impl PopularityNegativeSampler {
     /// Builds the sampler over the training interactions with exponent
@@ -79,12 +104,74 @@ impl PopularityNegativeSampler {
         let weights: Vec<f32> = x
             .item_degrees_f32()
             .iter()
-            // +1 smoothing keeps never-interacted items reachable.
+            // +1 smoothing keeps never-interacted items reachable (and
+            // every weight strictly positive, which the complement draw's
+            // range masses rely on).
             .map(|&d| (d + 1.0).powf(beta))
             .collect();
+        let mut cum = Vec::with_capacity(weights.len() + 1);
+        let mut acc = 0.0f64;
+        cum.push(0.0);
+        for &w in &weights {
+            acc += w as f64;
+            cum.push(acc);
+        }
         Self {
             table: AliasTable::new(&weights),
+            cum,
         }
+    }
+
+    /// Exact draw ∝ weight over the complement of the sorted positive
+    /// list: walk the complement's contiguous ranges accumulating mass
+    /// until the target tick lands, then binary-search inside the range.
+    fn sample_complement<R: Rng + ?Sized>(
+        &self,
+        positives: &[ItemId],
+        n: usize,
+        rng: &mut R,
+    ) -> ItemId {
+        let w_pos: f64 = positives
+            .iter()
+            .map(|&p| self.cum[p as usize + 1] - self.cum[p as usize])
+            .sum();
+        let w_neg = self.cum[n] - w_pos;
+        // One tick in [0, w_neg): 53 uniform mantissa bits.
+        let r = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) * w_neg;
+
+        let mut acc = 0.0f64;
+        let mut start = 0usize;
+        let mut last_range: Option<(usize, usize)> = None;
+        for end in positives
+            .iter()
+            .map(|&p| p as usize)
+            .chain(std::iter::once(n))
+        {
+            if start < end {
+                let mass = self.cum[end] - self.cum[start];
+                if acc + mass > r {
+                    // Smallest v in [start, end) with cum[v+1] > target.
+                    let target = self.cum[start] + (r - acc);
+                    let (mut lo, mut hi) = (start, end - 1);
+                    while lo < hi {
+                        let mid = (lo + hi) / 2;
+                        if self.cum[mid + 1] > target {
+                            hi = mid;
+                        } else {
+                            lo = mid + 1;
+                        }
+                    }
+                    return lo as ItemId;
+                }
+                acc += mass;
+                last_range = Some((start, end));
+            }
+            start = end + 1;
+        }
+        // Float residue (r within rounding error of w_neg): the last item
+        // of the last non-empty range — callers guarantee one exists.
+        let (_, end) = last_range.expect("complement draw over a saturated user");
+        (end - 1) as ItemId
     }
 }
 
@@ -95,18 +182,20 @@ impl NegativeSampler for PopularityNegativeSampler {
         u: UserId,
         rng: &mut R,
     ) -> Option<ItemId> {
-        if x.user_degree(u) >= x.num_items() {
+        let n = x.num_items();
+        if x.user_degree(u) >= n {
             return None;
         }
-        for _ in 0..64 {
+        for _ in 0..POPULARITY_REJECTION_TRIES {
             let v = self.table.sample(rng) as ItemId;
             if !x.contains(u, v) {
                 return Some(v);
             }
         }
-        // Popular-item rejection can stall for hyper-active users; fall back
-        // to uniform which is guaranteed to terminate.
-        UniformNegativeSampler.sample_negative(x, u, rng)
+        // Rejection stalled (popular items dominate this user's history):
+        // draw exactly from the popularity distribution over the
+        // complement instead.
+        Some(self.sample_complement(x.items_of(u), n, rng))
     }
 }
 
@@ -292,6 +381,80 @@ mod tests {
         // Item 1 has degree 1, item 4 degree 0 — item 1 should be sampled
         // roughly 2x as often ((1+1)/(0+1) with beta=1).
         assert!(count0 > count4, "{count0} vs {count4}");
+    }
+
+    #[test]
+    fn popularity_dense_user_always_finds_the_single_negative() {
+        // All but one of 500 items positive: alias rejection virtually
+        // never survives, so the exact complement draw carries the load —
+        // and must return the unique negative every time.
+        let n = 500u32;
+        let missing = 137u32;
+        let mut pairs: Vec<(UserId, ItemId)> =
+            (0..n).filter(|&v| v != missing).map(|v| (0, v)).collect();
+        // A second user gives items non-trivial degrees.
+        pairs.extend((0..20).map(|v| (1, v)));
+        let x = Interactions::from_pairs(2, n as usize, &pairs);
+        let s = PopularityNegativeSampler::new(&x, 0.75);
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..300 {
+            assert_eq!(s.sample_negative(&x, 0, &mut rng), Some(missing));
+        }
+    }
+
+    #[test]
+    fn popularity_complement_draw_keeps_the_popularity_ratio() {
+        // A user dense enough that the fallback dominates, with exactly
+        // two negatives of very different popularity: the empirical ratio
+        // must match the weight ratio — the exact-draw property the old
+        // uniform fallback violated (it would return ~50/50).
+        let n = 64u32;
+        let (hot, cold) = (10u32, 40u32);
+        let mut pairs: Vec<(UserId, ItemId)> = (0..n)
+            .filter(|&v| v != hot && v != cold)
+            .map(|v| (0, v))
+            .collect();
+        // 9 other users interact with `hot`; nobody touches `cold`.
+        pairs.extend((1..10).map(|u| (u, hot)));
+        let x = Interactions::from_pairs(10, n as usize, &pairs);
+        let beta = 1.0;
+        let s = PopularityNegativeSampler::new(&x, beta);
+        let mut rng = StdRng::seed_from_u64(22);
+        let (mut n_hot, mut n_cold) = (0u32, 0u32);
+        for _ in 0..30_000 {
+            match s.sample_negative(&x, 0, &mut rng) {
+                Some(v) if v == hot => n_hot += 1,
+                Some(v) if v == cold => n_cold += 1,
+                other => panic!("impossible negative {other:?}"),
+            }
+        }
+        // weight(hot) = (9+1)^1 = 10, weight(cold) = (0+1)^1 = 1.
+        let ratio = n_hot as f64 / n_cold as f64;
+        assert!((ratio - 10.0).abs() < 1.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn popularity_complement_draw_covers_scattered_ranges() {
+        // Positives scattered so the complement is many short ranges —
+        // every draw must land in the complement, and all of it is
+        // reachable.
+        let n = 40u32;
+        let pairs: Vec<(UserId, ItemId)> = (0..n)
+            .filter(|&v| v % 3 != 1) // positives: 0,2,3,5,6,8,…
+            .map(|v| (0, v))
+            .collect();
+        let x = Interactions::from_pairs(1, n as usize, &pairs);
+        let s = PopularityNegativeSampler::new(&x, 0.5);
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5_000 {
+            let v = s.sample_negative(&x, 0, &mut rng).unwrap();
+            assert!(!x.contains(0, v), "positive {v} drawn");
+            assert_eq!(v % 3, 1);
+            seen.insert(v);
+        }
+        // All 13 negatives (1, 4, 7, …, 37) reachable.
+        assert_eq!(seen.len(), (0..n).filter(|v| v % 3 == 1).count());
     }
 
     #[test]

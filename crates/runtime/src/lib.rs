@@ -84,8 +84,10 @@ use std::sync::atomic::{AtomicPtr, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, Thread};
 
+pub mod oneshot;
 pub mod rng;
 
+pub use oneshot::OneShotSlot;
 pub use rng::CounterRng;
 
 /// Resolves a configured worker-thread count: `0` means "all available

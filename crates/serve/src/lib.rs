@@ -63,17 +63,35 @@
 //! reproduces the exact scan bit-for-bit); nothing changes for retrievers
 //! that never opt in, and candidate-restricted queries always take the
 //! exact path.
+//!
+//! ## Serving under load (the [`service`] module)
+//!
+//! Everything above is a synchronous library call. [`RecService`] is the
+//! online front-end over it: concurrent callers submit owned
+//! [`RecRequest`]s onto a bounded queue, a dispatcher thread coalesces
+//! whatever is waiting into micro-batches ([`ServiceConfig::max_batch`] /
+//! [`ServiceConfig::max_wait`]) and fans each batch across a worker pool
+//! with [`Retriever::retrieve_batch`], and a [`SnapshotCell`] lets a
+//! trainer atomically publish a new snapshot (model + index together)
+//! while the old one serves. Coalescing is response-invisible — every
+//! answer is bit-identical to a direct [`Retriever::retrieve`] against
+//! the same snapshot — and every batch is served against exactly one
+//! coherent snapshot; see the [`service`] module docs for both contracts.
 
 pub mod index;
 pub mod order;
 pub mod query;
 pub mod retriever;
+pub mod service;
 pub mod topk;
 
 pub use index::{CellStore, IndexEmbeddings, IndexMetric, IvfConfig, IvfIndex, IvfMode};
 pub use order::rank_cmp;
 pub use query::{RecQuery, RecResponse};
 pub use retriever::{rank_into, RetrievalScratch, Retriever, DEFAULT_CHUNK_ITEMS};
+pub use service::{
+    RecRequest, RecService, ServiceConfig, ServiceError, SnapshotCell, SnapshotReader,
+};
 pub use topk::full_sort_top_k;
 
 // Doc-link target for the crate-level docs.

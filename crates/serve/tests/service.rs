@@ -1,0 +1,244 @@
+//! Service-layer contracts, end to end:
+//!
+//! 1. **Coalescing bit-identity** — responses served through the queued,
+//!    micro-batched [`RecService`] are bit-identical to direct
+//!    [`Retriever::retrieve`] calls against the same snapshot, for every
+//!    worker count 1..=8, several `max_batch`/`max_wait` configurations,
+//!    and adversarial arrival interleavings (staggered submitter threads).
+//! 2. **Snapshot coherence under hot-swap** — with a publisher thread
+//!    swapping tagged snapshots mid-traffic, every response matches the
+//!    reference ranking of **exactly one** tag (never a torn mix), and a
+//!    request issued after the last publish sees the final tag.
+
+use mars_data::{ItemId, UserId};
+use mars_metrics::Scorer;
+use mars_runtime::CounterRng;
+use mars_serve::{RecRequest, RecService, Retriever, ServiceConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Structureless deterministic scorer keyed by an epoch tag: two tags
+/// give unrelated score surfaces, so a response computed against one
+/// snapshot can never accidentally equal another tag's ranking (the
+/// tests assert that precondition on the references themselves).
+struct Tagged {
+    tag: u64,
+}
+
+impl Scorer for Tagged {
+    fn score(&self, user: UserId, item: ItemId) -> f32 {
+        let mut h = ((user as u64) << 32 | item as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ self.tag.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        (h % 10_000) as f32 / 10_000.0
+    }
+}
+
+fn bits(v: &[(ItemId, f32)]) -> Vec<(ItemId, u32)> {
+    v.iter().map(|&(i, s)| (i, s.to_bits())).collect()
+}
+
+const CATALOG: usize = 180;
+const K: usize = 10;
+
+fn seen_list() -> Vec<ItemId> {
+    (0..CATALOG as ItemId).filter(|v| v % 7 == 0).collect()
+}
+
+#[test]
+fn coalesced_responses_are_bit_identical_to_direct_retrieval() {
+    const USERS: u32 = 96;
+    const SUBMITTERS: usize = 4;
+    const REQUESTS_PER_SUBMITTER: usize = 32;
+
+    let seen: Arc<[ItemId]> = seen_list().into();
+    let reference = Retriever::new(Tagged { tag: 0 }, CATALOG);
+    let expected: Vec<Vec<(ItemId, u32)>> = (0..USERS)
+        .map(|u| {
+            let req = RecRequest::top_k(u, K).excluding(Arc::clone(&seen));
+            bits(&reference.retrieve(&req.as_query()).ranked)
+        })
+        .collect();
+    let expected = Arc::new(expected);
+
+    // (max_batch, max_wait): no coalescing, partial batches with a short
+    // window, a window big enough to usually fill, and a huge batch with
+    // a zero window (drain-only).
+    let configs = [
+        (1usize, Duration::ZERO),
+        (3, Duration::from_micros(50)),
+        (8, Duration::from_micros(200)),
+        (32, Duration::ZERO),
+    ];
+    for workers in 1..=8usize {
+        for (ci, &(max_batch, max_wait)) in configs.iter().enumerate() {
+            let service = Arc::new(RecService::start(
+                Retriever::new(Tagged { tag: 0 }, CATALOG),
+                ServiceConfig {
+                    queue_depth: 64,
+                    max_batch,
+                    max_wait,
+                    threads: workers,
+                },
+            ));
+            let handles: Vec<_> = (0..SUBMITTERS)
+                .map(|t| {
+                    let service = Arc::clone(&service);
+                    let seen = Arc::clone(&seen);
+                    let expected = Arc::clone(&expected);
+                    thread::spawn(move || {
+                        // Deterministic pseudo-random stagger so arrivals
+                        // interleave differently per (worker, config, thread).
+                        let mut rng = CounterRng::keyed(0xC0A1, (workers * 64 + ci * 8 + t) as u64);
+                        for i in 0..REQUESTS_PER_SUBMITTER {
+                            for _ in 0..rng.gen_below(2_000) {
+                                std::hint::spin_loop();
+                            }
+                            let u = ((t * REQUESTS_PER_SUBMITTER + i) as u32 * 13) % USERS;
+                            let req = RecRequest::top_k(u, K).excluding(Arc::clone(&seen));
+                            let got = service.retrieve(&req).expect("service alive");
+                            assert_eq!(got.user, u);
+                            assert_eq!(
+                                bits(&got.ranked),
+                                expected[u as usize],
+                                "user {u} diverged at workers={workers} \
+                                 max_batch={max_batch} max_wait={max_wait:?}"
+                            );
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("submitter panicked");
+            }
+        }
+    }
+}
+
+#[test]
+fn hot_swap_never_serves_a_torn_snapshot() {
+    const USERS: u32 = 24;
+    const TAGS: u64 = 5; // snapshot versions 0..=4
+    const CLIENTS: usize = 3;
+    /// New completions the publisher waits for between swaps — guarantees
+    /// a deterministic minimum of responses served per epoch.
+    const COMPLETIONS_PER_EPOCH: u64 = 16;
+
+    let seen: Arc<[ItemId]> = seen_list().into();
+    // refs[tag][user] = the ranking snapshot `tag` must produce.
+    let refs: Vec<Vec<Vec<(ItemId, u32)>>> = (0..TAGS)
+        .map(|tag| {
+            let r = Retriever::new(Tagged { tag }, CATALOG);
+            (0..USERS)
+                .map(|u| {
+                    let req = RecRequest::top_k(u, K).excluding(Arc::clone(&seen));
+                    bits(&r.retrieve(&req.as_query()).ranked)
+                })
+                .collect()
+        })
+        .collect();
+    // Precondition for "matches exactly one tag" to be meaningful: the
+    // per-user references of different tags are pairwise distinct.
+    for a in 0..TAGS as usize {
+        for b in a + 1..TAGS as usize {
+            for (u, (ra, rb)) in refs[a].iter().zip(&refs[b]).enumerate() {
+                assert_ne!(ra, rb, "tags {a}/{b} collide for user {u}");
+            }
+        }
+    }
+    let refs = Arc::new(refs);
+
+    for workers in [1usize, 2, 4, 8] {
+        let service = Arc::new(RecService::start(
+            Retriever::new(Tagged { tag: 0 }, CATALOG),
+            ServiceConfig {
+                queue_depth: 64,
+                max_batch: 8,
+                max_wait: Duration::from_micros(100),
+                threads: workers,
+            },
+        ));
+        let completed = Arc::new(AtomicU64::new(0));
+        let done = Arc::new(AtomicBool::new(false));
+        // matched[tag]: responses consistent with that tag.
+        let matched: Arc<Vec<AtomicU64>> = Arc::new((0..TAGS).map(|_| AtomicU64::new(0)).collect());
+
+        let publisher = {
+            let service = Arc::clone(&service);
+            let completed = Arc::clone(&completed);
+            let done = Arc::clone(&done);
+            thread::spawn(move || {
+                for tag in 1..TAGS {
+                    let floor = tag * COMPLETIONS_PER_EPOCH;
+                    while completed.load(Ordering::Acquire) < floor {
+                        thread::yield_now();
+                    }
+                    let version = service.publish(Retriever::new(Tagged { tag }, CATALOG));
+                    assert_eq!(version, tag);
+                }
+                done.store(true, Ordering::Release);
+            })
+        };
+
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|t| {
+                let service = Arc::clone(&service);
+                let seen = Arc::clone(&seen);
+                let refs = Arc::clone(&refs);
+                let completed = Arc::clone(&completed);
+                let done = Arc::clone(&done);
+                let matched = Arc::clone(&matched);
+                thread::spawn(move || {
+                    let mut i = 0u32;
+                    while !done.load(Ordering::Acquire) {
+                        let u = (i * 7 + t as u32) % USERS;
+                        i += 1;
+                        let req = RecRequest::top_k(u, K).excluding(Arc::clone(&seen));
+                        let got = bits(&service.retrieve(&req).expect("service alive").ranked);
+                        let hits: Vec<usize> = (0..TAGS as usize)
+                            .filter(|&tag| refs[tag][u as usize] == got)
+                            .collect();
+                        assert_eq!(
+                            hits.len(),
+                            1,
+                            "response for user {u} matches {} tags at {workers} workers — \
+                             torn or stale-beyond-history snapshot",
+                            hits.len()
+                        );
+                        matched[hits[0]].fetch_add(1, Ordering::Relaxed);
+                        completed.fetch_add(1, Ordering::Release);
+                    }
+                })
+            })
+            .collect();
+
+        publisher.join().expect("publisher panicked");
+        for c in clients {
+            c.join().expect("client panicked");
+        }
+
+        // A request formed after the last publish must serve the final tag.
+        let u = 5u32;
+        let req = RecRequest::top_k(u, K).excluding(Arc::clone(&seen));
+        let last = bits(&service.retrieve(&req).expect("service alive").ranked);
+        assert_eq!(
+            last,
+            refs[(TAGS - 1) as usize][u as usize],
+            "post-swap request did not see the final snapshot at {workers} workers"
+        );
+
+        // Epoch floors make ≥16 completions land before the first swap,
+        // so tag 0 must have been observed; the final request pinned the
+        // last tag. Every response matched exactly one epoch.
+        assert!(
+            matched[0].load(Ordering::Relaxed) > 0,
+            "no tag-0 responses observed at {workers} workers"
+        );
+        let total: u64 = matched.iter().map(|m| m.load(Ordering::Relaxed)).sum();
+        assert_eq!(total, completed.load(Ordering::Acquire));
+    }
+}
