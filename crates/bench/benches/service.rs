@@ -24,7 +24,10 @@ use mars_bench::{BenchArtifact, LatencyPercentiles};
 use mars_core::{MarsConfig, MultiFacetModel};
 use mars_data::ItemId;
 use mars_runtime::CounterRng;
-use mars_serve::{RecRequest, RecService, RetrievalScratch, Retriever, ServiceConfig};
+use mars_serve::{
+    DegradeConfig, IvfConfig, RecRequest, RecService, RetrievalScratch, Retriever, ServiceConfig,
+    ServiceError, ServingSnapshot,
+};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::sync::Arc;
@@ -49,6 +52,10 @@ struct BatchConfig {
     name: &'static str,
     max_batch: usize,
     max_wait: Duration,
+    /// Guarded mode: load-shedding submits (`try_retrieve`), a per-request
+    /// deadline, and an IVF degradation ladder behind the snapshot — the
+    /// fault-tolerance layer under the same open-loop traffic.
+    guarded: bool,
 }
 
 struct Row {
@@ -59,6 +66,10 @@ struct Row {
     offered_qps: f64,
     achieved_qps: f64,
     requests: usize,
+    served: usize,
+    shed: u64,
+    deadline_dropped: u64,
+    degraded_served: u64,
     lat: LatencyPercentiles,
 }
 
@@ -86,12 +97,16 @@ fn wait_until(deadline: Instant) {
 }
 
 /// Replays `schedule` against `service` with round-robin clients; returns
-/// (achieved qps, per-request latencies in ns, scheduled order).
+/// (achieved qps over served requests, per-served-request latencies in ns,
+/// served count). Unguarded mode blocks (`retrieve`, every request must
+/// serve); guarded mode sheds (`try_retrieve`) and tolerates the typed
+/// rejections — those resolve the caller but record no latency.
 fn run_open_loop(
     service: &RecService<MultiFacetModel>,
     requests: &[RecRequest],
     schedule: &[Duration],
-) -> (f64, Vec<f64>) {
+    guarded: bool,
+) -> (f64, Vec<f64>, usize) {
     let n = requests.len();
     let start = Instant::now() + Duration::from_millis(5); // line up the clients
     let mut results: Vec<(Vec<f64>, Instant)> = Vec::new();
@@ -104,10 +119,21 @@ fn run_open_loop(
                     for i in (c..n).step_by(CLIENTS) {
                         let arrival = start + schedule[i];
                         wait_until(arrival);
-                        let resp = service.retrieve(&requests[i]).expect("service alive");
-                        black_box(resp.len());
+                        let outcome = if guarded {
+                            service.try_retrieve(&requests[i])
+                        } else {
+                            service.retrieve(&requests[i])
+                        };
                         let done = Instant::now();
-                        lat.push(done.saturating_duration_since(arrival).as_nanos() as f64);
+                        match outcome {
+                            Ok(resp) => {
+                                black_box(resp.len());
+                                lat.push(done.saturating_duration_since(arrival).as_nanos() as f64);
+                            }
+                            Err(ServiceError::Overloaded | ServiceError::DeadlineExceeded)
+                                if guarded => {} // typed rejection: counted via stats
+                            Err(e) => panic!("open loop hit unexpected error {e:?}"),
+                        }
                         last = done;
                     }
                     (lat, last)
@@ -121,8 +147,9 @@ fn run_open_loop(
     let last_done = results.iter().map(|(_, t)| *t).max().unwrap_or(start);
     let wall = last_done.saturating_duration_since(start).as_secs_f64();
     let latencies: Vec<f64> = results.into_iter().flat_map(|(l, _)| l).collect();
-    let achieved = latencies.len() as f64 / wall.max(1e-9);
-    (achieved, latencies)
+    let served = latencies.len();
+    let achieved = served as f64 / wall.max(1e-9);
+    (achieved, latencies, served)
 }
 
 fn main() {
@@ -185,11 +212,23 @@ fn main() {
             name: "no_batching",
             max_batch: 1,
             max_wait: Duration::ZERO,
+            guarded: false,
         },
         BatchConfig {
             name: "batch32_wait200us",
             max_batch: 32,
             max_wait: Duration::from_micros(200),
+            guarded: false,
+        },
+        // The fault-tolerance layer under the same traffic: load-shedding
+        // submits, a 10 ms deadline, and an IVF degradation ladder. At the
+        // 1.1x overload point this is where the shed / deadline-drop /
+        // degraded counts in the artifact come from.
+        BatchConfig {
+            name: "guarded_batch32",
+            max_batch: 32,
+            max_wait: Duration::from_micros(200),
+            guarded: true,
         },
     ];
 
@@ -207,21 +246,51 @@ fn main() {
                     Duration::from_secs_f64(at)
                 })
                 .collect();
-            let service = RecService::start(
-                retriever.clone(),
-                ServiceConfig {
-                    queue_depth: 1024,
-                    max_batch: cfg.max_batch,
-                    max_wait: cfg.max_wait,
-                    threads: 0,
+            // Guarded mode runs a small admission queue: with CLIENTS
+            // blocking callers, backlog is bounded by the client count, so
+            // shed/degrade thresholds must sit inside that range to ever
+            // engage — a deep queue would just absorb the whole open loop.
+            let service_config = ServiceConfig {
+                queue_depth: if cfg.guarded { CLIENTS / 2 } else { 1024 },
+                max_batch: cfg.max_batch,
+                max_wait: cfg.max_wait,
+                threads: 0,
+                default_deadline: cfg.guarded.then(|| Duration::from_millis(2)),
+                degrade: DegradeConfig {
+                    high_backlog: CLIENTS / 2,
+                    low_backlog: 1,
+                    step_down_after: 2,
+                    step_up_after: 8,
+                    ..DegradeConfig::default()
                 },
-            );
-            let (achieved_qps, mut latencies) = run_open_loop(&service, &requests, &schedule);
+                ..ServiceConfig::default()
+            };
+            let service = if cfg.guarded {
+                RecService::start(
+                    ServingSnapshot::ivf_ladder(retriever.clone(), IvfConfig::default()),
+                    service_config,
+                )
+            } else {
+                RecService::start(retriever.clone(), service_config)
+            };
+            let (achieved_qps, mut latencies, served) =
+                run_open_loop(&service, &requests, &schedule, cfg.guarded);
+            let stats = service.stats();
             let lat = LatencyPercentiles::from_ns(&mut latencies);
             println!(
                 "{:<18} load {:>3.1}x  offered {:>7.0} qps  achieved {:>7.0} qps  \
-                 p50 {:>9.0} ns  p99 {:>10.0} ns  p999 {:>10.0} ns",
-                cfg.name, load, offered_qps, achieved_qps, lat.p50_ns, lat.p99_ns, lat.p999_ns
+                 p50 {:>9.0} ns  p99 {:>10.0} ns  p999 {:>10.0} ns  \
+                 shed {:>4}  ddl {:>4}  degr {:>4}",
+                cfg.name,
+                load,
+                offered_qps,
+                achieved_qps,
+                lat.p50_ns,
+                lat.p99_ns,
+                lat.p999_ns,
+                stats.shed,
+                stats.deadline_dropped,
+                stats.degraded_served
             );
             rows.push(Row {
                 config: cfg.name,
@@ -231,6 +300,10 @@ fn main() {
                 offered_qps,
                 achieved_qps,
                 requests: requests_per_combo,
+                served,
+                shed: stats.shed,
+                deadline_dropped: stats.deadline_dropped,
+                degraded_served: stats.degraded_served,
                 lat,
             });
         }
@@ -258,7 +331,8 @@ fn main() {
             json,
             "    {{\"config\": \"{}\", \"max_batch\": {}, \"max_wait_us\": {}, \
              \"offered_load\": {:.2}, \"offered_qps\": {:.0}, \"achieved_qps\": {:.0}, \
-             \"requests\": {}, {}}}{}",
+             \"requests\": {}, \"served\": {}, \"shed\": {}, \"deadline_dropped\": {}, \
+             \"degraded_served\": {}, {}}}{}",
             r.config,
             r.max_batch,
             r.max_wait_us,
@@ -266,6 +340,10 @@ fn main() {
             r.offered_qps,
             r.achieved_qps,
             r.requests,
+            r.served,
+            r.shed,
+            r.deadline_dropped,
+            r.degraded_served,
             r.lat.json_fields(),
             if idx + 1 < rows.len() { "," } else { "" }
         );

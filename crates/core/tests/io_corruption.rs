@@ -1,0 +1,165 @@
+//! Exhaustive corruption matrix for the `MARSMDL2` snapshot format.
+//!
+//! A crash-safe snapshot format earns its keep at the *decode* boundary:
+//! any torn write (truncation at an arbitrary byte — including exactly at
+//! a section boundary) and any storage bit-rot (a single flipped bit
+//! anywhere in the file) must surface as a typed [`SnapshotError`], never
+//! as `Ok` with silently wrong weights, never as a panic, and never as an
+//! untyped I/O error. This suite proves it by brute force on a model
+//! small enough to enumerate:
+//!
+//! * **Truncation**: every strict prefix of a valid file fails to load.
+//! * **Bit flips**: every single-bit flip of a valid file fails to load
+//!   (CRC-32 detects all single-bit errors; the trailer and the strict
+//!   EOF probe cover the length axis).
+//! * **Compatibility**: a legacy `MARSMDL1` file still loads, bit-equal.
+//! * **Determinism**: save → load → save reproduces the bytes exactly.
+
+use mars_core::io::{self, SnapshotError};
+use mars_core::{MarsConfig, MultiFacetModel, Scratch};
+use mars_data::batch::Triplet;
+use mars_metrics::Scorer;
+use std::path::PathBuf;
+
+/// A small trained model: 4 users x 6 items, MARS-direct, 2 facets, dim 3
+/// — a full v2 file of a few hundred bytes, so the per-bit matrix stays
+/// cheap.
+fn small_model() -> (MarsConfig, MultiFacetModel) {
+    let cfg = MarsConfig::mars(2, 3);
+    let mut m = MultiFacetModel::new(cfg.clone(), 4, 6);
+    let mut s = Scratch::new(2, 3);
+    for t in 0..40u32 {
+        m.train_triplet(
+            Triplet {
+                user: t % 4,
+                positive: t % 6,
+                negative: (t + 3) % 6,
+            },
+            0.5,
+            0.05,
+            &mut s,
+        );
+    }
+    (cfg, m)
+}
+
+fn tmpfile(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("mars-io-matrix-{}-{name}", std::process::id()))
+}
+
+fn model_bits(m: &MultiFacetModel) -> Vec<u32> {
+    let mut out = Vec::new();
+    for u in 0..4u32 {
+        for i in 0..6u32 {
+            out.push(m.score(u, i).to_bits());
+        }
+    }
+    out
+}
+
+/// Loads `bytes` as a snapshot by way of a scratch file.
+fn load_bytes(
+    cfg: &MarsConfig,
+    bytes: &[u8],
+    name: &str,
+) -> Result<MultiFacetModel, SnapshotError> {
+    let path = tmpfile(name);
+    std::fs::write(&path, bytes).unwrap();
+    let r = io::load(cfg.clone(), &path);
+    let _ = std::fs::remove_file(&path);
+    r
+}
+
+#[test]
+fn every_truncation_is_detected_and_typed() {
+    let (cfg, model) = small_model();
+    let path = tmpfile("trunc.mdl");
+    io::save(&model, &path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert!(bytes.len() > 100, "matrix expects a non-trivial file");
+
+    for len in 0..bytes.len() {
+        match load_bytes(&cfg, &bytes[..len], "trunc-case.mdl") {
+            Ok(_) => panic!(
+                "truncation to {len}/{} bytes loaded successfully",
+                bytes.len()
+            ),
+            // Which typed error depends on where the cut lands (mid-magic,
+            // mid-section, exactly on a boundary, inside the trailer) —
+            // but it must be a *decode* verdict, not a raw I/O error.
+            Err(SnapshotError::Io(e)) => {
+                panic!("truncation to {len} bytes leaked an untyped I/O error: {e}")
+            }
+            Err(_) => {}
+        }
+    }
+}
+
+#[test]
+fn every_single_bit_flip_is_detected() {
+    let (cfg, model) = small_model();
+    let path = tmpfile("flip.mdl");
+    io::save(&model, &path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+
+    for byte in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut corrupt = bytes.clone();
+            corrupt[byte] ^= 1 << bit;
+            match load_bytes(&cfg, &corrupt, "flip-case.mdl") {
+                Ok(_) => panic!("bit {bit} of byte {byte} flipped without detection"),
+                Err(SnapshotError::Io(e)) => {
+                    panic!("flip at byte {byte} leaked an untyped I/O error: {e}")
+                }
+                Err(_) => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn appended_garbage_is_rejected() {
+    let (cfg, model) = small_model();
+    let path = tmpfile("tail.mdl");
+    io::save(&model, &path).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    bytes.push(0);
+    // One spare byte past the trailer: the strict EOF probe must refuse —
+    // a "snapshot" with trailing junk is not the file `save` wrote.
+    assert!(
+        load_bytes(&cfg, &bytes, "tail-case.mdl").is_err(),
+        "trailing garbage must fail the EOF probe"
+    );
+}
+
+#[test]
+fn legacy_v1_snapshot_loads_bit_equal_under_the_v2_loader() {
+    let (cfg, model) = small_model();
+    let path = tmpfile("legacy.mdl");
+    io::save_legacy(&model, &path).unwrap();
+    let loaded = io::load(cfg, &path).expect("v1 must stay loadable");
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(model_bits(&model), model_bits(&loaded));
+}
+
+#[test]
+fn save_load_save_is_byte_identical() {
+    let (cfg, model) = small_model();
+    let a = tmpfile("ident-a.mdl");
+    let b = tmpfile("ident-b.mdl");
+    io::save(&model, &a).unwrap();
+    let loaded = io::load(cfg, &a).unwrap();
+    io::save(&loaded, &b).unwrap();
+    let bytes_a = std::fs::read(&a).unwrap();
+    let bytes_b = std::fs::read(&b).unwrap();
+    let _ = std::fs::remove_file(&a);
+    let _ = std::fs::remove_file(&b);
+    assert_eq!(
+        bytes_a, bytes_b,
+        "a round-tripped snapshot must re-save identically"
+    );
+    assert_eq!(model_bits(&model), model_bits(&loaded));
+}

@@ -81,6 +81,21 @@ impl<T> OneShotSlot<T> {
     /// called from the constructing thread (the one `unpark` targets),
     /// at most once.
     pub fn wait(&self) -> T {
+        self.wait_bounded(None)
+    }
+
+    /// [`wait`](Self::wait) with a bounded park interval: past `wake_by`,
+    /// the thread re-checks the slot at a coarse cadence instead of
+    /// parking indefinitely.
+    ///
+    /// This does **not** time out — it cannot: the filler holds a raw
+    /// pointer to this slot's stack frame, so abandoning the wait before
+    /// the fill would be a use-after-free. The deadline's *semantics* live
+    /// with the producer (e.g. the service dispatcher completes expired
+    /// requests with a typed error at dequeue time); this bound only
+    /// guards the waiter against a lost wakeup once its deadline has
+    /// passed and the producer's fill is imminent.
+    pub fn wait_bounded(&self, wake_by: Option<std::time::Instant>) -> T {
         debug_assert_eq!(
             thread::current().id(),
             self.waiter.id(),
@@ -92,7 +107,20 @@ impl<T> OneShotSlot<T> {
                 spins += 1;
                 std::hint::spin_loop();
             } else {
-                thread::park();
+                match wake_by {
+                    None => thread::park(),
+                    Some(deadline) => {
+                        let now = std::time::Instant::now();
+                        let slice = if now < deadline {
+                            deadline - now
+                        } else {
+                            // Past deadline: the fill is the producer's
+                            // (imminent) responsibility; poll coarsely.
+                            std::time::Duration::from_millis(1)
+                        };
+                        thread::park_timeout(slice);
+                    }
+                }
             }
         }
         // SAFETY: FULL acquired ⇒ the filler's write happens-before this

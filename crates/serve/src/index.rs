@@ -462,9 +462,16 @@ impl IvfScratch {
 /// as a plain `fn` pointer inside the [`Retriever`](crate::Retriever), so
 /// the generic `S: Scorer` retrieval surface can route through it without
 /// widening its own bounds.
+///
+/// `nprobe` / `mode` are parameters (not read off the index) so several
+/// retrievers — e.g. the rungs of a serving degradation ladder — can probe
+/// one shared index at different fidelity without cloning its stores.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn ivf_search<S: IndexEmbeddings + ?Sized>(
     model: &S,
     index: &IvfIndex,
+    nprobe: usize,
+    mode: IvfMode,
     chunk_items: usize,
     query: &RecQuery<'_>,
     scratch: &mut RetrievalScratch,
@@ -493,7 +500,7 @@ pub(crate) fn ivf_search<S: IndexEmbeddings + ?Sized>(
     let chunk = chunk_items.max(1);
     let survives = |v: ItemId| query.seen.binary_search(&v).is_err();
 
-    match index.mode {
+    match mode {
         IvfMode::ExactRescore => {
             // Union of probed cells across facets, deduped by epoch stamp.
             for f in 0..index.facets {
@@ -502,7 +509,7 @@ pub(crate) fn ivf_search<S: IndexEmbeddings + ?Sized>(
                 let probe = fx.rank_cells(
                     index.metric,
                     &ivf.q,
-                    index.nprobe,
+                    nprobe,
                     &mut ivf.cscores,
                     &mut ivf.crank,
                 );
@@ -528,7 +535,7 @@ pub(crate) fn ivf_search<S: IndexEmbeddings + ?Sized>(
                 let probe = fx.rank_cells(
                     index.metric,
                     &ivf.q,
-                    index.nprobe,
+                    nprobe,
                     &mut ivf.cscores,
                     &mut ivf.crank,
                 );

@@ -77,7 +77,16 @@
 //! answer is bit-identical to a direct [`Retriever::retrieve`] against
 //! the same snapshot — and every batch is served against exactly one
 //! coherent snapshot; see the [`service`] module docs for both contracts.
+//!
+//! The service is additionally **fault-tolerant**: per-request deadlines
+//! dropped at dequeue, a hysteresis degradation ladder over
+//! [`ServingSnapshot`] rungs, and a supervised dispatcher that survives
+//! scorer panics under a bounded restart budget — the [`service`] module
+//! docs specify each guarantee, and the [`fault`] module provides the
+//! deterministic fault-injection harness ([`FaultScorer`]) the chaos
+//! tests drive them with.
 
+pub mod fault;
 pub mod index;
 pub mod order;
 pub mod query;
@@ -85,12 +94,14 @@ pub mod retriever;
 pub mod service;
 pub mod topk;
 
+pub use fault::{Fault, FaultConfig, FaultScorer};
 pub use index::{CellStore, IndexEmbeddings, IndexMetric, IvfConfig, IvfIndex, IvfMode};
 pub use order::rank_cmp;
 pub use query::{RecQuery, RecResponse};
 pub use retriever::{rank_into, RetrievalScratch, Retriever, DEFAULT_CHUNK_ITEMS};
 pub use service::{
-    RecRequest, RecService, ServiceConfig, ServiceError, SnapshotCell, SnapshotReader,
+    DegradeConfig, RecRequest, RecService, ServiceConfig, ServiceError, ServiceStats,
+    ServingSnapshot, SnapshotCell, SnapshotReader,
 };
 pub use topk::full_sort_top_k;
 

@@ -68,6 +68,11 @@ pub struct RecResponse {
     pub user: UserId,
     /// Up to `k` `(item, score)` pairs in rank order.
     pub ranked: Vec<(ItemId, f32)>,
+    /// `true` iff the serving layer answered from a reduced-fidelity rung
+    /// of its degradation ladder (see `service::ServingSnapshot`). Always
+    /// `false` for direct [`Retriever`](crate::Retriever) calls — those
+    /// compute exactly what was asked.
+    pub degraded: bool,
 }
 
 impl RecResponse {

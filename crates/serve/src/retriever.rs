@@ -1,7 +1,7 @@
 //! The retrieval engine: chunked catalogue scan → bounded-heap selection,
 //! single-query and batched.
 
-use crate::index::{IndexEmbeddings, IvfConfig, IvfIndex, IvfScratch};
+use crate::index::{IndexEmbeddings, IvfConfig, IvfIndex, IvfMode, IvfScratch};
 use crate::query::{RecQuery, RecResponse};
 use crate::topk;
 use mars_data::ItemId;
@@ -157,18 +157,35 @@ pub struct Retriever<S: ?Sized> {
 /// bounds (and keeps `Clone` a cheap `Arc` + pointer copy).
 struct IvfHandle<S: ?Sized> {
     index: Arc<IvfIndex>,
+    /// Cells probed per facet — initialized from the index's build-time
+    /// value, overridable per retriever ([`Retriever::with_probe`]) so
+    /// several retrievers can share one index at different fidelity.
+    nprobe: usize,
+    /// Probe mode, same per-retriever override discipline as `nprobe`.
+    mode: IvfMode,
     search: IvfSearchFn<S>,
 }
 
 /// The monomorphized probe routine an [`IvfHandle`] stores: the arguments
-/// of [`Retriever::retrieve_ranked_into`] plus the index and chunk size.
-type IvfSearchFn<S> =
-    fn(&S, &IvfIndex, usize, &RecQuery<'_>, &mut RetrievalScratch, &mut Vec<(ItemId, f32)>);
+/// of [`Retriever::retrieve_ranked_into`] plus the index, the handle's
+/// `nprobe`/`mode` overrides, and the chunk size.
+type IvfSearchFn<S> = fn(
+    &S,
+    &IvfIndex,
+    usize,
+    IvfMode,
+    usize,
+    &RecQuery<'_>,
+    &mut RetrievalScratch,
+    &mut Vec<(ItemId, f32)>,
+);
 
 impl<S: ?Sized> Clone for IvfHandle<S> {
     fn clone(&self) -> Self {
         Self {
             index: Arc::clone(&self.index),
+            nprobe: self.nprobe,
+            mode: self.mode,
             search: self.search,
         }
     }
@@ -245,6 +262,9 @@ impl<S: Scorer + ?Sized> Retriever<S> {
         RecResponse {
             user: query.user,
             ranked,
+            // A direct retrieval computes exactly what was asked; only the
+            // service's degradation ladder ever flips this.
+            degraded: false,
         }
     }
 
@@ -265,6 +285,8 @@ impl<S: Scorer + ?Sized> Retriever<S> {
                 (h.search)(
                     self.model.as_ref(),
                     &h.index,
+                    h.nprobe,
+                    h.mode,
                     self.chunk_items,
                     query,
                     scratch,
@@ -286,6 +308,23 @@ impl<S: Scorer + ?Sized> Retriever<S> {
     /// The attached IVF index, if any.
     pub fn index(&self) -> Option<&Arc<IvfIndex>> {
         self.ivf.as_ref().map(|h| &h.index)
+    }
+
+    /// Overrides the probe fidelity of the attached index **for this
+    /// retriever only** (`nprobe` min 1; no-op without an index). The
+    /// index stores are shared untouched — this is how a degradation
+    /// ladder stacks several fidelity rungs over one index build.
+    pub fn with_probe(mut self, nprobe: usize, mode: IvfMode) -> Self {
+        if let Some(h) = &mut self.ivf {
+            h.nprobe = nprobe.max(1);
+            h.mode = mode;
+        }
+        self
+    }
+
+    /// The `(nprobe, mode)` this retriever probes with, if it has an index.
+    pub fn probe(&self) -> Option<(usize, IvfMode)> {
+        self.ivf.as_ref().map(|h| (h.nprobe, h.mode))
     }
 
     /// Detaches any IVF index: back to the exact full scan.
@@ -317,6 +356,8 @@ impl<S: IndexEmbeddings + ?Sized> Retriever<S> {
             "IVF index built for a different catalogue"
         );
         self.ivf = Some(IvfHandle {
+            nprobe: index.nprobe(),
+            mode: index.mode(),
             index,
             search: crate::index::ivf_search::<S>,
         });

@@ -83,6 +83,7 @@ fn coalesced_responses_are_bit_identical_to_direct_retrieval() {
                     max_batch,
                     max_wait,
                     threads: workers,
+                    ..ServiceConfig::default()
                 },
             ));
             let handles: Vec<_> = (0..SUBMITTERS)
@@ -160,6 +161,7 @@ fn hot_swap_never_serves_a_torn_snapshot() {
                 max_batch: 8,
                 max_wait: Duration::from_micros(100),
                 threads: workers,
+                ..ServiceConfig::default()
             },
         ));
         let completed = Arc::new(AtomicU64::new(0));

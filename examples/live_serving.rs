@@ -14,7 +14,7 @@
 //! lists step cleanly from version to version — never a torn mix of two
 //! epochs.
 
-use mars_repro::core::{MarsConfig, MultiFacetModel, Trainer};
+use mars_repro::core::{io, MarsConfig, MultiFacetModel, Trainer};
 use mars_repro::data::{SyntheticConfig, SyntheticDataset};
 use mars_repro::serve::{RecRequest, RecService, Retriever, ServiceConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -67,18 +67,29 @@ fn main() {
         //    micro-batch; in-flight batches finish on the old snapshot.
         scope.spawn(|| {
             let trainer = Trainer::new(cfg.clone());
+            let snapshot_path =
+                std::env::temp_dir().join(format!("live-serving-{}.mdl", std::process::id()));
             let mut model = model.clone();
             for stage in 1..=STAGES {
                 let outcome = trainer.fit_from(model, d);
                 model = outcome.model;
                 let loss = outcome.history.last().map_or(f32::NAN, |s| s.mean_loss);
-                let version = service.publish(Retriever::new(model.clone(), d.num_items()));
+                // Publish through durable storage, exactly as a restart
+                // would: write the crash-safe MARSMDL2 snapshot (per-section
+                // CRCs, atomic temp-file + fsync + rename publish), read it
+                // back, and serve the *reloaded* weights. A torn or
+                // corrupted file would fail `load` with a typed error here
+                // instead of ever reaching `publish`.
+                io::save(&model, &snapshot_path).expect("snapshot save");
+                let reloaded = io::load(cfg.clone(), &snapshot_path).expect("snapshot reload");
+                let version = service.publish(Retriever::new(reloaded, d.num_items()));
                 println!(
                     "trainer: stage {stage}/{STAGES} done (epoch {:>2}, loss {loss:.4}) \
-                     → published snapshot v{version}",
+                     → persisted + published snapshot v{version}",
                     stage * EPOCHS_PER_STAGE
                 );
             }
+            let _ = std::fs::remove_file(&snapshot_path);
             done.store(true, Ordering::Release);
         });
 
