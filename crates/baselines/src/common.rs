@@ -164,6 +164,10 @@ fn make_batcher(
     negatives_per_slot: usize,
     seed: u64,
 ) -> TripletBatcher<UniformNegativeSampler> {
+    // Every baseline engine funnels through here: route the counter-stream
+    // fills through the vectorized splitmix64 kernel (bit-identical to the
+    // scalar fallback — pure throughput).
+    mars_tensor::simd::install_rng_kernel();
     TripletBatcher::with_negatives(
         UserSampler::uniform(x),
         UniformNegativeSampler,

@@ -13,6 +13,13 @@
 //! artifact is the point. The serial-`StdRng` baseline is an inline replica
 //! of the pre-PR 4 `TripletBatcher::next_batch` draw loop (the code itself
 //! was deleted), kept here the way the kernel bench keeps the scalar tier.
+//!
+//! The `train_no_prefetch` variant additionally *attributes* its pass:
+//! sample ns vs (simulated) train ns per batch, written to the artifact as
+//! `sampling_phase` — so future PRs can see where the bottleneck sits
+//! without re-deriving it from variant deltas. Like the engines, the bench
+//! installs the vectorized splitmix64 fill kernel up front; the counter
+//! variants measure the shipped configuration.
 
 use mars_bench::BenchArtifact;
 use mars_data::batch::{FillMode, TripletBatcher, TripletStream};
@@ -49,23 +56,29 @@ fn best_ns(reps: usize, mut pass: impl FnMut() -> usize) -> (f64, usize) {
 }
 
 /// The pre-PR 4 reference: every triplet from one sequential `StdRng`
-/// stream, with the old skip-and-redraw loop.
-fn serial_stdrng_pass(x: &Interactions, sampler: &UserSampler, rng: &mut StdRng) -> usize {
+/// stream, with the old skip-and-redraw loop, materialized into a reused
+/// batch buffer — the deleted `next_batch` returned a `Vec` of triplets,
+/// so the replica must pay for building one, like the counter variants do.
+fn serial_stdrng_pass(
+    x: &Interactions,
+    sampler: &UserSampler,
+    rng: &mut StdRng,
+    batch: &mut Vec<(u32, u32, u32)>,
+) -> usize {
     let neg = UniformNegativeSampler;
     let mut drawn = 0usize;
     for _ in 0..BATCHES_PER_PASS {
-        let mut filled = 0usize;
+        batch.clear();
         let mut attempts = 0usize;
-        while filled < BATCH && attempts < BATCH * 64 {
+        while batch.len() < BATCH && attempts < BATCH * 64 {
             attempts += 1;
             let u = sampler.sample(rng);
             let vp = sample_positive(x, u, rng);
             if let Some(vq) = neg.sample_negative(x, u, rng) {
-                black_box((u, vp, vq));
-                filled += 1;
+                batch.push((u, vp, vq));
             }
         }
-        drawn += filled;
+        drawn += black_box(&*batch).len();
     }
     drawn
 }
@@ -88,6 +101,8 @@ struct Variant {
 }
 
 fn main() {
+    // Same fill path the engines run: vectorized splitmix64 blocks.
+    mars_tensor::simd::install_rng_kernel();
     let smoke = BenchArtifact::smoke_from_env("SAMPLING_BENCH_SMOKE");
     let reps = if smoke { 2 } else { 60 };
     let threads = mars_runtime::resolve_threads(0);
@@ -111,11 +126,28 @@ fn main() {
     };
     let mut variants: Vec<Variant> = Vec::new();
 
+    // Untimed global warm-up: variants run in sequence, so without it the
+    // first one is measured on a cold, boost-clocked core and the rest at
+    // steady-state — an ordering bias larger than the effects this bench
+    // exists to resolve.
+    {
+        let sampler = UserSampler::explorative(x, 0.8);
+        let mut rng = StdRng::seed_from_u64(43);
+        let mut batch = Vec::new();
+        let spins = if smoke { 1 } else { 40 };
+        for _ in 0..spins {
+            black_box(serial_stdrng_pass(x, &sampler, &mut rng, &mut batch));
+        }
+    }
+
     // 1. The deleted serial StdRng stream (reference).
     {
         let sampler = UserSampler::explorative(x, 0.8);
         let mut rng = StdRng::seed_from_u64(43);
-        let (ns, n) = best_ns(reps, || serial_stdrng_pass(x, &sampler, &mut rng));
+        let mut batch = Vec::new();
+        let (ns, n) = best_ns(reps, || {
+            serial_stdrng_pass(x, &sampler, &mut rng, &mut batch)
+        });
         variants.push(Variant {
             name: "serial_stdrng",
             ns_per_pass: ns,
@@ -191,24 +223,42 @@ fn main() {
 
     // 5 & 6. Sampling + simulated training, without and with the prefetch
     // overlap (the end-to-end view: prefetch hides the fill behind the
-    // gradient work).
+    // gradient work). The no-prefetch pass times the two phases separately
+    // to attribute cost (the per-batch `Instant` reads are ~ns against a
+    // ~100µs batch).
+    let mut sampling_phase = (f64::NAN, f64::NAN); // (sample, train) ns/batch
     {
         let mut b = make_batcher();
         let mut next = 0u64;
-        let (ns, n) = best_ns(reps, || {
-            let mut drawn = 0;
+        let mut pass = |sample_ns: &mut f64, train_ns: &mut f64| {
+            let mut drawn = 0usize;
             for _ in 0..BATCHES_PER_PASS {
+                let t = Instant::now();
                 let batch = b.fill(x, next).len();
+                *sample_ns += t.elapsed().as_nanos() as f64;
                 next += 1;
+                let t = Instant::now();
                 black_box(fake_train(batch));
+                *train_ns += t.elapsed().as_nanos() as f64;
                 drawn += batch;
             }
             drawn
-        });
+        };
+        let (mut s, mut t) = (0f64, 0f64);
+        let mut drawn = pass(&mut s, &mut t); // warm-up
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let (mut s, mut t) = (0f64, 0f64);
+            drawn = pass(&mut s, &mut t);
+            if s + t < best {
+                best = s + t;
+                sampling_phase = (s / BATCHES_PER_PASS as f64, t / BATCHES_PER_PASS as f64);
+            }
+        }
         variants.push(Variant {
             name: "train_no_prefetch",
-            ns_per_pass: ns,
-            triplets: n,
+            ns_per_pass: best,
+            triplets: drawn,
         });
     }
     {
@@ -246,13 +296,31 @@ fn main() {
     let mut art = BenchArtifact::open("sampling_pipeline", "BENCH_sampling.json", smoke);
     if threads == 1 {
         art.note(
-            "1-core machine: the pool-parallel fill and the prefetch overlap \
-             degenerate to serial execution; their speedups materialize on multicore",
+            "1-core machine: the pool-parallel fill degenerates to serial execution, \
+             and FillMode::Prefetch degrades to the inline serial fill (train_prefetch \
+             measures the degraded path, so it should track train_no_prefetch); the \
+             overlap speedups materialize on multicore",
         );
     }
     let json = art.body();
     let _ = writeln!(json, "  \"batch_size\": {BATCH},");
     let _ = writeln!(json, "  \"batches_per_pass\": {BATCHES_PER_PASS},");
+    let (sample_ns, train_ns) = sampling_phase;
+    let _ = writeln!(
+        json,
+        "  \"sampling_phase\": {{\"sample_ns_per_batch\": {:.0}, \"train_ns_per_batch\": {:.0}, \
+         \"sampling_share\": {:.3}}},",
+        sample_ns,
+        train_ns,
+        sample_ns / (sample_ns + train_ns)
+    );
+    println!(
+        "train_no_prefetch attribution: {:.0} ns sampling + {:.0} ns training per batch \
+         ({:.1}% sampling)",
+        sample_ns,
+        train_ns,
+        100.0 * sample_ns / (sample_ns + train_ns)
+    );
     json.push_str("  \"variants\": [\n");
     for (idx, v) in variants.iter().enumerate() {
         // Fill-only variants compare against the StdRng fill; the

@@ -143,6 +143,11 @@ impl Trainer {
             };
         }
 
+        // Route the batcher's counter-stream fills through the vectorized
+        // splitmix64 kernel (bit-identical to the scalar fallback — a
+        // throughput knob, not a stream change).
+        mars_tensor::simd::install_rng_kernel();
+
         let margins = compute_margins(x, cfg.margin, cfg.min_margin);
         let user_sampler = match cfg.user_sampling {
             UserSampling::Uniform => UserSampler::uniform(x),

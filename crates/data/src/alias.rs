@@ -6,8 +6,19 @@
 //! of samples per epoch from a distribution that never changes during
 //! training. The alias method pays an O(n) build once and then answers every
 //! draw with one uniform index and one biased coin flip.
+//!
+//! Every draw consumes exactly two 64-bit words — one for the bucket index
+//! (mapped through the workspace's shared [`lemire_map`] reduction), one for
+//! the coin — so [`AliasTable::sample_block`] can pull whole word blocks
+//! from a [`DrawStream`] and decide buckets in a tight loop.
 
-use rand::Rng;
+use crate::draws::{DrawStream, DRAW_BLOCK};
+use mars_runtime::rng::lemire_map;
+use rand::RngCore;
+
+/// Outcomes decided per block round in [`AliasTable::sample_block`]: half a
+/// word block, since each outcome consumes two words.
+const ALIAS_BLOCK: usize = DRAW_BLOCK / 2;
 
 /// A prebuilt alias table over `n` outcomes.
 #[derive(Clone, Debug)]
@@ -89,11 +100,40 @@ impl AliasTable {
         self.prob.is_empty()
     }
 
-    /// Draws one outcome index.
+    /// Draws one outcome index (consumes exactly two words).
     #[inline]
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let i = rng.gen_range(0..self.len());
-        if rng.gen::<f32>() < self.prob[i] {
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        let index_word = rng.next_u64();
+        let coin_word = rng.next_u64();
+        self.decide(index_word, coin_word)
+    }
+
+    /// Draws `out.len()` outcome indices from `rng`'s stream, two words per
+    /// outcome, in blocks — equivalent to repeated [`AliasTable::sample`]
+    /// over the same stream.
+    pub fn sample_block(&self, rng: &mut DrawStream, out: &mut [u32]) {
+        let mut words = [0u64; 2 * ALIAS_BLOCK];
+        for chunk in out.chunks_mut(ALIAS_BLOCK) {
+            let words = &mut words[..2 * chunk.len()];
+            rng.fill_words(words);
+            for (j, o) in chunk.iter_mut().enumerate() {
+                *o = self.decide(words[2 * j], words[2 * j + 1]) as u32;
+            }
+        }
+    }
+
+    /// Resolves one bucket from its two raw words: Lemire-mapped index, then
+    /// the biased coin. The coin reproduces the 24-bit `[0, 1)` float the
+    /// samplers historically flipped (`rand`'s standard `f32`: high 32 bits
+    /// of the word, top 24 kept), so acceptance thresholds behave
+    /// identically. `pub(crate)` so the batcher's fused slot fast path can
+    /// decide straight from pre-mixed words — same logic, same words as
+    /// [`Self::sample`].
+    #[inline]
+    pub(crate) fn decide(&self, index_word: u64, coin_word: u64) -> usize {
+        let i = lemire_map(index_word, self.len() as u64) as usize;
+        let coin = ((coin_word >> 32) as u32 >> 8) as f32 * (1.0 / (1u32 << 24) as f32);
+        if coin < self.prob[i] {
             i
         } else {
             self.alias[i] as usize
@@ -157,6 +197,24 @@ mod tests {
         let freq = empirical(&table, 90_000, 4);
         for f in freq {
             assert!((f - 1.0 / 3.0).abs() < 0.01, "{f}");
+        }
+    }
+
+    #[test]
+    fn block_draws_match_scalar_draws_over_one_stream() {
+        use crate::draws::DrawStream;
+        use mars_runtime::rng::CounterRng;
+
+        let table = AliasTable::new(&[1.0f32, 2.0, 3.0, 4.0, 0.5]);
+        // sample_block must be a pure re-batching of sample: same stream in,
+        // same outcomes out, for lengths that cover partial final chunks.
+        for len in [1usize, 2, 3, 4, 5, 7, 8, 9, 31] {
+            let mut scalar = DrawStream::new(CounterRng::keyed(11, 5));
+            let want: Vec<u32> = (0..len).map(|_| table.sample(&mut scalar) as u32).collect();
+            let mut block = DrawStream::new(CounterRng::keyed(11, 5));
+            let mut got = vec![0u32; len];
+            table.sample_block(&mut block, &mut got);
+            assert_eq!(want, got, "len {len}");
         }
     }
 

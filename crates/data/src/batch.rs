@@ -16,9 +16,11 @@
 //! batcher is now keyed on [`mars_runtime::rng::CounterRng`], the same
 //! construction PR 3 used to decouple the evaluator's negative pre-draw:
 //!
-//! * a batch is `slots_per_batch` **slots**; slot `s` of batch `b` draws
-//!   from its own counter stream `keyed(seed, b · slots_per_batch + s)`,
-//!   independent of every other slot;
+//! * a batch is `slots_per_batch` **slots**; batch `b` owns the counter
+//!   stream `keyed(seed, b)`, and slot `s` draws from its own disjoint
+//!   view of it — the words at positions `≡ s (mod slots_per_batch)`, in
+//!   order (see the PR 9 section below) — independent of every other
+//!   slot;
 //! * one slot draws one user (via [`UserSampler`], 1–2 ticks), one positive
 //!   (1 tick) and `negatives_per_slot` negatives, emitting one triplet per
 //!   negative (all sharing the slot's user and positive) — the multi-negative
@@ -43,12 +45,40 @@
 //! sets): the reproducibility contract is "bit-identical runs for a fixed
 //! seed at any worker count, with or without prefetch", not "identical to
 //! the historical serial stream".
+//!
+//! # Block-draw pipeline (PR 9 stream bump)
+//!
+//! PR 9 rebuilt the draw path inside a slot: instead of one counter
+//! stream *per slot* (keyed `b · slots_per_batch + s`, one key mix per
+//! slot) feeding scalar `gen_range` (modulo) draws through trait
+//! dispatch, batch `b` now keys a **single** stream and slot `s` owns the
+//! words at positions `≡ s (mod slots_per_batch)` of it — a perfect
+//! partition, so slots stay mutually independent and parallel-safe with
+//! **one key mix per batch**. The payoff is layout: word `j` of *all*
+//! slots is the contiguous position range `[j·S, (j+1)·S)`, so the fill
+//! loops mix the first [`HEAD`] words of every slot with one
+//! [`CounterRng::fill_block`] call per word index — 8-wide through the
+//! installed `mars-tensor` kernel — instead of every slot serially paying
+//! the mix latency on its own critical path. Past its head a slot falls
+//! through to on-demand strided draws ([`crate::draws::DrawStream`]);
+//! range mappings all run through the shared Lemire reduction, and
+//! multi-negative slots draw in bulk via
+//! [`NegativeSampler::sample_negatives_block`]. This **changed the
+//! triplet streams again** (same precedent as above: the word positions,
+//! the modulo → Lemire remap, and block rejection all reshape the draws);
+//! the golden batches below are re-pinned accordingly. Everything the
+//! contract promises is unchanged: batch `b` is still a pure function of
+//! `(seed, b)`, bit-identical at 1..=8 workers, any chunk size, prefetch
+//! on or off.
 
+use crate::draws::{DrawStream, HEAD};
 use crate::interactions::Interactions;
-use crate::sampler::{sample_positive, NegativeSampler, UserSampler};
+use crate::sampler::{
+    positive_from_items, sample_positive, FastSingle, NegativeSampler, UserSampler,
+};
 use crate::{ItemId, UserId};
 use mars_runtime::rng::CounterRng;
-use mars_runtime::{chunk_ranges, WorkerPool};
+use mars_runtime::{chunk_ranges, resolve_threads, WorkerPool};
 use std::ops::Range;
 use std::sync::mpsc;
 
@@ -65,56 +95,15 @@ pub struct Triplet {
 /// practice a slot succeeds on the first attempt.
 const SLOT_ATTEMPTS: usize = 8;
 
-/// Draws served per [`CounterRng::fill_block`] refill of a slot's buffer.
-/// A typical slot consumes 3–4 ticks (user, positive, negatives), so one
-/// block covers a multi-negative slot; over-drawn values are discarded,
-/// which is free — the stream is a pure function of `(seed, slot)` either
-/// way.
-const SLOT_BLOCK: usize = 8;
-
-/// Adapter exposing [`CounterRng`] through the `rand` shim's
-/// [`rand::RngCore`], so the samplers (uniform `gen_range`, alias-table
-/// draws) can consume a counter-keyed stream unchanged. Draws are served
-/// from a pre-computed block ([`CounterRng::fill_block`], whose mixes
-/// pipeline instead of serializing on the counter) — the values are
-/// bit-identical to sequential `next_u64` calls, so this is purely a
-/// throughput change.
-pub struct SlotRng {
-    rng: CounterRng,
-    buf: [u64; SLOT_BLOCK],
-    pos: usize,
-}
-
-impl SlotRng {
-    /// Wraps `rng`; the first draw triggers a block fill.
-    #[inline]
-    pub fn new(rng: CounterRng) -> Self {
-        Self {
-            rng,
-            buf: [0; SLOT_BLOCK],
-            pos: SLOT_BLOCK,
-        }
-    }
-}
-
-impl rand::RngCore for SlotRng {
-    #[inline]
-    fn next_u64(&mut self) -> u64 {
-        if self.pos == SLOT_BLOCK {
-            self.rng.fill_block(&mut self.buf);
-            self.pos = 0;
-        }
-        let v = self.buf[self.pos];
-        self.pos += 1;
-        v
-    }
-}
-
 /// One filled batch: the triplets plus the slot structure over them.
 ///
 /// `slot_ends[k]` is the end offset (exclusive) of the `k`-th *successful*
 /// slot's triplets; all triplets of a slot share one `(user, positive)`
-/// pair. Pairwise engines iterate [`Self::triplets`] flat; pointwise
+/// pair. One-negative batches (the pairwise engines' configuration) leave
+/// `slot_ends` **empty** — every triplet is its own slot, so the offsets
+/// are just `1, 2, …, len` and materializing them would cost a second
+/// push on every slot of the hot fill loop; [`Self::slots`] synthesizes
+/// them. Pairwise engines iterate [`Self::triplets`] flat; pointwise
 /// engines iterate [`Self::slots`] to recover the
 /// one-positive-then-`k`-negatives sample order.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -143,12 +132,25 @@ impl TripletBatch {
     }
 
     /// The batch grouped by slot: each item is one slot's triplets (never
-    /// empty; failed slots are not recorded).
+    /// empty; failed slots are not recorded). Empty `slot_ends` is the
+    /// one-triplet-per-slot batch (see the struct docs).
     pub fn slots(&self) -> impl Iterator<Item = &[Triplet]> + '_ {
-        self.slot_ends.iter().scan(0usize, move |start, &end| {
-            let s = *start;
-            *start = end as usize;
-            Some(&self.triplets[s..end as usize])
+        let unit = self.slot_ends.is_empty();
+        let count = if unit {
+            self.triplets.len()
+        } else {
+            self.slot_ends.len()
+        };
+        let mut start = 0usize;
+        (0..count).map(move |k| {
+            let end = if unit {
+                k + 1
+            } else {
+                self.slot_ends[k] as usize
+            };
+            let s = start;
+            start = end;
+            &self.triplets[s..end]
         })
     }
 
@@ -158,59 +160,197 @@ impl TripletBatch {
     }
 }
 
-/// Draws one slot from its own counter stream into `out`. The draw order
-/// within the stream — user, positive, then negatives — is part of the
-/// pinned determinism contract (see the module docs). `base` is the
-/// hoisted [`CounterRng::stream_base`] of the batcher seed, computed once
-/// per fill instead of once per slot.
+/// Draws one slot from its stream view into `out`. The draw order within
+/// the view — user, positive, then the negatives — is part of the pinned
+/// determinism contract (see the module docs). `rng` is the slot's
+/// interleaved view of the batch stream, its head words already mixed by
+/// the caller's block fills. `scratch` is the caller's reused negative
+/// buffer.
+// Seven arguments, all routinely needed: the three sampler refs, the slot
+// stream, and the two output buffers don't group into anything more
+// meaningful than this call site.
+//
+// `inline(always)`: called once per slot from the two fill loops; out of
+// line, the call itself (argument shuffling over seven parameters) costs a
+// measurable share of a ~30 ns slot.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
 fn fill_slot<N: NegativeSampler>(
     x: &Interactions,
     user_sampler: &UserSampler,
     negative_sampler: &N,
     negatives_per_slot: usize,
-    base: u64,
-    stream: u64,
+    mut rng: DrawStream,
+    scratch: &mut Vec<ItemId>,
     out: &mut TripletBatch,
 ) {
-    let mut rng = SlotRng::new(CounterRng::keyed_from_base(base, stream));
     for _ in 0..SLOT_ATTEMPTS {
         let user = user_sampler.sample(&mut rng);
         let positive = sample_positive(x, user, &mut rng);
-        // The samplers are rejection-free given any negative exists, so
-        // `None` means this user is saturated: retry the slot with a fresh
-        // user from the same stream.
-        let Some(first) = negative_sampler.sample_negative(x, user, &mut rng) else {
-            continue;
-        };
-        out.triplets.push(Triplet {
-            user,
-            positive,
-            negative: first,
-        });
-        for _ in 1..negatives_per_slot {
-            if let Some(negative) = negative_sampler.sample_negative(x, user, &mut rng) {
-                out.triplets.push(Triplet {
-                    user,
-                    positive,
-                    negative,
-                });
+        // A single-negative slot (the pairwise engines' configuration) has
+        // no batching to exploit: take the scalar draw straight into the
+        // triplet, skipping the scratch round-trip. Multi-negative slots
+        // go through the samplers' block draw.
+        if negatives_per_slot == 1 {
+            match negative_sampler.sample_negative(x, user, &mut rng) {
+                Some(negative) => {
+                    // Unit slot: `slot_ends` stays implicit (see
+                    // `TripletBatch`).
+                    out.triplets.push(Triplet {
+                        user,
+                        positive,
+                        negative,
+                    });
+                    return;
+                }
+                // Saturated user: retry with a fresh user from the stream.
+                None => continue,
             }
+        }
+        scratch.clear();
+        negative_sampler.sample_negatives_block(x, user, negatives_per_slot, &mut rng, scratch);
+        // The block draw leaves `scratch` empty iff the user is saturated
+        // (no negative exists): retry the slot with a fresh user from the
+        // same stream.
+        if scratch.is_empty() {
+            continue;
+        }
+        for &negative in scratch.iter() {
+            out.triplets.push(Triplet {
+                user,
+                positive,
+                negative,
+            });
         }
         out.slot_ends.push(out.triplets.len() as u32);
         return;
     }
 }
 
-/// One worker's slice of a parallel fill: its contiguous slot range and the
-/// triplets those slots produced (buffers reused across batches).
+/// One worker's slice of a parallel fill: its contiguous slot range, the
+/// triplets those slots produced, and its negative-draw scratch and
+/// slot-head buffers (reused across batches).
 #[derive(Default)]
 struct FillShard {
     range: Range<usize>,
     out: TripletBatch,
+    scratch: Vec<ItemId>,
+    heads: Vec<u64>,
 }
 
-/// Samples batches of training triplets, keyed per `(batch, slot)` on
-/// [`CounterRng`] (see the module docs for the determinism contract).
+/// Mixes the head words of `len` consecutive slots starting at `first`
+/// into `heads`, word-major: `heads[j · len + i]` is head word `j` of slot
+/// `first + i`. Under the mod-`slots` partition, word `j` of those slots
+/// is the contiguous position range `j·slots + first ..` of the batch
+/// stream — one [`CounterRng::fill_block`] call per head word index,
+/// 8-wide through the installed kernel.
+fn fill_heads(batch_rng: CounterRng, first: usize, len: usize, slots: usize, heads: &mut Vec<u64>) {
+    // Sized, not cleared: every word is overwritten below, and a
+    // clear + resize would memset the whole buffer each batch.
+    if heads.len() != HEAD * len {
+        heads.resize(HEAD * len, 0);
+    }
+    for (j, row) in heads.chunks_exact_mut(len).enumerate() {
+        let mut r = batch_rng.skip((j * slots + first) as u64);
+        r.fill_block(row);
+    }
+}
+
+/// The head rows of a word-major head buffer (`heads[j · len + i]` = head
+/// word `j` of the `i`-th slot in the filled range), as one slice per head
+/// word index — each exactly as long as the slot range, so the fill loops'
+/// per-slot column gathers bounds-check-free.
+#[inline]
+fn head_rows(heads: &[u64]) -> [&[u64]; HEAD] {
+    let len = heads.len() / HEAD;
+    std::array::from_fn(|j| &heads[j * len..(j + 1) * len])
+}
+
+/// One slot of the fill loops: the fused fast path for the common slot
+/// shape (one negative, sampler with a single-word draw), falling back to
+/// the generic [`fill_slot`] over the slot's full stream view.
+///
+/// The fast path decides user, positive, and first negative try straight
+/// from the slot's pre-mixed head words — no view construction, no
+/// per-word stream bookkeeping. A miss (collision, saturated user) reruns
+/// the slot generically, which re-draws the same words in the same order:
+/// the triplet stream is identical with the fast path on or off.
+// Same argument-count story as `fill_slot`, plus the slot's words and
+// stream coordinates; grouping them into a struct would just rename the
+// call site.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn fill_one_slot<N: NegativeSampler>(
+    x: &Interactions,
+    user_sampler: &UserSampler,
+    negative_sampler: &N,
+    negatives_per_slot: usize,
+    batch_rng: CounterRng,
+    words: [u64; HEAD],
+    slot: usize,
+    slots: usize,
+    scratch: &mut Vec<ItemId>,
+    out: &mut TripletBatch,
+) {
+    // Slot `slot`'s full interleaved view: the pre-mixed head words plus a
+    // tail positioned at its first post-head word.
+    let view = || {
+        DrawStream::strided(
+            words,
+            batch_rng.skip((HEAD * slots + slot) as u64),
+            slots as u64,
+        )
+    };
+    if N::HAS_FAST_SINGLE && negatives_per_slot == 1 {
+        let (user, used) = user_sampler.fast_draw(&words);
+        let items = x.items_of(user);
+        let positive = positive_from_items(items, words[used]);
+        match negative_sampler.fast_single(x, items, words[used + 1]) {
+            FastSingle::Hit(negative) => {
+                // Unit slot: `slot_ends` stays implicit (see
+                // `TripletBatch`).
+                out.triplets.push(Triplet {
+                    user,
+                    positive,
+                    negative,
+                });
+                return;
+            }
+            // First rejection try collided: keep the user and positive,
+            // continue the rejection loop mid-view — no slot rerun.
+            FastSingle::Collision => {
+                let mut rest = view();
+                rest.skip_served(used + 2);
+                if let Some(negative) = negative_sampler.resume_single(x, items, &mut rest) {
+                    out.triplets.push(Triplet {
+                        user,
+                        positive,
+                        negative,
+                    });
+                    return;
+                }
+                // A collision implies a negative exists, so resumption
+                // cannot come up empty; if a sampler ever breaks that
+                // contract, the generic rerun below is the canonical
+                // answer (same words, same order).
+            }
+            FastSingle::NoPath => {}
+        }
+    }
+    fill_slot(
+        x,
+        user_sampler,
+        negative_sampler,
+        negatives_per_slot,
+        view(),
+        scratch,
+        out,
+    );
+}
+
+/// Samples batches of training triplets, keyed per batch on [`CounterRng`]
+/// with each slot drawing a disjoint interleaved view of the batch stream
+/// (see the module docs for the determinism contract).
 pub struct TripletBatcher<N: NegativeSampler> {
     user_sampler: UserSampler,
     negative_sampler: N,
@@ -218,6 +358,8 @@ pub struct TripletBatcher<N: NegativeSampler> {
     negatives_per_slot: usize,
     seed: u64,
     batch: TripletBatch,
+    scratch: Vec<ItemId>,
+    heads: Vec<u64>,
     shards: Vec<FillShard>,
 }
 
@@ -254,6 +396,8 @@ impl<N: NegativeSampler> TripletBatcher<N> {
             negatives_per_slot,
             seed,
             batch: TripletBatch::default(),
+            scratch: Vec::new(),
+            heads: Vec::new(),
             shards: Vec::new(),
         }
     }
@@ -274,26 +418,39 @@ impl<N: NegativeSampler> TripletBatcher<N> {
         (x.num_interactions() / self.slots_per_batch).max(1)
     }
 
-    #[inline]
-    fn stream_of(&self, batch_index: u64, slot: usize) -> u64 {
-        batch_index * self.slots_per_batch as u64 + slot as u64
-    }
-
     /// Fills batch `batch_index` serially and returns it. Calling this
     /// twice with the same index produces the identical batch; the index,
     /// not call order, selects the content.
     pub fn fill(&mut self, x: &Interactions, batch_index: u64) -> &TripletBatch {
         self.batch.clear();
         let base = CounterRng::stream_base(self.seed);
-        for slot in 0..self.slots_per_batch {
-            fill_slot(
+        let slots = self.slots_per_batch;
+        // Split borrows: the batch and scratch buffers are written while
+        // the samplers are read.
+        let TripletBatcher {
+            user_sampler,
+            negative_sampler,
+            negatives_per_slot,
+            batch,
+            scratch,
+            heads,
+            ..
+        } = self;
+        let batch_rng = CounterRng::keyed_from_base(base, batch_index);
+        fill_heads(batch_rng, 0, slots, slots, heads);
+        let rows = head_rows(heads);
+        for slot in 0..slots {
+            fill_one_slot(
                 x,
-                &self.user_sampler,
-                &self.negative_sampler,
-                self.negatives_per_slot,
-                base,
-                self.stream_of(batch_index, slot),
-                &mut self.batch,
+                user_sampler,
+                negative_sampler,
+                *negatives_per_slot,
+                batch_rng,
+                std::array::from_fn(|j| rows[j][slot]),
+                slot,
+                slots,
+                scratch,
+                batch,
             );
         }
         &self.batch
@@ -308,8 +465,8 @@ impl<N: NegativeSampler> TripletBatcher<N> {
 
     /// Fills batch `batch_index` with contiguous slot ranges fanned across
     /// `pool`, bit-identical to [`Self::fill`] at every worker count: each
-    /// slot draws from its own counter stream, and the shard outputs are
-    /// concatenated in shard (= slot) order.
+    /// slot draws from its own disjoint view of the batch stream, and the
+    /// shard outputs are concatenated in shard (= slot) order.
     pub fn fill_parallel(
         &mut self,
         x: &Interactions,
@@ -333,6 +490,7 @@ impl<N: NegativeSampler> TripletBatcher<N> {
             seed,
             batch,
             shards,
+            ..
         } = self;
         shards.resize_with(ranges.len(), FillShard::default);
         for (sh, range) in shards.iter_mut().zip(ranges) {
@@ -340,16 +498,30 @@ impl<N: NegativeSampler> TripletBatcher<N> {
             sh.out.clear();
         }
         let base = CounterRng::stream_base(*seed);
-        let (slots, negs) = (*slots_per_batch as u64, *negatives_per_slot);
+        let (slots, negs) = (*slots_per_batch, *negatives_per_slot);
+        let batch_rng = CounterRng::keyed_from_base(base, batch_index);
         pool.scatter(&mut shards[..], |_, sh| {
-            for slot in sh.range.clone() {
-                fill_slot(
+            // Same up-front head mixing as the serial fill, restricted to
+            // the shard's contiguous slot range.
+            fill_heads(
+                batch_rng,
+                sh.range.start,
+                sh.range.len(),
+                slots,
+                &mut sh.heads,
+            );
+            let rows = head_rows(&sh.heads);
+            for (i, slot) in sh.range.clone().enumerate() {
+                fill_one_slot(
                     x,
                     user_sampler,
                     negative_sampler,
                     negs,
-                    base,
-                    batch_index * slots + slot as u64,
+                    batch_rng,
+                    std::array::from_fn(|j| rows[j][i]),
+                    slot,
+                    slots,
+                    &mut sh.scratch,
                     &mut sh.out,
                 );
             }
@@ -377,6 +549,12 @@ pub enum FillMode<'p> {
     /// Double-buffered background prefetch: a dedicated thread draws batch
     /// `b + 1` while the caller consumes batch `b`, so sampling cost
     /// overlaps gradient work. Identical stream to the other modes.
+    ///
+    /// On a single-core box there is nothing to overlap with — the filler
+    /// thread just timeshares with the trainer and adds handoff overhead —
+    /// so [`TripletStream::spawn`] degrades this mode to [`Self::Serial`]
+    /// when [`resolve_threads`] detects one core. The stream is identical
+    /// either way.
     Prefetch,
 }
 
@@ -417,6 +595,13 @@ impl<'env, N: NegativeSampler + Send + Sync + 'env> TripletStream<'env, N> {
         mut batcher: TripletBatcher<N>,
         mode: FillMode<'env>,
     ) -> Self {
+        // Prefetch needs a second core to overlap with; on one core it is
+        // pure overhead (BENCH_sampling.json measured 0.98×), so fall back
+        // to the identical-stream serial fill.
+        let mode = match mode {
+            FillMode::Prefetch if resolve_threads(0) == 1 => FillMode::Serial,
+            m => m,
+        };
         let inner = match mode {
             FillMode::Serial => StreamInner::Inline {
                 batcher,
@@ -599,8 +784,8 @@ mod tests {
         assert_eq!(got1, GOLDEN_BATCH_1, "batch 1 drifted");
     }
 
-    const GOLDEN_BATCH_0: [(u32, u32, u32); 4] = [(2, 4, 0), (2, 4, 6), (1, 3, 5), (0, 0, 5)];
-    const GOLDEN_BATCH_1: [(u32, u32, u32); 4] = [(2, 4, 7), (1, 3, 0), (2, 4, 7), (1, 2, 7)];
+    const GOLDEN_BATCH_0: [(u32, u32, u32); 4] = [(1, 3, 7), (1, 3, 7), (0, 0, 7), (1, 3, 5)];
+    const GOLDEN_BATCH_1: [(u32, u32, u32); 4] = [(0, 1, 6), (1, 2, 4), (2, 4, 1), (1, 2, 7)];
 
     #[test]
     fn stream_modes_produce_identical_batches() {

@@ -1,0 +1,279 @@
+//! Block draws for the sampling pipeline.
+//!
+//! Every random decision the training batcher makes — which user, which
+//! positive, which negatives — consumes 64-bit words from a per-slot view
+//! of a [`CounterRng`] stream. [`DrawStream`] is the adapter the samplers
+//! draw through: single words for the scalar decisions, word blocks for
+//! the bulk decisions, and every range mapping goes through the
+//! workspace's single range reduction, [`mars_runtime::rng::lemire_map`].
+//!
+//! Two stream shapes share the adapter:
+//!
+//! * [`DrawStream::new`] — a **dense** view: words `0, 1, 2, …` of one
+//!   counter stream, mixed on demand (block draws run through
+//!   [`CounterRng::fill_block`], 8-wide when an engine has installed the
+//!   vectorized kernel via `mars_tensor::simd::install_rng_kernel`).
+//! * [`DrawStream::strided`] — an **interleaved** view: a pre-mixed
+//!   [`HEAD`]-word head plus every `stride`-th word of the underlying
+//!   stream from there on. The batcher carves one batch-level stream into
+//!   `slots` such views (slot `s` owns the words at positions
+//!   `≡ s (mod slots)`): the heads of *all* slots are contiguous word
+//!   ranges, so one kernel call per head word mixes them 8-wide at
+//!   throughput, instead of each slot paying the mix latency serially on
+//!   its own critical path.
+//!
+//! Word-for-word each view is a pure function of the underlying stream
+//! key and the view's position set; how a consumer draws (single words or
+//! blocks) changes only *how* the counter advances, never which word
+//! arrives next. Since every consumer's draw pattern is itself
+//! deterministic, batch content stays a pure function of the key at any
+//! worker count — the batcher's contract.
+
+use mars_runtime::rng::{lemire_map, CounterRng};
+
+/// Bulk-draw granularity for the samplers' block paths (candidate blocks,
+/// alias chunks) — the vectorized kernel's native width.
+pub const DRAW_BLOCK: usize = 8;
+
+/// Words in a [`DrawStream::strided`] head — the typical whole-slot budget
+/// (explorative user 2, positive 1, one negative 1). Over-provisioned head
+/// words cost one amortized 8-wide mix each; under-provisioned slots fall
+/// through to the strided tail.
+pub const HEAD: usize = 4;
+
+/// A draw adapter over one counter-stream view: words in stream order,
+/// single or block-wise. `Copy`: a handful of words — cheap to build per
+/// unit of work and pass by value.
+#[derive(Clone, Copy)]
+pub struct DrawStream {
+    /// Pre-mixed head; `head[pos..]` is still unserved.
+    head: [u64; HEAD],
+    pos: u8,
+    /// Tail words, positioned at the next unserved tail word.
+    rng: CounterRng,
+    /// Tail advance per word: 1 for dense views, the interleave factor
+    /// for strided views.
+    stride: u64,
+}
+
+impl DrawStream {
+    /// A dense view of `rng`'s stream; words are mixed on demand.
+    #[inline]
+    pub fn new(rng: CounterRng) -> Self {
+        Self {
+            head: [0; HEAD],
+            pos: HEAD as u8,
+            rng,
+            stride: 1,
+        }
+    }
+
+    /// An interleaved view: serves the pre-mixed `head` first, then every
+    /// `stride`-th word of `tail` (whose position must already account for
+    /// the head — the caller mixed those words elsewhere).
+    #[inline]
+    pub fn strided(head: [u64; HEAD], tail: CounterRng, stride: u64) -> Self {
+        debug_assert!(stride > 0, "stride must be ≥ 1");
+        Self {
+            head,
+            pos: 0,
+            rng: tail,
+            stride,
+        }
+    }
+
+    /// Marks the first `k` head words as already served — for callers that
+    /// decided work straight from the head elsewhere (the batcher's fused
+    /// slot fast path) and now continue drawing mid-view.
+    ///
+    /// # Panics
+    /// In debug builds, if words past the head were already served or `k`
+    /// overruns the head.
+    #[inline]
+    pub fn skip_served(&mut self, k: usize) {
+        debug_assert!(
+            self.pos as usize + k <= HEAD,
+            "skip_served({k}) overruns the head at pos {}",
+            self.pos
+        );
+        self.pos += k as u8;
+    }
+
+    /// The next word of the view.
+    #[inline]
+    pub fn next_word(&mut self) -> u64 {
+        let pos = self.pos as usize;
+        if pos < HEAD {
+            self.pos += 1;
+            return self.head[pos];
+        }
+        let v = self.rng.next_u64();
+        self.rng = self.rng.skip(self.stride - 1);
+        v
+    }
+
+    /// One uniform index in `0..n` ([`lemire_map`] over [`Self::next_word`]).
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0, "index needs n ≥ 1");
+        lemire_map(self.next_word(), n as u64) as usize
+    }
+
+    /// The next `out.len()` words of the view, in order: any unserved head
+    /// first, then the tail — as one block draw for dense views (exactly
+    /// that many words; bulk draws never over-advance the counter), word
+    /// by word for strided ones.
+    pub fn fill_words(&mut self, out: &mut [u64]) {
+        let pos = self.pos as usize;
+        let buffered = (HEAD - pos).min(out.len());
+        if buffered > 0 {
+            out[..buffered].copy_from_slice(&self.head[pos..pos + buffered]);
+            self.pos += buffered as u8;
+        }
+        let rest = &mut out[buffered..];
+        if rest.is_empty() {
+            return;
+        }
+        if self.stride == 1 {
+            self.rng.fill_block(rest);
+        } else {
+            for o in rest.iter_mut() {
+                *o = self.rng.next_u64();
+                self.rng = self.rng.skip(self.stride - 1);
+            }
+        }
+    }
+
+    /// The next `out.len()` words, each mapped to a uniform index in
+    /// `0..n` — the block form of [`Self::index`], one word per index.
+    pub fn fill_indices(&mut self, n: usize, out: &mut [u32]) {
+        debug_assert!(n > 0, "fill_indices needs n ≥ 1");
+        let mut words = [0u64; DRAW_BLOCK];
+        for chunk in out.chunks_mut(DRAW_BLOCK) {
+            let words = &mut words[..chunk.len()];
+            self.fill_words(words);
+            for (o, &w) in chunk.iter_mut().zip(words.iter()) {
+                *o = lemire_map(w, n as u64) as u32;
+            }
+        }
+    }
+}
+
+/// The samplers' generic scalar paths (`R: RngCore`) accept a
+/// `DrawStream` unchanged — same words, same order.
+impl rand::RngCore for DrawStream {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.next_word()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_arrive_in_stream_order() {
+        let mut seq = CounterRng::keyed(7, 3);
+        let want: Vec<u64> = (0..20).map(|_| seq.next_u64()).collect();
+        let mut s = DrawStream::new(CounterRng::keyed(7, 3));
+        let got: Vec<u64> = (0..20).map(|_| s.next_word()).collect();
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn bulk_fills_continue_the_same_stream() {
+        // Mixed single/bulk consumption still yields the stream's words in
+        // order: 3 singles, a 7-word bulk, then more singles.
+        let mut s = DrawStream::new(CounterRng::keyed(42, 1));
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            got.push(s.next_word());
+        }
+        let mut bulk = [0u64; 7];
+        s.fill_words(&mut bulk);
+        got.extend_from_slice(&bulk);
+        got.push(s.next_word());
+
+        let mut ref_stream = DrawStream::new(CounterRng::keyed(42, 1));
+        let want: Vec<u64> = (0..11).map(|_| ref_stream.next_word()).collect();
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn strided_view_serves_its_residue_class() {
+        // A strided view over stride 5, slot 2: head = words 2, 7, 12, 17
+        // of the base stream, tail = words 22, 27, 32, … — under single
+        // and bulk consumption alike.
+        let (stride, slot) = (5u64, 2u64);
+        let base = CounterRng::keyed(3, 4);
+        let mut seq = base;
+        let words: Vec<u64> = (0..60).map(|_| seq.next_u64()).collect();
+        let want: Vec<u64> = (0..12)
+            .map(|j| words[(j * stride + slot) as usize])
+            .collect();
+
+        let mut head = [0u64; HEAD];
+        for (j, h) in head.iter_mut().enumerate() {
+            *h = words[j * stride as usize + slot as usize];
+        }
+        let tail = base.skip(HEAD as u64 * stride + slot);
+        let mut view = DrawStream::strided(head, tail, stride);
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            got.push(view.next_word());
+        }
+        let mut bulk = [0u64; 6];
+        view.fill_words(&mut bulk);
+        got.extend_from_slice(&bulk);
+        for _ in 0..3 {
+            got.push(view.next_word());
+        }
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn skip_served_resumes_mid_head() {
+        // A caller that decided three head words elsewhere resumes at the
+        // fourth, then flows into the tail — the batcher's collision
+        // continuation.
+        let (stride, slot) = (3u64, 1u64);
+        let base = CounterRng::keyed(8, 1);
+        let mut seq = base;
+        let words: Vec<u64> = (0..30).map(|_| seq.next_u64()).collect();
+        let head = [words[1], words[4], words[7], words[10]];
+        let tail = base.skip(HEAD as u64 * stride + slot);
+        let mut view = DrawStream::strided(head, tail, stride);
+        view.skip_served(3);
+        assert_eq!(view.next_word(), words[10]);
+        assert_eq!(view.next_word(), words[13]);
+        assert_eq!(view.next_word(), words[16]);
+    }
+
+    #[test]
+    fn indices_are_lemire_mapped_words() {
+        let mut s = DrawStream::new(CounterRng::keyed(9, 9));
+        let mut w = DrawStream::new(CounterRng::keyed(9, 9));
+        for _ in 0..50 {
+            let want = lemire_map(w.next_word(), 1000) as usize;
+            assert_eq!(s.index(1000), want);
+        }
+        // Block form: same mapping, one word per index.
+        let mut blk = [0u32; 13];
+        s.fill_indices(997, &mut blk);
+        for &v in &blk {
+            let want = lemire_map(w.next_word(), 997) as u32;
+            assert_eq!(v, want);
+        }
+    }
+
+    #[test]
+    fn index_covers_the_range() {
+        let mut s = DrawStream::new(CounterRng::keyed(1, 0));
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[s.index(5)] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "{seen:?}");
+    }
+}

@@ -30,7 +30,9 @@
 //! * [`margin`] — the adaptive adoption margins `γ_u` of Eq. 7;
 //! * [`batch`] — the triplet stream `(u, v⁺, v⁻)` the hinge losses consume;
 //! * [`alias`] — O(1) weighted sampling (Walker's alias method) backing the
-//!   biased samplers.
+//!   biased samplers;
+//! * [`draws`] — the block-buffered [`draws::DrawStream`] every sampler
+//!   draws through (8-wide splitmix64 fills + Lemire range mapping).
 
 // Indexed loops over parallel slices are used deliberately in the gradient
 // kernels: the math reads as subscripts (`u[d]`, `v[d]`, `diff[d]`), and
@@ -42,6 +44,7 @@
 pub mod alias;
 pub mod batch;
 pub mod dataset;
+pub mod draws;
 pub mod interactions;
 pub mod latent_metric;
 pub mod loader;

@@ -9,21 +9,107 @@
 //! `deg^0.75` scheme the paper cites via its refs 43 and 52) for the ablation harness.
 
 use crate::alias::AliasTable;
+use crate::draws::{DrawStream, DRAW_BLOCK};
 use crate::interactions::Interactions;
 use crate::{ItemId, UserId};
-use rand::Rng;
+use mars_runtime::rng::lemire_map;
+use rand::RngCore;
+
+/// Outcome of a [`NegativeSampler::fast_single`] draw.
+pub enum FastSingle {
+    /// The word decided a negative.
+    Hit(ItemId),
+    /// The word hit a positive: the sampler's first rejection try failed.
+    /// The caller keeps the user and positive and hands the stream —
+    /// positioned right after this word — to
+    /// [`NegativeSampler::resume_single`].
+    Collision,
+    /// No decision possible (saturated user, or the sampler has no
+    /// single-word path): rerun the whole slot generically.
+    NoPath,
+}
 
 /// Samples a negative item for a user: an item with `X_uv = 0`.
 pub trait NegativeSampler {
+    /// Whether [`Self::fast_single`] can decide a negative — lets the
+    /// batcher's fused slot fast path compile out entirely for samplers
+    /// without a single-word draw.
+    const HAS_FAST_SINGLE: bool = false;
+
     /// Draws one negative item for `u`, or `None` if the user has interacted
     /// with every item (no negatives exist).
-    fn sample_negative<R: Rng + ?Sized>(
+    fn sample_negative<R: RngCore + ?Sized>(
         &self,
         x: &Interactions,
         u: UserId,
         rng: &mut R,
     ) -> Option<ItemId>;
+
+    /// Single-word fast path for the batcher's fused slot loop: decides the
+    /// negative the scalar path's *first* rejection try would produce from
+    /// exactly `word`. `items` is the user's sorted positive list
+    /// (`x.items_of(u)` — the caller already holds it for the positive
+    /// draw, so the slot resolves the offset table once). On
+    /// [`FastSingle::Collision`] the caller continues via
+    /// [`Self::resume_single`]; on [`FastSingle::NoPath`] it reruns the
+    /// slot generically over the same stream view, which re-draws this
+    /// word and continues — the triplet stream is identical in all cases.
+    #[inline]
+    fn fast_single(&self, _x: &Interactions, _items: &[ItemId], _word: u64) -> FastSingle {
+        FastSingle::NoPath
+    }
+
+    /// Continues a [`FastSingle::Collision`]: runs the scalar path's
+    /// remaining rejection tries (and exact fallback, where the sampler
+    /// has one) over `rng`, which the caller positioned immediately after
+    /// the collided word — together with the first try this consumes
+    /// exactly the words [`Self::sample_negative`] would. Only called
+    /// after this sampler returned `Collision`, which implies a negative
+    /// exists; samplers without a single-word path never collide.
+    #[inline]
+    fn resume_single(
+        &self,
+        _x: &Interactions,
+        _items: &[ItemId],
+        _rng: &mut DrawStream,
+    ) -> Option<ItemId> {
+        unreachable!("resume_single without a collision fast path")
+    }
+
+    /// Draws up to `k` negatives for `u` into `out`, consuming `rng`'s
+    /// stream block-wise. Pushes exactly `k` items unless the user is
+    /// saturated (no negative exists), in which case it pushes nothing —
+    /// `out` left empty ⟺ [`NegativeSampler::sample_negative`] would
+    /// return `None`.
+    ///
+    /// The default implementation loops the scalar path; samplers with a
+    /// cheap bulk draw override it to draw candidate blocks and reject
+    /// positive collisions in bulk. Implementations may consume a
+    /// different number of stream words than `k` scalar calls would — the
+    /// word budget is part of each sampler's deterministic draw pattern,
+    /// not of this contract.
+    fn sample_negatives_block(
+        &self,
+        x: &Interactions,
+        u: UserId,
+        k: usize,
+        rng: &mut DrawStream,
+        out: &mut Vec<ItemId>,
+    ) {
+        for _ in 0..k {
+            match self.sample_negative(x, u, rng) {
+                Some(v) => out.push(v),
+                None => return,
+            }
+        }
+    }
 }
+
+/// Rejection rounds a block sampler runs before switching to its exact
+/// fallback. Each round draws one candidate block per missing negative, so
+/// even mildly sparse data converges in a round or two; the fallback is
+/// exact, so a small cap only bounds worst-case work.
+const BLOCK_REJECTION_ROUNDS: usize = 16;
 
 /// Uniform rejection sampling over the item universe — the paper's default.
 ///
@@ -34,7 +120,47 @@ pub trait NegativeSampler {
 pub struct UniformNegativeSampler;
 
 impl NegativeSampler for UniformNegativeSampler {
-    fn sample_negative<R: Rng + ?Sized>(
+    const HAS_FAST_SINGLE: bool = true;
+
+    /// First rejection iteration of the scalar path, decided from one
+    /// pre-mixed word (`items.len()` is the user's degree, and the
+    /// positive check is the same binary search `Interactions::contains`
+    /// runs).
+    #[inline]
+    fn fast_single(&self, x: &Interactions, items: &[ItemId], word: u64) -> FastSingle {
+        let n = x.num_items();
+        if items.len() >= n {
+            return FastSingle::NoPath;
+        }
+        let v = lemire_map(word, n as u64) as ItemId;
+        if items.binary_search(&v).is_err() {
+            FastSingle::Hit(v)
+        } else {
+            FastSingle::Collision
+        }
+    }
+
+    /// Rejection tries `2..` of the scalar path, then the same exact
+    /// complement-rank fallback — word-for-word the continuation of
+    /// [`Self::sample_negative`] after its first try.
+    fn resume_single(
+        &self,
+        x: &Interactions,
+        items: &[ItemId],
+        rng: &mut DrawStream,
+    ) -> Option<ItemId> {
+        let n = x.num_items();
+        for _ in 1..64 {
+            let v = lemire_map(rng.next_word(), n as u64) as ItemId;
+            if items.binary_search(&v).is_err() {
+                return Some(v);
+            }
+        }
+        let k = lemire_map(rng.next_word(), (n - items.len()) as u64) as usize;
+        Some(kth_missing_item(items, k))
+    }
+
+    fn sample_negative<R: RngCore + ?Sized>(
         &self,
         x: &Interactions,
         u: UserId,
@@ -48,7 +174,7 @@ impl NegativeSampler for UniformNegativeSampler {
         // With degree < n a negative exists; rejection almost always wins on
         // sparse data (expected `1/(1−density)` ≈ 1 draws).
         for _ in 0..64 {
-            let v = rng.gen_range(0..n) as ItemId;
+            let v = lemire_map(rng.next_u64(), n as u64) as ItemId;
             if !x.contains(u, v) {
                 return Some(v);
             }
@@ -59,8 +185,62 @@ impl NegativeSampler for UniformNegativeSampler {
         // search over the user's sorted positives. One draw, O(log deg),
         // exactly uniform over the negatives — so the sampler terminates
         // with `Some` whenever a negative exists.
-        let k = rng.gen_range(0..n - deg);
+        let k = lemire_map(rng.next_u64(), (n - deg) as u64) as usize;
         Some(kth_missing_item(x.items_of(u), k))
+    }
+
+    /// Block path: each round draws one candidate per still-missing
+    /// negative (whole u64 blocks Lemire-mapped into `0..n`), rejects the
+    /// positives in bulk, and tops up from the same stream; dense-user
+    /// stragglers fall back to the exact complement-rank draw.
+    fn sample_negatives_block(
+        &self,
+        x: &Interactions,
+        u: UserId,
+        k: usize,
+        rng: &mut DrawStream,
+        out: &mut Vec<ItemId>,
+    ) {
+        let n = x.num_items();
+        let deg = x.user_degree(u);
+        if deg >= n {
+            return;
+        }
+        let mut need = k;
+        let mut cand = [0u32; DRAW_BLOCK];
+        for _ in 0..BLOCK_REJECTION_ROUNDS {
+            if need == 0 {
+                return;
+            }
+            let take = need.min(DRAW_BLOCK);
+            if take < DRAW_BLOCK {
+                // Partial block (the k = 1 slot is the common case): same
+                // words, same order, but drawn-and-checked inline — below
+                // kernel width the array round-trip through `fill_indices`
+                // costs more than it saves.
+                for _ in 0..take {
+                    let v = lemire_map(rng.next_word(), n as u64) as ItemId;
+                    if !x.contains(u, v) {
+                        out.push(v);
+                        need -= 1;
+                    }
+                }
+            } else {
+                rng.fill_indices(n, &mut cand[..take]);
+                for &v in &cand[..take] {
+                    if !x.contains(u, v) {
+                        out.push(v);
+                        need -= 1;
+                    }
+                }
+            }
+        }
+        // Same exact fallback as the scalar path, once per straggler.
+        let items = x.items_of(u);
+        for _ in 0..need {
+            let r = lemire_map(rng.next_word(), (n - deg) as u64) as usize;
+            out.push(kth_missing_item(items, r));
+        }
     }
 }
 
@@ -125,7 +305,7 @@ impl PopularityNegativeSampler {
     /// Exact draw ∝ weight over the complement of the sorted positive
     /// list: walk the complement's contiguous ranges accumulating mass
     /// until the target tick lands, then binary-search inside the range.
-    fn sample_complement<R: Rng + ?Sized>(
+    fn sample_complement<R: RngCore + ?Sized>(
         &self,
         positives: &[ItemId],
         n: usize,
@@ -176,7 +356,7 @@ impl PopularityNegativeSampler {
 }
 
 impl NegativeSampler for PopularityNegativeSampler {
-    fn sample_negative<R: Rng + ?Sized>(
+    fn sample_negative<R: RngCore + ?Sized>(
         &self,
         x: &Interactions,
         u: UserId,
@@ -196,6 +376,57 @@ impl NegativeSampler for PopularityNegativeSampler {
         // draw exactly from the popularity distribution over the
         // complement instead.
         Some(self.sample_complement(x.items_of(u), n, rng))
+    }
+
+    /// Block path: rejection rounds draw alias candidates through
+    /// [`AliasTable::sample_block`] (two stream words each, decided in a
+    /// tight loop) and reject positives in bulk; stalled draws fall back to
+    /// the exact complement draw, once per straggler.
+    fn sample_negatives_block(
+        &self,
+        x: &Interactions,
+        u: UserId,
+        k: usize,
+        rng: &mut DrawStream,
+        out: &mut Vec<ItemId>,
+    ) {
+        let n = x.num_items();
+        if x.user_degree(u) >= n {
+            return;
+        }
+        let mut need = k;
+        let mut cand = [0u32; DRAW_BLOCK];
+        for _ in 0..POPULARITY_REJECTION_TRIES {
+            if need == 0 {
+                return;
+            }
+            let take = need.min(DRAW_BLOCK);
+            if take < DRAW_BLOCK {
+                // Partial block: scalar alias draws consume the stream in
+                // the same two-words-per-outcome order as `sample_block`
+                // (tested equivalence), without the candidate-array
+                // round-trip — cheaper below kernel width.
+                for _ in 0..take {
+                    let v = self.table.sample(rng) as ItemId;
+                    if !x.contains(u, v) {
+                        out.push(v);
+                        need -= 1;
+                    }
+                }
+            } else {
+                self.table.sample_block(rng, &mut cand[..take]);
+                for &v in &cand[..take] {
+                    if !x.contains(u, v) {
+                        out.push(v);
+                        need -= 1;
+                    }
+                }
+            }
+        }
+        let items = x.items_of(u);
+        for _ in 0..need {
+            out.push(self.sample_complement(items, n, rng));
+        }
     }
 }
 
@@ -235,13 +466,33 @@ impl UserSampler {
     }
 
     /// Draws one user.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> UserId {
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> UserId {
         match self {
             UserSampler::Uniform { eligible } => {
                 assert!(!eligible.is_empty(), "no eligible users");
-                eligible[rng.gen_range(0..eligible.len())]
+                eligible[lemire_map(rng.next_u64(), eligible.len() as u64) as usize]
             }
             UserSampler::Explorative { eligible, table } => eligible[table.sample(rng)],
+        }
+    }
+
+    /// Word-level form of [`Self::sample`] for the batcher's fused slot
+    /// fast path: draws from `words` exactly as [`Self::sample`] would
+    /// from a stream serving them in order, returning the user and the
+    /// number of words consumed (1 uniform, 2 explorative).
+    #[inline]
+    pub(crate) fn fast_draw(&self, words: &[u64; 4]) -> (UserId, usize) {
+        match self {
+            UserSampler::Uniform { eligible } => {
+                assert!(!eligible.is_empty(), "no eligible users");
+                (
+                    eligible[lemire_map(words[0], eligible.len() as u64) as usize],
+                    1,
+                )
+            }
+            UserSampler::Explorative { eligible, table } => {
+                (eligible[table.decide(words[0], words[1])], 2)
+            }
         }
     }
 
@@ -278,11 +529,21 @@ fn eligible_users(x: &Interactions) -> Vec<UserId> {
 }
 
 /// Draws a uniformly random positive item of `u` (panics if `u` has none —
-/// callers draw `u` from an eligible-user sampler first).
-pub fn sample_positive<R: Rng + ?Sized>(x: &Interactions, u: UserId, rng: &mut R) -> ItemId {
+/// callers draw `u` from an eligible-user sampler first). One stream word,
+/// mapped through the shared Lemire reduction.
+pub fn sample_positive<R: RngCore + ?Sized>(x: &Interactions, u: UserId, rng: &mut R) -> ItemId {
     let items = x.items_of(u);
     assert!(!items.is_empty(), "user {u} has no positives");
-    items[rng.gen_range(0..items.len())]
+    positive_from_items(items, rng.next_u64())
+}
+
+/// Word-level form of [`sample_positive`] over the user's already-resolved
+/// positive list, for the batcher's fused slot fast path — the single
+/// definition of the positive draw.
+#[inline]
+pub(crate) fn positive_from_items(items: &[ItemId], word: u64) -> ItemId {
+    assert!(!items.is_empty(), "user has no positives");
+    items[lemire_map(word, items.len() as u64) as usize]
 }
 
 #[cfg(test)]
@@ -500,6 +761,64 @@ mod tests {
         for _ in 0..200 {
             assert_ne!(s.sample(&mut rng), 2);
         }
+    }
+
+    #[test]
+    fn block_negatives_are_valid_and_exactly_k() {
+        use crate::draws::DrawStream;
+        use mars_runtime::rng::CounterRng;
+
+        let x = toy();
+        let uni = UniformNegativeSampler;
+        let pop = PopularityNegativeSampler::new(&x, 0.75);
+        let mut out = Vec::new();
+        for stream in 0..50u64 {
+            for k in [1usize, 3, 8, 17] {
+                let mut rng = DrawStream::new(CounterRng::keyed(99, stream));
+                out.clear();
+                uni.sample_negatives_block(&x, 0, k, &mut rng, &mut out);
+                assert_eq!(out.len(), k);
+                assert!(out.iter().all(|&v| !x.contains(0, v)), "{out:?}");
+                out.clear();
+                pop.sample_negatives_block(&x, 0, k, &mut rng, &mut out);
+                assert_eq!(out.len(), k);
+                assert!(out.iter().all(|&v| !x.contains(0, v)), "{out:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_negatives_empty_for_saturated_user() {
+        use crate::draws::DrawStream;
+        use mars_runtime::rng::CounterRng;
+
+        let x = Interactions::from_pairs(1, 2, &[(0, 0), (0, 1)]);
+        let mut rng = DrawStream::new(CounterRng::keyed(7, 0));
+        let mut out = Vec::new();
+        UniformNegativeSampler.sample_negatives_block(&x, 0, 4, &mut rng, &mut out);
+        assert!(out.is_empty());
+        PopularityNegativeSampler::new(&x, 1.0)
+            .sample_negatives_block(&x, 0, 4, &mut rng, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn block_negatives_dense_user_hits_the_exact_fallback() {
+        use crate::draws::DrawStream;
+        use mars_runtime::rng::CounterRng;
+
+        // All but one of 2000 items positive: every block round rejects
+        // almost everything, so the exact complement-rank fallback must
+        // deliver all k copies of the unique negative.
+        let n = 2000u32;
+        let missing = 1337u32;
+        let pairs: Vec<(UserId, ItemId)> =
+            (0..n).filter(|&v| v != missing).map(|v| (0, v)).collect();
+        let x = Interactions::from_pairs(1, n as usize, &pairs);
+        let mut rng = DrawStream::new(CounterRng::keyed(13, 2));
+        let mut out = Vec::new();
+        UniformNegativeSampler.sample_negatives_block(&x, 0, 5, &mut rng, &mut out);
+        assert_eq!(out, vec![missing; 5]);
     }
 
     #[test]

@@ -18,9 +18,38 @@
 //! across a [`crate::WorkerPool`] at any worker count reproduces exactly
 //! the candidate sets a serial walk draws. The golden-value tests below pin
 //! the stream so it can never drift silently.
+//!
+//! # Block draws and the pluggable fill kernel
+//!
+//! Because output `i` depends only on `(state, i)`, a whole block of draws
+//! is one embarrassingly parallel map — [`CounterRng::fill_block`] computes
+//! it without a loop-carried dependency and is **defined** to produce
+//! exactly the values the same number of [`CounterRng::next_u64`] calls
+//! would. That definition is what makes the block form swappable for the
+//! sequential form anywhere (the training batcher does so freely), and it
+//! is also a contract an accelerated implementation must meet:
+//! [`install_fill_block_kernel`] lets a downstream crate (in this workspace
+//! `mars-tensor::simd`, which carries the runtime-dispatched 8-wide
+//! vectorized tiers) route `fill_block` through a faster kernel **without**
+//! this crate gaining a dependency. The hook is a plain `fn` pointer — an
+//! installed kernel must be bit-identical to the scalar fallback (the
+//! installer's test suite proves it against the golden vector below), so
+//! installation affects throughput only, never values: a process that never
+//! installs anything draws the exact same streams as one that does.
+//!
+//! # Range mapping
+//!
+//! Every bounded draw in the workspace reduces a full 64-bit word to
+//! `0..n` through one definition: [`lemire_map`], Lemire's widening
+//! multiply `⌊word · n / 2⁶⁴⌋`. Unlike the `%` reduction it costs one
+//! multiply instead of a hardware divide, and unlike rejection sampling it
+//! consumes exactly one word per draw, so a unit of work's draw count is a
+//! pure function of its accept/reject decisions.
 
-/// 64-bit golden-ratio increment (the splitmix64 gamma).
-const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+/// 64-bit golden-ratio increment (the splitmix64 gamma): the counter step
+/// between consecutive draws of a stream. Public so kernel implementations
+/// ([`install_fill_block_kernel`]) can reproduce the stream exactly.
+pub const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
 
 pub mod seeds {
     //! The workspace's seed-derivation convention, in one place.
@@ -61,6 +90,68 @@ pub fn mix64(mut z: u64) -> u64 {
     z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^= z >> 31;
     z
+}
+
+/// Lemire's multiplicative range reduction: maps a uniform 64-bit `word`
+/// to `0..n` as `⌊word · n / 2⁶⁴⌋` — the high half of the widening
+/// multiply. Bias is at most `n / 2⁶⁴` (immaterial for catalogue-sized
+/// `n`), the cost is one multiply (no hardware divide, unlike `%`), and
+/// every call consumes exactly one word. This is the workspace's **single
+/// definition** of "uniform index below `n`": `CounterRng::gen_below`, the
+/// samplers, and the alias table all bottom out here.
+///
+/// `n = 0` returns 0 (callers assert their own non-empty ranges).
+#[inline]
+pub const fn lemire_map(word: u64, n: u64) -> u64 {
+    (((word as u128) * (n as u128)) >> 64) as u64
+}
+
+/// An accelerated block-fill implementation: must write
+/// `out[i] = mix64(base + (i + 1) · GOLDEN)` for every `i` — exactly the
+/// scalar fallback inside [`CounterRng::fill_block`], bit for bit.
+pub type FillBlockKernel = fn(base: u64, out: &mut [u64]);
+
+/// The installed fill kernel, or null for the scalar fallback. A plain
+/// atomic pointer keeps this crate dependency-free while letting the
+/// vectorized tiers in `mars-tensor::simd` take over the hot loop.
+static FILL_KERNEL: std::sync::atomic::AtomicPtr<()> =
+    std::sync::atomic::AtomicPtr::new(std::ptr::null_mut());
+
+/// Routes every [`CounterRng::fill_block`] in the process through `kernel`.
+///
+/// The kernel **must** be bit-identical to the scalar fallback (see
+/// [`FillBlockKernel`]); installing one is therefore a pure throughput
+/// decision — values, and hence every recorded stream, are unaffected.
+/// Idempotent and thread-safe; last install wins.
+pub fn install_fill_block_kernel(kernel: FillBlockKernel) {
+    FILL_KERNEL.store(kernel as *mut (), std::sync::atomic::Ordering::Release);
+}
+
+/// Fills shorter than this run the inline scalar loop without consulting
+/// the kernel hook: below ~half a vector block the atomic load, indirect
+/// call, and the kernel's lane setup cost more than the mixes themselves.
+/// Routing, like the kernel, is invisible in the values.
+const SHORT_FILL: usize = 4;
+
+/// Fills `out[i] = mix64(base + (i + 1) · GOLDEN)` through the installed
+/// kernel, or the scalar loop when none is installed (or the fill is too
+/// short to amortize the indirect call).
+#[inline]
+fn fill_words(base: u64, out: &mut [u64]) {
+    if out.len() > SHORT_FILL {
+        let k = FILL_KERNEL.load(std::sync::atomic::Ordering::Acquire);
+        if !k.is_null() {
+            // SAFETY: the pointer was stored from a `FillBlockKernel` in
+            // `install_fill_block_kernel`; fn pointers round-trip through
+            // pointer casts losslessly.
+            let kernel: FillBlockKernel = unsafe { std::mem::transmute(k) };
+            kernel(base, out);
+            return;
+        }
+    }
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = mix64(base.wrapping_add((i as u64 + 1).wrapping_mul(GOLDEN)));
+    }
 }
 
 /// A counter-based generator: splitmix64 over a state keyed by
@@ -108,18 +199,30 @@ impl CounterRng {
         mix64(self.state)
     }
 
+    /// The same stream advanced by `n` draws, in O(1) — the counter is
+    /// position-indexed, so jumping ahead is one multiply-add, no mixing.
+    /// `skip(n)` then drawing word 0 yields exactly what the `n`-th
+    /// `next_u64` of the unskipped stream would.
+    #[inline]
+    #[must_use]
+    pub fn skip(self, n: u64) -> Self {
+        Self {
+            state: self.state.wrapping_add(n.wrapping_mul(GOLDEN)),
+        }
+    }
+
     /// The next `out.len()` draws of the stream — exactly the values that
     /// many [`Self::next_u64`] calls would return, and the counter advances
     /// the same way. Output `i` is `mix64(state + (i+1)·GOLDEN)`: no
     /// loop-carried dependency, so the mixes pipeline (and vectorize)
     /// instead of serializing on the state update — the batcher refills
-    /// its per-slot draw buffer through this.
+    /// its per-slot draw buffer through this. Runs on the installed
+    /// vectorized kernel when one is present (see
+    /// [`install_fill_block_kernel`]); the values are identical either way.
     #[inline]
     pub fn fill_block(&mut self, out: &mut [u64]) {
         let base = self.state;
-        for (i, o) in out.iter_mut().enumerate() {
-            *o = mix64(base.wrapping_add((i as u64 + 1).wrapping_mul(GOLDEN)));
-        }
+        fill_words(base, out);
         self.state = base.wrapping_add((out.len() as u64).wrapping_mul(GOLDEN));
     }
 
@@ -130,15 +233,15 @@ impl CounterRng {
         (self.next_u64() >> 32) as u32
     }
 
-    /// Uniform draw in `0..n` by the multiply-shift reduction
-    /// (`⌊next·n / 2⁶⁴⌋`). Bias is at most `n / 2⁶⁴` — immaterial for
+    /// Uniform draw in `0..n` by [`lemire_map`] — the shared widening
+    /// multiply reduction. Bias is at most `n / 2⁶⁴` — immaterial for
     /// catalogue-sized `n` — and, unlike rejection sampling, every call
     /// consumes **exactly one** counter tick, so the draw count of a unit
     /// of work is a pure function of its accept/reject decisions.
     #[inline]
     pub fn gen_below(&mut self, n: u64) -> u64 {
         debug_assert!(n > 0, "gen_below needs n ≥ 1");
-        (((self.next_u64() as u128) * (n as u128)) >> 64) as u64
+        lemire_map(self.next_u64(), n)
     }
 }
 
@@ -232,6 +335,45 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn lemire_map_bounds_and_golden_values() {
+        assert_eq!(lemire_map(0, 1000), 0);
+        assert_eq!(lemire_map(u64::MAX, 1000), 999);
+        // Midpoint word lands at the midpoint of the range.
+        assert_eq!(lemire_map(1 << 63, 1000), 500);
+        for n in [1u64, 2, 17, 1000, u64::MAX] {
+            let mut r = CounterRng::keyed(5, 5);
+            for _ in 0..1000 {
+                assert!(lemire_map(r.next_u64(), n) < n);
+            }
+        }
+    }
+
+    /// Installing a (correct) kernel must not change a single value:
+    /// the hook is a throughput knob, never a semantics knob. The test
+    /// kernel is a hand-written duplicate of the scalar fallback, which is
+    /// exactly the contract a real vectorized kernel must meet — and since
+    /// the hook is process-global, installing it here also exercises every
+    /// other test in this binary against an installed kernel.
+    #[test]
+    fn installed_kernel_preserves_the_stream() {
+        fn duplicate(base: u64, out: &mut [u64]) {
+            for (i, o) in out.iter_mut().enumerate() {
+                *o = mix64(base.wrapping_add((i as u64 + 1).wrapping_mul(GOLDEN)));
+            }
+        }
+        let mut want = vec![0u64; 67];
+        CounterRng::keyed(2021, 7).fill_block(&mut want);
+        install_fill_block_kernel(duplicate);
+        let mut got = vec![0u64; 67];
+        CounterRng::keyed(2021, 7).fill_block(&mut got);
+        assert_eq!(want, got);
+        // And the golden vector still holds through the hook.
+        let mut first = [0u64; 1];
+        CounterRng::keyed(0, 0).fill_block(&mut first);
+        assert_eq!(first[0], 0xe220_a839_7b1d_cdaf);
     }
 
     #[test]

@@ -267,6 +267,30 @@ fn i8_rows_checks(x: &[i8], rows: &[i8], out: &[i32]) {
     assert_eq!(out.len() * x.len(), rows.len(), "int8 row kernel: out");
 }
 
+/// Vectorized splitmix64 block fill — the counter RNG's draw kernel:
+/// `out[i] = mix64(base + (i + 1) · GOLDEN)`, the defining equation of
+/// `mars_runtime::rng::CounterRng::fill_block`. All integer arithmetic, so
+/// unlike the float reductions every tier is **bit-identical** — the
+/// cross-tier tests demand equality, and the output is pinned to the
+/// canonical splitmix64 golden vector (`base = 0` reproduces splitmix64
+/// seeded with 0, first value `0xe220a8397b1dcdaf`).
+///
+/// The sampling pipeline consumes this through the runtime's fill hook:
+/// call [`install_rng_kernel`] once and every
+/// `CounterRng::fill_block` in the process runs here.
+#[inline]
+pub fn fill_splitmix64(base: u64, out: &mut [u64]) {
+    dispatch!(fill_splitmix64(base, out))
+}
+
+/// Routes `mars_runtime::rng::CounterRng::fill_block` through
+/// [`fill_splitmix64`] (idempotent; call it at any engine entry point).
+/// Values are bit-identical to the scalar fallback by the cross-tier
+/// contract above, so when this runs is a throughput decision only.
+pub fn install_rng_kernel() {
+    mars_runtime::rng::install_fill_block_kernel(fill_splitmix64);
+}
+
 /// The PR 2 reference kernels: strictly sequential scalar loops. Baseline
 /// for the kernel microbench (`BENCH_kernels.json`) and oracle for the
 /// cross-tier agreement tests — the engine itself no longer calls these.
@@ -341,6 +365,15 @@ pub mod scalar {
                     d * d
                 })
                 .sum();
+        }
+    }
+
+    /// Sequential splitmix64 block fill — the reference loop (and the
+    /// scalar fallback inside `CounterRng::fill_block` itself).
+    pub fn fill_splitmix64(base: u64, out: &mut [u64]) {
+        use mars_runtime::rng::{mix64, GOLDEN};
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = mix64(base.wrapping_add((i as u64 + 1).wrapping_mul(GOLDEN)));
         }
     }
 }
@@ -487,6 +520,27 @@ pub mod portable {
                 acc += d * d;
             }
             *o = acc;
+        }
+    }
+
+    /// 8-lane chunked splitmix64 block fill. Integer arithmetic is exact
+    /// in any order, so this is bit-identical to the scalar tier by
+    /// construction; the per-lane counters carry no loop dependency, which
+    /// lets LLVM vectorize both the counter update and the two
+    /// multiply-xor-shift rounds of the finalizer.
+    pub fn fill_splitmix64(base: u64, out: &mut [u64]) {
+        use mars_runtime::rng::{mix64, GOLDEN};
+        let mut chunks = out.chunks_exact_mut(LANES);
+        let mut idx = 0u64;
+        for chunk in &mut chunks {
+            let chunk: &mut [u64; LANES] = chunk.try_into().unwrap();
+            for (l, o) in chunk.iter_mut().enumerate() {
+                *o = mix64(base.wrapping_add((idx + l as u64 + 1).wrapping_mul(GOLDEN)));
+            }
+            idx += LANES as u64;
+        }
+        for (l, o) in chunks.into_remainder().iter_mut().enumerate() {
+            *o = mix64(base.wrapping_add((idx + l as u64 + 1).wrapping_mul(GOLDEN)));
         }
     }
 
@@ -779,6 +833,88 @@ pub mod avx2 {
                 i += 1;
             }
             *o = sum;
+        }
+    }
+
+    /// Low 64 bits of a per-lane 64×64 multiply. AVX2 has no 64-bit
+    /// `mullo`, so compose it from 32×32→64 partial products
+    /// (`mul_epu32` reads the even 32-bit lanes of each 64-bit lane):
+    /// `lo(a·b) = a_lo·b_lo + ((a_lo·b_hi + a_hi·b_lo) << 32)` — the high
+    /// cross-product bits overflow past bit 63 and drop, exactly like
+    /// `u64::wrapping_mul`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn mullo64(a: __m256i, b: __m256i) -> __m256i {
+        let a_hi = _mm256_srli_epi64(a, 32);
+        let b_hi = _mm256_srli_epi64(b, 32);
+        let low = _mm256_mul_epu32(a, b);
+        let cross = _mm256_add_epi64(_mm256_mul_epu32(a_hi, b), _mm256_mul_epu32(a, b_hi));
+        _mm256_add_epi64(low, _mm256_slli_epi64(cross, 32))
+    }
+
+    /// The splitmix64 finalizer over four 64-bit lanes: two
+    /// xor-shift-multiply rounds plus a final xor-shift, each lane
+    /// bit-identical to `mars_runtime::rng::mix64`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn mix64x4(mut z: __m256i) -> __m256i {
+        let m1 = _mm256_set1_epi64x(0xBF58_476D_1CE4_E5B9_u64 as i64);
+        let m2 = _mm256_set1_epi64x(0x94D0_49BB_1331_11EB_u64 as i64);
+        z = _mm256_xor_si256(z, _mm256_srli_epi64(z, 30));
+        z = mullo64(z, m1);
+        z = _mm256_xor_si256(z, _mm256_srli_epi64(z, 27));
+        z = mullo64(z, m2);
+        _mm256_xor_si256(z, _mm256_srli_epi64(z, 31))
+    }
+
+    /// 8-wide splitmix64 block fill: two 4-lane counter vectors advance by
+    /// `8 · GOLDEN` per iteration (the multiply in `(i+1)·GOLDEN` unrolls
+    /// into a running add — multiplication distributes over the counter),
+    /// and each gets the vectorized finalizer. Integer ops are exact, so
+    /// the output is bit-identical to the scalar tier.
+    ///
+    /// # Safety
+    /// Requires AVX2 (check [`available`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn fill_splitmix64(base: u64, out: &mut [u64]) {
+        use mars_runtime::rng::{mix64, GOLDEN};
+        const STEP: usize = 8;
+        let n = out.len();
+        let body = n / STEP * STEP;
+        let po = out.as_mut_ptr();
+        // Lane counters for i = 0..4 and 4..8, advanced by 8·G per step.
+        // Setup is one broadcast plus adds of compile-time offset vectors
+        // (k·G for k = 1..=8) — cheaper than eight scalar `base + k·G`
+        // computes funneled through lane inserts, which matters because the
+        // sampling pipeline calls this on fills as short as one block.
+        const G: u64 = GOLDEN;
+        let b = _mm256_set1_epi64x(base as i64);
+        let off_lo = _mm256_setr_epi64x(
+            G as i64,
+            G.wrapping_mul(2) as i64,
+            G.wrapping_mul(3) as i64,
+            G.wrapping_mul(4) as i64,
+        );
+        let off_hi = _mm256_setr_epi64x(
+            G.wrapping_mul(5) as i64,
+            G.wrapping_mul(6) as i64,
+            G.wrapping_mul(7) as i64,
+            G.wrapping_mul(8) as i64,
+        );
+        let mut ctr_lo = _mm256_add_epi64(b, off_lo);
+        let mut ctr_hi = _mm256_add_epi64(b, off_hi);
+        let step = _mm256_set1_epi64x(GOLDEN.wrapping_mul(STEP as u64) as i64);
+        let mut i = 0;
+        while i < body {
+            _mm256_storeu_si256(po.add(i).cast(), mix64x4(ctr_lo));
+            _mm256_storeu_si256(po.add(i + 4).cast(), mix64x4(ctr_hi));
+            ctr_lo = _mm256_add_epi64(ctr_lo, step);
+            ctr_hi = _mm256_add_epi64(ctr_hi, step);
+            i += STEP;
+        }
+        while i < n {
+            *po.add(i) = mix64(base.wrapping_add((i as u64 + 1).wrapping_mul(GOLDEN)));
+            i += 1;
         }
     }
 

@@ -162,7 +162,13 @@ fn responses_feed_the_beyond_accuracy_metrics() {
         .map(RecResponse::items)
         .collect();
     assert_eq!(lists.len(), USERS);
-    assert!(lists.iter().all(|l| l.len() == 10));
+    // A list is only shorter than k when the user has fewer than k
+    // unseen items left — the planted data has a few near-saturated
+    // users, so pin the exact expected length instead of a blanket 10.
+    for (u, l) in lists.iter().enumerate() {
+        let available = ITEMS - d.train.items_of(u as UserId).len();
+        assert_eq!(l.len(), 10.min(available), "user {u}");
+    }
     let coverage = catalogue_coverage(&lists, ITEMS);
     assert!(coverage > 0.0 && coverage <= 1.0, "coverage {coverage}");
     let gini = exposure_gini(&lists, ITEMS);
