@@ -1,0 +1,76 @@
+//! CLI for the workspace audit: `cargo run -p mars-audit -- check`.
+
+#![forbid(unsafe_code)]
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mars_audit::{check_workspace, ALL_RULES};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: mars-audit <check [--root PATH]> | <rules>");
+    ExitCode::from(2)
+}
+
+/// Workspace root: `--root` wins, else the crate's grandparent (cargo sets
+/// `CARGO_MANIFEST_DIR` for `cargo run`), else the current directory.
+fn workspace_root(explicit: Option<PathBuf>) -> PathBuf {
+    if let Some(root) = explicit {
+        return root;
+    }
+    if let Ok(manifest) = env::var("CARGO_MANIFEST_DIR") {
+        let crate_dir = PathBuf::from(manifest);
+        if let Some(root) = crate_dir.parent().and_then(|p| p.parent()) {
+            return root.to_path_buf();
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn main() -> ExitCode {
+    let mut args = env::args().skip(1);
+    match args.next().as_deref() {
+        Some("rules") => {
+            for rule in ALL_RULES {
+                println!("{:<17} {}", rule.name(), rule.contract());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("check") => {
+            let mut root = None;
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--root" => match args.next() {
+                        Some(p) => root = Some(PathBuf::from(p)),
+                        None => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+            let root = workspace_root(root);
+            match check_workspace(&root) {
+                Ok(findings) if findings.is_empty() => {
+                    println!("mars-audit: clean ({})", root.display());
+                    ExitCode::SUCCESS
+                }
+                Ok(findings) => {
+                    for finding in &findings {
+                        println!("{finding}");
+                    }
+                    eprintln!(
+                        "mars-audit: {} finding(s) — see rules in \
+                         crates/audit/src/lib.rs",
+                        findings.len()
+                    );
+                    ExitCode::FAILURE
+                }
+                Err(err) => {
+                    eprintln!("mars-audit: io error: {err}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

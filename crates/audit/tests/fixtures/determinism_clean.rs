@@ -1,0 +1,8 @@
+// Clean twin: counter-keyed draws — batch `b` is a pure function of
+// `(seed, b)`, with no clocks and no OS entropy.
+use mars_runtime::rng::{seeds, CounterRng};
+
+pub fn sample(seed: u64, batch: u64) -> u64 {
+    let mut rng = CounterRng::keyed(seeds::sampling(seed), batch);
+    rng.next_u64()
+}

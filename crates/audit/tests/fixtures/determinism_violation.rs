@@ -1,0 +1,11 @@
+// Seeded violation: OS entropy and wall-clock reads inside a deterministic
+// crate — results would stop being a pure function of the seed.
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub fn sample(seed: u64) -> u64 {
+    let started = std::time::Instant::now();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let word = rng.gen::<u64>();
+    word ^ started.elapsed().as_nanos() as u64
+}

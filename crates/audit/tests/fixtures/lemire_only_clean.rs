@@ -1,0 +1,7 @@
+// Clean twin: Lemire widening-multiply mapping, the PR 9 contract for every
+// draw path.
+use mars_runtime::rng::{lemire_map, CounterRng};
+
+pub fn pick(rng: &mut CounterRng, n: u64) -> u64 {
+    lemire_map(rng.next_u64(), n)
+}

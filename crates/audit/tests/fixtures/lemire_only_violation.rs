@@ -1,0 +1,7 @@
+// Seeded violation: modulo range reduction on a raw RNG word — biased for
+// non-power-of-two ranges and slower than the widening multiply.
+use mars_runtime::rng::CounterRng;
+
+pub fn pick(rng: &mut CounterRng, n: u64) -> u64 {
+    rng.next_u64() % n
+}

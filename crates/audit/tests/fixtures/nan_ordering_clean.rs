@@ -1,0 +1,5 @@
+// Clean twin: `f32::total_cmp` is a total order (NaN sorts deterministically
+// above +inf), so the comparator never lies to the sort.
+pub fn rank(scores: &mut [f32]) {
+    scores.sort_by(|a, b| a.total_cmp(b));
+}

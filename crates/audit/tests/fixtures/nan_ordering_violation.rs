@@ -1,0 +1,8 @@
+// Seeded violation: NaN-unsound float sort — `partial_cmp` with an Equal
+// fallback silently produces an inconsistent comparator when NaN appears
+// (the exact bug PR 5 eradicated from `MultiFacetModel::recommend`).
+pub fn rank(scores: &mut [f32]) {
+    scores.sort_by(|a, b| {
+        a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+    });
+}

@@ -1,0 +1,10 @@
+// Clean twin: the `// ORDERING:` paragraph explains why relaxed suffices;
+// it covers both sites below (no blank line in between).
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64, total: &AtomicU64) {
+    // ORDERING: standalone stats counters — no other memory is published
+    // through them and readers tolerate momentary staleness.
+    counter.fetch_add(1, Ordering::Relaxed);
+    total.fetch_add(1, Ordering::Relaxed);
+}

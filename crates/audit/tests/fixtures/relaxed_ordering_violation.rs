@@ -1,0 +1,7 @@
+// Seeded violation: a relaxed atomic with no justification — either a latent
+// reorder bug or missing documentation, both of which must fail the audit.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}

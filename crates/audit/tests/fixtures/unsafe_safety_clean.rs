@@ -1,0 +1,17 @@
+// Clean twin: every unsafe site is covered by a `# Safety` doc section or a
+// `// SAFETY:` comment. Still only passes inside the unsafe allowlist.
+
+/// Reads the first element without a bounds check.
+///
+/// # Safety
+/// `xs` must be non-empty.
+pub unsafe fn head(xs: &[u32]) -> u32 {
+    // SAFETY: caller guarantees `xs` is non-empty (see `# Safety` above).
+    unsafe { *xs.as_ptr() }
+}
+
+pub fn read_first(xs: &[u32]) -> u32 {
+    assert!(!xs.is_empty());
+    // SAFETY: bounds asserted above; the pointer is valid for one read.
+    unsafe { *xs.as_ptr() }
+}

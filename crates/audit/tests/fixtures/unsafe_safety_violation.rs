@@ -1,0 +1,7 @@
+// Seeded violation: an `unsafe` block with no covering `// SAFETY:` comment.
+// The blank line above the block keeps it outside any comment paragraph.
+pub fn read_first(xs: &[u32]) -> u32 {
+    let p = xs.as_ptr();
+
+    unsafe { *p }
+}

@@ -19,7 +19,7 @@ use mars_data::{ItemId, UserId};
 use mars_metrics::Scorer;
 use mars_runtime::rng::seeds;
 use mars_tensor::{nonlin, ops};
-use rand::rngs::StdRng;
+use rand::rngs::StdRng; // audit:allow(determinism) — only ever seeded (init/datagen)
 use rand::SeedableRng;
 
 /// BPR matrix factorization.
@@ -34,7 +34,7 @@ impl Bpr {
     /// Creates an (untrained) model for the catalogue sizes.
     pub fn new(cfg: BaselineConfig, num_users: usize, num_items: usize) -> Self {
         cfg.validate().expect("invalid baseline config");
-        let mut rng = StdRng::seed_from_u64(seeds::model_init(cfg.seed));
+        let mut rng = StdRng::seed_from_u64(seeds::model_init(cfg.seed)); // audit:allow(determinism) — seeded: pure function of the seed
         let scale = 1.0 / (cfg.dim as f32).sqrt();
         Self {
             user: EmbeddingTable::uniform(&mut rng, num_users, cfg.dim, scale),

@@ -17,7 +17,7 @@ use mars_data::{ItemId, UserId};
 use mars_metrics::Scorer;
 use mars_runtime::rng::seeds;
 use mars_tensor::ops;
-use rand::rngs::StdRng;
+use rand::rngs::StdRng; // audit:allow(determinism) — only ever seeded (init/datagen)
 use rand::SeedableRng;
 
 /// Collaborative metric learning in a single Euclidean space.
@@ -31,7 +31,7 @@ impl Cml {
     /// Creates an (untrained) model.
     pub fn new(cfg: BaselineConfig, num_users: usize, num_items: usize) -> Self {
         cfg.validate().expect("invalid baseline config");
-        let mut rng = StdRng::seed_from_u64(seeds::model_init(cfg.seed));
+        let mut rng = StdRng::seed_from_u64(seeds::model_init(cfg.seed)); // audit:allow(determinism) — seeded: pure function of the seed
         let scale = 1.0 / (cfg.dim as f32).sqrt();
         let mut user = EmbeddingTable::uniform(&mut rng, num_users, cfg.dim, scale);
         let mut item = EmbeddingTable::uniform(&mut rng, num_items, cfg.dim, scale);

@@ -20,12 +20,14 @@
 //! in [`nn`] backs the neural models). Hyperparameters default to sensible
 //! mid-range values; the harness tunes the few that matter per dataset.
 
-// Indexed loops over parallel slices are used deliberately in the gradient
-// kernels: the math reads as subscripts (`u[d]`, `v[d]`, `diff[d]`), and
-// zipping three or four iterators obscures which tensor each factor comes
-// from. LLVM elides the bounds checks in release builds (verified in the
-// Criterion benches).
-#![allow(clippy::needless_range_loop)]
+// Indexed loops over parallel slices are deliberate in the numeric code
+// (the math reads as subscripts); the lint is relaxed workspace-wide in
+// the root Cargo.toml `[workspace.lints]` table.
+//
+// This crate is part of the deterministic numeric core: no unsafe
+// anywhere (the vetted unsafe surface lives in mars-tensor::simd
+// and mars-runtime; see `cargo run -p mars-audit -- check`).
+#![forbid(unsafe_code)]
 
 pub mod bpr;
 pub mod cml;

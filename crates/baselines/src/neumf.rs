@@ -25,7 +25,7 @@ use mars_data::{ItemId, UserId};
 use mars_metrics::Scorer;
 use mars_runtime::rng::seeds;
 use mars_tensor::{init, nonlin, ops};
-use rand::rngs::StdRng;
+use rand::rngs::StdRng; // audit:allow(determinism) — only ever seeded (init/datagen)
 use rand::SeedableRng;
 
 /// NeuMF with a `[2d → d → d/2]` MLP tower (the paper's pyramid pattern).
@@ -46,7 +46,7 @@ impl NeuMf {
     /// Creates an (untrained) model.
     pub fn new(cfg: BaselineConfig, num_users: usize, num_items: usize) -> Self {
         cfg.validate().expect("invalid baseline config");
-        let mut rng = StdRng::seed_from_u64(seeds::model_init(cfg.seed));
+        let mut rng = StdRng::seed_from_u64(seeds::model_init(cfg.seed)); // audit:allow(determinism) — seeded: pure function of the seed
         let d = cfg.dim;
         let scale = 1.0 / (d as f32).sqrt();
         let tower_out = (d / 2).max(1);

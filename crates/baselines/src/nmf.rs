@@ -21,7 +21,7 @@ use mars_data::{ItemId, UserId};
 use mars_metrics::Scorer;
 use mars_runtime::rng::seeds;
 use mars_tensor::{ops, Matrix};
-use rand::rngs::StdRng;
+use rand::rngs::StdRng; // audit:allow(determinism) — only ever seeded (init/datagen)
 use rand::{Rng, SeedableRng};
 
 const EPS: f32 = 1e-9;
@@ -37,7 +37,7 @@ impl Nmf {
     /// Creates a model with non-negative random factors.
     pub fn new(cfg: BaselineConfig, num_users: usize, num_items: usize) -> Self {
         cfg.validate().expect("invalid baseline config");
-        let mut rng = StdRng::seed_from_u64(seeds::model_init(cfg.seed));
+        let mut rng = StdRng::seed_from_u64(seeds::model_init(cfg.seed)); // audit:allow(determinism) — seeded: pure function of the seed
         let mut w = EmbeddingTable::zeros(num_users, cfg.dim);
         let mut h = EmbeddingTable::zeros(num_items, cfg.dim);
         for v in w.as_mut_slice().iter_mut().chain(h.as_mut_slice()) {

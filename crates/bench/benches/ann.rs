@@ -224,11 +224,7 @@ fn main() {
         .iter()
         .skip(1)
         .filter(|r| r.recall >= 0.95)
-        .max_by(|a, b| {
-            (exact_ns / a.ns_per_query)
-                .partial_cmp(&(exact_ns / b.ns_per_query))
-                .unwrap()
-        })
+        .max_by(|a, b| (exact_ns / a.ns_per_query).total_cmp(&(exact_ns / b.ns_per_query)))
     {
         println!(
             "best at recall ≥ 0.95: {} nprobe={} — {:.2}x over exact",

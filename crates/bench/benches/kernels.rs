@@ -121,6 +121,8 @@ fn main() {
                 "scalar" => scalar::dot_rows(black_box(&a), black_box(&b), dim, &mut out),
                 "portable" => portable::dot_rows(black_box(&a), black_box(&b), dim, &mut out),
                 #[cfg(target_arch = "x86_64")]
+                // SAFETY: the avx2 tier is skipped above unless
+                // `avx2::available()`; slice lengths match the kernel contract.
                 _ => unsafe { simd::avx2::dot_rows(black_box(&a), black_box(&b), dim, &mut out) },
                 #[cfg(not(target_arch = "x86_64"))]
                 _ => unreachable!(),
@@ -133,6 +135,8 @@ fn main() {
                 "scalar" => scalar::dist_sq_rows(black_box(&a), black_box(&b), dim, &mut out),
                 "portable" => portable::dist_sq_rows(black_box(&a), black_box(&b), dim, &mut out),
                 #[cfg(target_arch = "x86_64")]
+                // SAFETY: the avx2 tier is skipped above unless
+                // `avx2::available()`; slice lengths match the kernel contract.
                 _ => unsafe {
                     simd::avx2::dist_sq_rows(black_box(&a), black_box(&b), dim, &mut out)
                 },
@@ -153,6 +157,8 @@ fn main() {
                 }
                 "portable" => portable::dot_one_rows(black_box(&x), black_box(&b), &mut out),
                 #[cfg(target_arch = "x86_64")]
+                // SAFETY: the avx2 tier is skipped above unless
+                // `avx2::available()`; slice lengths match the kernel contract.
                 _ => unsafe { simd::avx2::dot_one_rows(black_box(&x), black_box(&b), &mut out) },
                 #[cfg(not(target_arch = "x86_64"))]
                 _ => unreachable!(),
@@ -165,6 +171,8 @@ fn main() {
                 "scalar" => scalar::axpy_rows(black_box(&alpha), black_box(&a), &mut y, dim),
                 "portable" => portable::axpy_rows(black_box(&alpha), black_box(&a), &mut y, dim),
                 #[cfg(target_arch = "x86_64")]
+                // SAFETY: the avx2 tier is skipped above unless
+                // `avx2::available()`; slice lengths match the kernel contract.
                 _ => unsafe {
                     simd::avx2::axpy_rows(black_box(&alpha), black_box(&a), &mut y, dim)
                 },

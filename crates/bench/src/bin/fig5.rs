@@ -35,11 +35,7 @@ fn main() {
         let base = [BaselineKind::TransCf, BaselineKind::Sml]
             .iter()
             .map(|&kind| run_model(&ModelSpec::baseline(kind, dim, epochs, seed), d))
-            .max_by(|a, b| {
-                a.ndcg_at(10)
-                    .partial_cmp(&b.ndcg_at(10))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .max_by(|a, b| a.ndcg_at(10).total_cmp(&b.ndcg_at(10)))
             .unwrap();
 
         let mut rows = Vec::new();

@@ -21,6 +21,10 @@
 //!
 //! Criterion microbenches live in `benches/`.
 
+// This crate is part of the deterministic numeric core: no unsafe
+// anywhere (the vetted unsafe surface lives in mars-tensor::simd
+// and mars-runtime; see `cargo run -p mars-audit -- check`).
+#![forbid(unsafe_code)]
 use mars_baselines::{
     bpr::Bpr, cml::Cml, lrml::Lrml, metricf::MetricF, neumf::NeuMf, nmf::Nmf, sml::Sml,
     transcf::TransCf, BaselineConfig, BaselineKind, ImplicitRecommender,

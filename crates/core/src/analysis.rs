@@ -103,11 +103,9 @@ pub fn category_proportions(
                     proportion: n as f32 / total.max(1) as f32,
                 })
                 .collect();
-            shares.sort_by(|a, b| {
-                b.proportion
-                    .partial_cmp(&a.proportion)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
+            // Descending by proportion under total_cmp (stable sort keeps
+            // equal-share categories in category order).
+            shares.sort_by(|a, b| b.proportion.total_cmp(&a.proportion));
             shares.truncate(top_n);
             shares
         })

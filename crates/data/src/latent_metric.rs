@@ -33,7 +33,7 @@ use crate::alias::AliasTable;
 use crate::dataset::Dataset;
 use crate::synthetic::SyntheticDataset;
 use crate::ItemId;
-use rand::rngs::StdRng;
+use rand::rngs::StdRng; // audit:allow(determinism) — only ever seeded (init/datagen)
 use rand::{Rng, SeedableRng};
 
 /// Configuration of the latent-metric generator.
@@ -96,7 +96,7 @@ pub fn generate_latent_metric(
     assert!(cfg.facets * cfg.clusters_per_facet <= u16::MAX as usize);
     assert!(cfg.latent_dim >= 2, "latent spheres need dim ≥ 2");
     assert!(cfg.facet_alpha > 0.0 && cfg.cluster_alpha > 0.0);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = StdRng::seed_from_u64(cfg.seed); // audit:allow(determinism) — seeded: pure function of the seed
     let f_count = cfg.facets;
     let c_count = cfg.clusters_per_facet;
 

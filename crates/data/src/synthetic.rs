@@ -26,7 +26,7 @@
 use crate::alias::AliasTable;
 use crate::dataset::Dataset;
 use crate::ItemId;
-use rand::rngs::StdRng;
+use rand::rngs::StdRng; // audit:allow(determinism) — only ever seeded (init/datagen)
 use rand::{Rng, SeedableRng};
 
 /// Configuration of the generator. See the module docs for the generative
@@ -86,7 +86,7 @@ impl SyntheticDataset {
         assert!(cfg.num_categories > 0 && cfg.num_categories <= u16::MAX as usize);
         assert!(cfg.max_item_categories >= 1);
         assert!(cfg.dirichlet_alpha > 0.0);
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut rng = StdRng::seed_from_u64(cfg.seed); // audit:allow(determinism) — seeded: pure function of the seed
 
         // --- Item → categories assignment -------------------------------
         let cat_weights: Vec<f32> = (0..cfg.num_categories)
@@ -212,7 +212,7 @@ pub fn clustered_points(
     seed: u64,
 ) -> (Vec<f32>, Vec<u32>) {
     assert!(n > 0 && dim > 0 && num_clusters > 0);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = StdRng::seed_from_u64(seed); // audit:allow(determinism) — seeded: pure function of the seed
     let centers: Vec<f32> = (0..num_clusters * dim)
         .map(|_| normal64(&mut rng) as f32)
         .collect();
@@ -387,7 +387,7 @@ mod tests {
     fn popularity_is_long_tailed() {
         let s = SyntheticDataset::generate("t", &tiny());
         let mut degrees = s.dataset.train.item_degrees_f32();
-        degrees.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        degrees.sort_by(|a, b| b.total_cmp(a));
         let top_decile: f32 = degrees[..5].iter().sum();
         let total: f32 = degrees.iter().sum();
         assert!(
@@ -451,7 +451,7 @@ mod tests {
 
     #[test]
     fn gamma_sampler_mean_matches() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = StdRng::seed_from_u64(11); // audit:allow(determinism) — seeded: pure function of the seed
         for &alpha in &[0.3f64, 1.0, 2.5] {
             let n = 20_000;
             let mean: f64 = (0..n).map(|_| gamma_sample(&mut rng, alpha)).sum::<f64>() / n as f64;

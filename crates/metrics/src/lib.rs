@@ -7,6 +7,10 @@
 //! same [`RankingEvaluator`], so comparisons in the harness differ only in
 //! the model.
 
+// This crate is part of the deterministic numeric core: no unsafe
+// anywhere (the vetted unsafe surface lives in mars-tensor::simd
+// and mars-runtime; see `cargo run -p mars-audit -- check`).
+#![forbid(unsafe_code)]
 pub mod beyond_accuracy;
 pub mod protocol;
 pub mod ranking;

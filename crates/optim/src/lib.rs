@@ -18,6 +18,10 @@
 //! exponential map) with the geometric identities tested directly, and
 //! [`schedule`] the learning-rate schedules the trainer consumes.
 
+// This crate is part of the deterministic numeric core: no unsafe
+// anywhere (the vetted unsafe surface lives in mars-tensor::simd
+// and mars-runtime; see `cargo run -p mars-audit -- check`).
+#![forbid(unsafe_code)]
 pub mod accum;
 pub mod schedule;
 pub mod sgd;

@@ -29,7 +29,7 @@ use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::thread::{self, Thread};
 
-use crate::SPIN_BEFORE_PARK;
+use crate::pool::SPIN_BEFORE_PARK;
 
 const EMPTY: u8 = 0;
 const FULL: u8 = 1;
@@ -126,6 +126,9 @@ impl<T> OneShotSlot<T> {
         // SAFETY: FULL acquired ⇒ the filler's write happens-before this
         // read, and the filler never touches the cell again.
         let value = unsafe { (*self.value.get()).take() };
+        // ORDERING: relaxed suffices — TAKEN only feeds same-thread
+        // debug assertions (`is_full`, double-wait detection); no other
+        // thread reads the state after FULL, and the filler is done.
         self.state.store(TAKEN, Ordering::Relaxed);
         value.expect("OneShotSlot waited twice")
     }
@@ -177,8 +180,11 @@ mod tests {
     #[test]
     fn many_slots_complete_under_contention() {
         // Stress the publish/consume ordering: a filler thread completes
-        // slots as fast as the waiter creates them.
-        for round in 0..200u64 {
+        // slots as fast as the waiter creates them. Shortened under Miri —
+        // its state-machine checks fire on the first crossing, and each
+        // interpreted round is ~1000x slower than native.
+        let rounds: u64 = if cfg!(miri) { 8 } else { 200 };
+        for round in 0..rounds {
             let slot = Arc::new(OneShotSlot::new());
             let filler = {
                 let slot = Arc::clone(&slot);

@@ -123,6 +123,8 @@ impl<S: Scorer> FaultScorer<S> {
 
     /// Total score calls observed so far.
     pub fn calls(&self) -> u64 {
+        // ORDERING: a monotone statistics counter — readers only need an
+        // eventually-consistent total, never cross-variable ordering.
         self.calls.load(Ordering::Relaxed)
     }
 
@@ -148,6 +150,10 @@ impl<S: Scorer> FaultScorer<S> {
 
 impl<S: Scorer> Scorer for FaultScorer<S> {
     fn score(&self, user: UserId, item: ItemId) -> f32 {
+        // ORDERING: each armed flag is an independent on/off latch and the
+        // call counter only tickets the fault schedule; no load below
+        // synchronizes-with any other memory, so Relaxed suffices — arming
+        // takes effect "on the next call", not at a synchronized instant.
         let call = self.calls.fetch_add(1, Ordering::Relaxed);
         if self.latency_armed.load(Ordering::Relaxed)
             && self.scheduled(call, self.cfg.sleep_every, 0x1a7e)

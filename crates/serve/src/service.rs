@@ -401,6 +401,9 @@ impl<S: ?Sized> SnapshotCell<S> {
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
         *slot = Arc::new(snapshot.into());
+        // ORDERING: version is written only under the slot mutex, so the
+        // Relaxed read cannot race another writer; the Release store below
+        // pairs with the Acquire load in `version()`.
         let v = self.version.load(Ordering::Relaxed) + 1;
         self.version.store(v, Ordering::Release);
         v
@@ -632,6 +635,9 @@ impl<S: Scorer + Send + Sync + 'static> RecService<S> {
         // `Some` from construction until `Drop` takes it, and `Drop`
         // requires `&mut self` — no `retrieve` can be running then.
         let tx = self.tx.as_ref().expect("queue alive until Drop");
+        // ORDERING: backlog is a pressure gauge and `submitted` a monotone
+        // statistic; neither orders any other memory — the OneShotSlot
+        // hand-off synchronizes the actual response.
         self.backlog.fetch_add(1, Ordering::Relaxed);
         match tx.send(sub) {
             Ok(()) => {
@@ -663,6 +669,9 @@ impl<S: Scorer + Send + Sync + 'static> RecService<S> {
         };
         // Same invariant as in `retrieve`.
         let tx = self.tx.as_ref().expect("queue alive until Drop");
+        // ORDERING: same backlog/statistics counters as `retrieve` —
+        // pressure heuristics and monotone stats, no cross-variable
+        // ordering required.
         self.backlog.fetch_add(1, Ordering::Relaxed);
         match tx.try_send(sub) {
             Ok(()) => {
@@ -716,6 +725,8 @@ impl<S: Scorer + Send + Sync + 'static> RecService<S> {
     pub fn stats(&self) -> ServiceStats {
         let c = &self.stats;
         ServiceStats {
+            // ORDERING: every field is an independently-atomic statistic; the
+            // doc above already disclaims instant-consistency of the set.
             submitted: c.submitted.load(Ordering::Relaxed),
             shed: c.shed.load(Ordering::Relaxed),
             deadline_dropped: c.deadline_dropped.load(Ordering::Relaxed),
@@ -821,6 +832,10 @@ fn supervisor_loop<S: Scorer + Send + Sync + 'static>(
     let mut budget = config.restart_budget;
     let mut controller = DegradeController::new();
     loop {
+        // ORDERING: healthy_batches / dispatcher_restarts are monotone
+        // stats (the supervisor compares healthy_batches against its own
+        // earlier read — same thread) and backlog is a pressure gauge;
+        // caller completion is ordered by the Submission slot, not these.
         let healthy_before = stats.healthy_batches.load(Ordering::Relaxed);
         // AssertUnwindSafe: on unwind the dispatch state (receiver,
         // controller counters, stats) is either dropped or merely stale —
@@ -879,6 +894,9 @@ fn dispatch_loop<S: Scorer + Send + Sync + 'static>(
         // arrival instant.
         match rx.recv() {
             Ok(sub) => {
+                // ORDERING: backlog is a pressure gauge read by the degrade
+                // controller as a heuristic; the channel itself synchronizes the
+                // submission hand-off, so Relaxed suffices.
                 backlog.fetch_sub(1, Ordering::Relaxed);
                 batch.push(sub);
             }
@@ -891,6 +909,9 @@ fn dispatch_loop<S: Scorer + Send + Sync + 'static>(
             while batch.len() < max_batch {
                 match rx.try_recv() {
                     Ok(sub) => {
+                        // ORDERING: backlog is a pressure gauge read by the degrade
+                        // controller as a heuristic; the channel itself synchronizes the
+                        // submission hand-off, so Relaxed suffices.
                         backlog.fetch_sub(1, Ordering::Relaxed);
                         batch.push(sub);
                     }
@@ -906,6 +927,9 @@ fn dispatch_loop<S: Scorer + Send + Sync + 'static>(
                 }
                 match rx.recv_timeout(window - now) {
                     Ok(sub) => {
+                        // ORDERING: backlog is a pressure gauge read by the degrade
+                        // controller as a heuristic; the channel itself synchronizes the
+                        // submission hand-off, so Relaxed suffices.
                         backlog.fetch_sub(1, Ordering::Relaxed);
                         batch.push(sub);
                     }
@@ -919,6 +943,8 @@ fn dispatch_loop<S: Scorer + Send + Sync + 'static>(
         let now = Instant::now();
         for sub in batch.drain(..) {
             if sub.expired(now) {
+                // ORDERING: monotone statistic; the typed error delivery is
+                // ordered by the Submission slot.
                 stats.deadline_dropped.fetch_add(1, Ordering::Relaxed);
                 sub.complete(Err(ServiceError::DeadlineExceeded));
             } else {
@@ -933,6 +959,8 @@ fn dispatch_loop<S: Scorer + Send + Sync + 'static>(
         // One snapshot, one rung, for the whole batch.
         let snapshot = Arc::clone(reader.current());
         let rung_idx = controller.rung.min(snapshot.depth() - 1);
+        // ORDERING: rung gauge exported via `stats()`; observers need no
+        // ordering against the batch it describes.
         stats.current_rung.store(rung_idx as u64, Ordering::Relaxed);
         let degraded = rung_idx > 0;
         let n = batch.len() as u64;
@@ -949,6 +977,9 @@ fn dispatch_loop<S: Scorer + Send + Sync + 'static>(
                 // Stats and controller BEFORE completing the callers, so
                 // a caller that reads `stats()` right after its response
                 // arrives sees its own batch accounted for.
+                // ORDERING: monotone stats plus the backlog pressure gauge; the
+                // caller-visible hand-off is ordered by OneShotSlot completion,
+                // not by these counters.
                 stats.healthy_batches.fetch_add(1, Ordering::Relaxed);
                 if degraded {
                     stats.degraded_served.fetch_add(n, Ordering::Relaxed);
@@ -970,6 +1001,8 @@ fn dispatch_loop<S: Scorer + Send + Sync + 'static>(
                 // A scorer panic: fail exactly this batch's callers, each
                 // with the typed Internal (not the blunt Drop-backstop
                 // Stopped), and hand control back to the supervisor.
+                // ORDERING: monotone statistic; the Internal errors below are
+                // delivered through the synchronizing Submission slot.
                 stats.batch_faults.fetch_add(1, Ordering::Relaxed);
                 for sub in batch.drain(..) {
                     sub.complete(Err(ServiceError::Internal));
@@ -1343,6 +1376,7 @@ mod tests {
                             .retrieve(&RecRequest::top_k((t * 200 + i) % 50, 5))
                             .expect("service alive");
                         if resp.degraded {
+                            // ORDERING: test tally; the joins below order the final read.
                             degraded_seen.fetch_add(1, Ordering::Relaxed);
                         }
                     }
@@ -1355,6 +1389,8 @@ mod tests {
         let s = service.stats();
         assert_eq!(
             s.degraded_served as usize,
+            // ORDERING: writer threads were joined above; this Relaxed
+            // load is the only remaining access.
             degraded_seen.load(Ordering::Relaxed)
         );
         // Quiet traffic steps the ladder back up to full fidelity.

@@ -136,7 +136,10 @@ pub fn kmeans(data: &Matrix, k: usize, max_iters: usize, seed: u64) -> KMeans {
                     .max_by(|&a, &b| {
                         let da = ops::dist_sq(data.row(a), centroids.row(assignment[a]));
                         let db = ops::dist_sq(data.row(b), centroids.row(assignment[b]));
-                        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                        // total_cmp keeps the argmax deterministic even if
+                        // a distance degenerates to NaN (it ranks last,
+                        // i.e. "farthest", and ties break by index).
+                        da.total_cmp(&db)
                     })
                     .unwrap();
                 centroids.row_mut(c).copy_from_slice(data.row(far));
@@ -231,6 +234,25 @@ mod tests {
         // First pick is `gen_below(n)` on the keyed stream directly.
         let mut rng = mars_runtime::rng::CounterRng::keyed(8, 0);
         assert_eq!(kmeans_pp_seed(&data, 1, 8), [rng.gen_below(60) as usize]);
+    }
+
+    /// Regression for the NaN-unsound empty-cluster reseed: a NaN
+    /// coordinate must neither panic nor make the run
+    /// permutation/run-dependent (the old `partial_cmp(..).unwrap_or(Equal)`
+    /// argmax comparator was inconsistent under NaN).
+    #[test]
+    fn kmeans_survives_nan_rows_deterministically() {
+        let (data, _) = blobs();
+        let mut rows = data.as_slice().to_vec();
+        rows[7] = f32::NAN; // poison one coordinate of one point
+        let data = Matrix::from_vec(60, 2, rows);
+        let a = kmeans(&data, 3, 50, 8);
+        let b = kmeans(&data, 3, 50, 8);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.assignment.len(), 60);
+        for (x, y) in a.centroids.as_slice().iter().zip(b.centroids.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 
     /// All-identical points: every distance is zero, so every pick after the

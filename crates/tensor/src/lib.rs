@@ -26,13 +26,6 @@
 //! The crate also hosts the PCA routine ([`pca::Pca`]) used to regenerate the
 //! paper's Figure 7 embedding visualisations.
 
-// Indexed loops over parallel slices are used deliberately in the gradient
-// kernels: the math reads as subscripts (`u[d]`, `v[d]`, `diff[d]`), and
-// zipping three or four iterators obscures which tensor each factor comes
-// from. LLVM elides the bounds checks in release builds (verified in the
-// Criterion benches).
-#![allow(clippy::needless_range_loop)]
-
 pub mod init;
 pub mod kmeans;
 pub mod matrix;

@@ -66,6 +66,9 @@ static PATH: AtomicU8 = AtomicU8::new(PATH_UNRESOLVED);
 /// per process from the host CPU (so a run never mixes tiers).
 #[inline]
 pub fn active_path() -> Path {
+    // ORDERING: relaxed suffices — the cached tier is a pure function of
+    // the host CPU, so every racing resolver stores the same value; no
+    // other memory is published through this flag.
     match PATH.load(Ordering::Relaxed) {
         PATH_AVX2 => Path::Avx2Fma,
         PATH_PORTABLE => Path::Portable,
@@ -87,13 +90,16 @@ fn resolve_path() -> Path {
         Path::Avx2Fma => PATH_AVX2,
         Path::Portable => PATH_PORTABLE,
     };
+    // ORDERING: relaxed suffices — see `active_path`: idempotent cache of
+    // a host-CPU property, carrying no other data.
     PATH.store(code, Ordering::Relaxed);
     path
 }
 
-/// Dispatches one kernel call to the active tier. The AVX2 arm is `unsafe`
-/// only for the `target_feature` contract, which `active_path()` has
-/// verified.
+/// Dispatches one kernel call to the active tier.
+// SAFETY: the AVX2 arm is `unsafe` only for the `target_feature` contract,
+// which `active_path()` has verified on this host before ever returning
+// `Path::Avx2Fma`; the safe wrappers checked the length preconditions.
 macro_rules! dispatch {
     ($name:ident($($arg:expr),*)) => {
         match active_path() {
@@ -586,7 +592,7 @@ pub mod avx2 {
     /// (`l + l+4`), then pairwise — the tree [`super::portable`] mirrors.
     #[inline]
     #[target_feature(enable = "avx2,fma")]
-    unsafe fn hsum256(v: __m256) -> f32 {
+    fn hsum256(v: __m256) -> f32 {
         let lo = _mm256_castps256_ps128(v);
         let hi = _mm256_extractf128_ps(v, 1);
         let halves = _mm_add_ps(lo, hi); // [l0+l4, l1+l5, l2+l6, l3+l7]
@@ -603,22 +609,27 @@ pub mod avx2 {
     /// length.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
-        debug_assert_eq!(a.len(), b.len());
-        let n = a.len();
-        let body = n / LANES * LANES;
-        let (pa, pb) = (a.as_ptr(), b.as_ptr());
-        let mut acc = _mm256_setzero_ps();
-        let mut i = 0;
-        while i < body {
-            acc = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc);
-            i += LANES;
+        // SAFETY: the caller upholds the `# Safety` contract above — the
+        // required target features are enabled and the length preconditions
+        // hold, so every lane load/store below stays in bounds.
+        unsafe {
+            debug_assert_eq!(a.len(), b.len());
+            let n = a.len();
+            let body = n / LANES * LANES;
+            let (pa, pb) = (a.as_ptr(), b.as_ptr());
+            let mut acc = _mm256_setzero_ps();
+            let mut i = 0;
+            while i < body {
+                acc = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc);
+                i += LANES;
+            }
+            let mut tail = 0.0f32;
+            while i < n {
+                tail += *pa.add(i) * *pb.add(i);
+                i += 1;
+            }
+            hsum256(acc) + tail
         }
-        let mut tail = 0.0f32;
-        while i < n {
-            tail += *pa.add(i) * *pb.add(i);
-            i += 1;
-        }
-        hsum256(acc) + tail
     }
 
     /// Chunked squared Euclidean distance.
@@ -628,24 +639,29 @@ pub mod avx2 {
     /// length.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
-        debug_assert_eq!(a.len(), b.len());
-        let n = a.len();
-        let body = n / LANES * LANES;
-        let (pa, pb) = (a.as_ptr(), b.as_ptr());
-        let mut acc = _mm256_setzero_ps();
-        let mut i = 0;
-        while i < body {
-            let d = _mm256_sub_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)));
-            acc = _mm256_fmadd_ps(d, d, acc);
-            i += LANES;
+        // SAFETY: the caller upholds the `# Safety` contract above — the
+        // required target features are enabled and the length preconditions
+        // hold, so every lane load/store below stays in bounds.
+        unsafe {
+            debug_assert_eq!(a.len(), b.len());
+            let n = a.len();
+            let body = n / LANES * LANES;
+            let (pa, pb) = (a.as_ptr(), b.as_ptr());
+            let mut acc = _mm256_setzero_ps();
+            let mut i = 0;
+            while i < body {
+                let d = _mm256_sub_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)));
+                acc = _mm256_fmadd_ps(d, d, acc);
+                i += LANES;
+            }
+            let mut tail = 0.0f32;
+            while i < n {
+                let d = *pa.add(i) - *pb.add(i);
+                tail += d * d;
+                i += 1;
+            }
+            hsum256(acc) + tail
         }
-        let mut tail = 0.0f32;
-        while i < n {
-            let d = *pa.add(i) - *pb.add(i);
-            tail += d * d;
-            i += 1;
-        }
-        hsum256(acc) + tail
     }
 
     /// `y ← y + alpha · x` with FMA.
@@ -655,21 +671,27 @@ pub mod avx2 {
     /// length.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
-        debug_assert_eq!(x.len(), y.len());
-        let n = x.len();
-        let body = n / LANES * LANES;
-        let va = _mm256_set1_ps(alpha);
-        let px = x.as_ptr();
-        let py = y.as_mut_ptr();
-        let mut i = 0;
-        while i < body {
-            let acc = _mm256_fmadd_ps(va, _mm256_loadu_ps(px.add(i)), _mm256_loadu_ps(py.add(i)));
-            _mm256_storeu_ps(py.add(i), acc);
-            i += LANES;
-        }
-        while i < n {
-            *py.add(i) += alpha * *px.add(i);
-            i += 1;
+        // SAFETY: the caller upholds the `# Safety` contract above — the
+        // required target features are enabled and the length preconditions
+        // hold, so every lane load/store below stays in bounds.
+        unsafe {
+            debug_assert_eq!(x.len(), y.len());
+            let n = x.len();
+            let body = n / LANES * LANES;
+            let va = _mm256_set1_ps(alpha);
+            let px = x.as_ptr();
+            let py = y.as_mut_ptr();
+            let mut i = 0;
+            while i < body {
+                let acc =
+                    _mm256_fmadd_ps(va, _mm256_loadu_ps(px.add(i)), _mm256_loadu_ps(py.add(i)));
+                _mm256_storeu_ps(py.add(i), acc);
+                i += LANES;
+            }
+            while i < n {
+                *py.add(i) += alpha * *px.add(i);
+                i += 1;
+            }
         }
     }
 
@@ -680,8 +702,13 @@ pub mod avx2 {
     /// `out.len()` rows of `dim`.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn dot_rows(a: &[f32], b: &[f32], dim: usize, out: &mut [f32]) {
-        for (r, o) in out.iter_mut().enumerate() {
-            *o = dot(&a[r * dim..(r + 1) * dim], &b[r * dim..(r + 1) * dim]);
+        // SAFETY: the caller upholds the `# Safety` contract above — the
+        // required target features are enabled and the length preconditions
+        // hold, so every lane load/store below stays in bounds.
+        unsafe {
+            for (r, o) in out.iter_mut().enumerate() {
+                *o = dot(&a[r * dim..(r + 1) * dim], &b[r * dim..(r + 1) * dim]);
+            }
         }
     }
 
@@ -692,8 +719,13 @@ pub mod avx2 {
     /// `out.len()` rows of `dim`.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn dist_sq_rows(a: &[f32], b: &[f32], dim: usize, out: &mut [f32]) {
-        for (r, o) in out.iter_mut().enumerate() {
-            *o = dist_sq(&a[r * dim..(r + 1) * dim], &b[r * dim..(r + 1) * dim]);
+        // SAFETY: the caller upholds the `# Safety` contract above — the
+        // required target features are enabled and the length preconditions
+        // hold, so every lane load/store below stays in bounds.
+        unsafe {
+            for (r, o) in out.iter_mut().enumerate() {
+                *o = dist_sq(&a[r * dim..(r + 1) * dim], &b[r * dim..(r + 1) * dim]);
+            }
         }
     }
 
@@ -704,9 +736,14 @@ pub mod avx2 {
     /// `out.len()` rows of `x.len()`.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn dot_one_rows(x: &[f32], b: &[f32], out: &mut [f32]) {
-        let dim = x.len();
-        for (r, o) in out.iter_mut().enumerate() {
-            *o = dot(x, &b[r * dim..(r + 1) * dim]);
+        // SAFETY: the caller upholds the `# Safety` contract above — the
+        // required target features are enabled and the length preconditions
+        // hold, so every lane load/store below stays in bounds.
+        unsafe {
+            let dim = x.len();
+            for (r, o) in out.iter_mut().enumerate() {
+                *o = dot(x, &b[r * dim..(r + 1) * dim]);
+            }
         }
     }
 
@@ -717,9 +754,14 @@ pub mod avx2 {
     /// `out.len()` rows of `x.len()`.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn dist_sq_one_rows(x: &[f32], b: &[f32], out: &mut [f32]) {
-        let dim = x.len();
-        for (r, o) in out.iter_mut().enumerate() {
-            *o = dist_sq(x, &b[r * dim..(r + 1) * dim]);
+        // SAFETY: the caller upholds the `# Safety` contract above — the
+        // required target features are enabled and the length preconditions
+        // hold, so every lane load/store below stays in bounds.
+        unsafe {
+            let dim = x.len();
+            for (r, o) in out.iter_mut().enumerate() {
+                *o = dist_sq(x, &b[r * dim..(r + 1) * dim]);
+            }
         }
     }
 
@@ -731,13 +773,18 @@ pub mod avx2 {
     /// `alpha.len()` rows of `dim`.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn axpy_rows(alpha: &[f32], x: &[f32], y: &mut [f32], dim: usize) {
-        for (r, &a) in alpha.iter().enumerate() {
-            if a != 0.0 {
-                axpy(
-                    a,
-                    &x[r * dim..(r + 1) * dim],
-                    &mut y[r * dim..(r + 1) * dim],
-                );
+        // SAFETY: the caller upholds the `# Safety` contract above — the
+        // required target features are enabled and the length preconditions
+        // hold, so every lane load/store below stays in bounds.
+        unsafe {
+            for (r, &a) in alpha.iter().enumerate() {
+                if a != 0.0 {
+                    axpy(
+                        a,
+                        &x[r * dim..(r + 1) * dim],
+                        &mut y[r * dim..(r + 1) * dim],
+                    );
+                }
             }
         }
     }
@@ -761,30 +808,35 @@ pub mod avx2 {
         dp: &mut [f32],
         dq: &mut [f32],
     ) {
-        let n = u.len();
-        let body = n / LANES * LANES;
-        let vwp = _mm256_set1_ps(wp2);
-        let vwq = _mm256_set1_ps(wq2);
-        let sign = _mm256_set1_ps(-0.0);
-        let (pu, pp, pq) = (u.as_ptr(), p.as_ptr(), q.as_ptr());
-        let (pdu, pdp, pdq) = (du.as_mut_ptr(), dp.as_mut_ptr(), dq.as_mut_ptr());
-        let mut i = 0;
-        while i < body {
-            let vu = _mm256_loadu_ps(pu.add(i));
-            let gp = _mm256_mul_ps(vwp, _mm256_sub_ps(vu, _mm256_loadu_ps(pp.add(i))));
-            let gq = _mm256_mul_ps(vwq, _mm256_sub_ps(vu, _mm256_loadu_ps(pq.add(i))));
-            _mm256_storeu_ps(pdp.add(i), gp);
-            _mm256_storeu_ps(pdq.add(i), gq);
-            _mm256_storeu_ps(pdu.add(i), _mm256_xor_ps(_mm256_add_ps(gp, gq), sign));
-            i += LANES;
-        }
-        while i < n {
-            let gp = wp2 * (*pu.add(i) - *pp.add(i));
-            let gq = wq2 * (*pu.add(i) - *pq.add(i));
-            *pdp.add(i) = gp;
-            *pdq.add(i) = gq;
-            *pdu.add(i) = -(gp + gq);
-            i += 1;
+        // SAFETY: the caller upholds the `# Safety` contract above — the
+        // required target features are enabled and the length preconditions
+        // hold, so every lane load/store below stays in bounds.
+        unsafe {
+            let n = u.len();
+            let body = n / LANES * LANES;
+            let vwp = _mm256_set1_ps(wp2);
+            let vwq = _mm256_set1_ps(wq2);
+            let sign = _mm256_set1_ps(-0.0);
+            let (pu, pp, pq) = (u.as_ptr(), p.as_ptr(), q.as_ptr());
+            let (pdu, pdp, pdq) = (du.as_mut_ptr(), dp.as_mut_ptr(), dq.as_mut_ptr());
+            let mut i = 0;
+            while i < body {
+                let vu = _mm256_loadu_ps(pu.add(i));
+                let gp = _mm256_mul_ps(vwp, _mm256_sub_ps(vu, _mm256_loadu_ps(pp.add(i))));
+                let gq = _mm256_mul_ps(vwq, _mm256_sub_ps(vu, _mm256_loadu_ps(pq.add(i))));
+                _mm256_storeu_ps(pdp.add(i), gp);
+                _mm256_storeu_ps(pdq.add(i), gq);
+                _mm256_storeu_ps(pdu.add(i), _mm256_xor_ps(_mm256_add_ps(gp, gq), sign));
+                i += LANES;
+            }
+            while i < n {
+                let gp = wp2 * (*pu.add(i) - *pp.add(i));
+                let gq = wq2 * (*pu.add(i) - *pq.add(i));
+                *pdp.add(i) = gp;
+                *pdq.add(i) = gq;
+                *pdu.add(i) = -(gp + gq);
+                i += 1;
+            }
         }
     }
 
@@ -796,7 +848,7 @@ pub mod avx2 {
     /// irrelevant: integer addition is exact.
     #[inline]
     #[target_feature(enable = "avx2")]
-    unsafe fn hsum256_i32(v: __m256i) -> i32 {
+    fn hsum256_i32(v: __m256i) -> i32 {
         let s = _mm_add_epi32(_mm256_castsi256_si128(v), _mm256_extracti128_si256(v, 1));
         let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b01_00_11_10));
         let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b00_00_00_01));
@@ -814,25 +866,30 @@ pub mod avx2 {
     /// rows of `x.len()`.
     #[target_feature(enable = "avx2")]
     pub unsafe fn dot_rows_i8(x: &[i8], rows: &[i8], out: &mut [i32]) {
-        let dim = x.len();
-        let body = dim / I8_STEP * I8_STEP;
-        let px = x.as_ptr();
-        for (r, o) in out.iter_mut().enumerate() {
-            let pr = rows.as_ptr().add(r * dim);
-            let mut acc = _mm256_setzero_si256();
-            let mut i = 0;
-            while i < body {
-                let vx = _mm256_cvtepi8_epi16(_mm_loadu_si128(px.add(i).cast()));
-                let vr = _mm256_cvtepi8_epi16(_mm_loadu_si128(pr.add(i).cast()));
-                acc = _mm256_add_epi32(acc, _mm256_madd_epi16(vx, vr));
-                i += I8_STEP;
+        // SAFETY: the caller upholds the `# Safety` contract above — the
+        // required target features are enabled and the length preconditions
+        // hold, so every lane load/store below stays in bounds.
+        unsafe {
+            let dim = x.len();
+            let body = dim / I8_STEP * I8_STEP;
+            let px = x.as_ptr();
+            for (r, o) in out.iter_mut().enumerate() {
+                let pr = rows.as_ptr().add(r * dim);
+                let mut acc = _mm256_setzero_si256();
+                let mut i = 0;
+                while i < body {
+                    let vx = _mm256_cvtepi8_epi16(_mm_loadu_si128(px.add(i).cast()));
+                    let vr = _mm256_cvtepi8_epi16(_mm_loadu_si128(pr.add(i).cast()));
+                    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(vx, vr));
+                    i += I8_STEP;
+                }
+                let mut sum = hsum256_i32(acc);
+                while i < dim {
+                    sum += *px.add(i) as i32 * *pr.add(i) as i32;
+                    i += 1;
+                }
+                *o = sum;
             }
-            let mut sum = hsum256_i32(acc);
-            while i < dim {
-                sum += *px.add(i) as i32 * *pr.add(i) as i32;
-                i += 1;
-            }
-            *o = sum;
         }
     }
 
@@ -844,7 +901,7 @@ pub mod avx2 {
     /// `u64::wrapping_mul`.
     #[inline]
     #[target_feature(enable = "avx2")]
-    unsafe fn mullo64(a: __m256i, b: __m256i) -> __m256i {
+    fn mullo64(a: __m256i, b: __m256i) -> __m256i {
         let a_hi = _mm256_srli_epi64(a, 32);
         let b_hi = _mm256_srli_epi64(b, 32);
         let low = _mm256_mul_epu32(a, b);
@@ -857,7 +914,7 @@ pub mod avx2 {
     /// bit-identical to `mars_runtime::rng::mix64`.
     #[inline]
     #[target_feature(enable = "avx2")]
-    unsafe fn mix64x4(mut z: __m256i) -> __m256i {
+    fn mix64x4(mut z: __m256i) -> __m256i {
         let m1 = _mm256_set1_epi64x(0xBF58_476D_1CE4_E5B9_u64 as i64);
         let m2 = _mm256_set1_epi64x(0x94D0_49BB_1331_11EB_u64 as i64);
         z = _mm256_xor_si256(z, _mm256_srli_epi64(z, 30));
@@ -877,44 +934,49 @@ pub mod avx2 {
     /// Requires AVX2 (check [`available`]).
     #[target_feature(enable = "avx2")]
     pub unsafe fn fill_splitmix64(base: u64, out: &mut [u64]) {
-        use mars_runtime::rng::{mix64, GOLDEN};
-        const STEP: usize = 8;
-        let n = out.len();
-        let body = n / STEP * STEP;
-        let po = out.as_mut_ptr();
-        // Lane counters for i = 0..4 and 4..8, advanced by 8·G per step.
-        // Setup is one broadcast plus adds of compile-time offset vectors
-        // (k·G for k = 1..=8) — cheaper than eight scalar `base + k·G`
-        // computes funneled through lane inserts, which matters because the
-        // sampling pipeline calls this on fills as short as one block.
-        const G: u64 = GOLDEN;
-        let b = _mm256_set1_epi64x(base as i64);
-        let off_lo = _mm256_setr_epi64x(
-            G as i64,
-            G.wrapping_mul(2) as i64,
-            G.wrapping_mul(3) as i64,
-            G.wrapping_mul(4) as i64,
-        );
-        let off_hi = _mm256_setr_epi64x(
-            G.wrapping_mul(5) as i64,
-            G.wrapping_mul(6) as i64,
-            G.wrapping_mul(7) as i64,
-            G.wrapping_mul(8) as i64,
-        );
-        let mut ctr_lo = _mm256_add_epi64(b, off_lo);
-        let mut ctr_hi = _mm256_add_epi64(b, off_hi);
-        let step = _mm256_set1_epi64x(GOLDEN.wrapping_mul(STEP as u64) as i64);
-        let mut i = 0;
-        while i < body {
-            _mm256_storeu_si256(po.add(i).cast(), mix64x4(ctr_lo));
-            _mm256_storeu_si256(po.add(i + 4).cast(), mix64x4(ctr_hi));
-            ctr_lo = _mm256_add_epi64(ctr_lo, step);
-            ctr_hi = _mm256_add_epi64(ctr_hi, step);
-            i += STEP;
-        }
-        while i < n {
-            *po.add(i) = mix64(base.wrapping_add((i as u64 + 1).wrapping_mul(GOLDEN)));
-            i += 1;
+        // SAFETY: the caller upholds the `# Safety` contract above — the
+        // required target features are enabled and the length preconditions
+        // hold, so every lane load/store below stays in bounds.
+        unsafe {
+            use mars_runtime::rng::{mix64, GOLDEN};
+            const STEP: usize = 8;
+            let n = out.len();
+            let body = n / STEP * STEP;
+            let po = out.as_mut_ptr();
+            // Lane counters for i = 0..4 and 4..8, advanced by 8·G per step.
+            // Setup is one broadcast plus adds of compile-time offset vectors
+            // (k·G for k = 1..=8) — cheaper than eight scalar `base + k·G`
+            // computes funneled through lane inserts, which matters because the
+            // sampling pipeline calls this on fills as short as one block.
+            const G: u64 = GOLDEN;
+            let b = _mm256_set1_epi64x(base as i64);
+            let off_lo = _mm256_setr_epi64x(
+                G as i64,
+                G.wrapping_mul(2) as i64,
+                G.wrapping_mul(3) as i64,
+                G.wrapping_mul(4) as i64,
+            );
+            let off_hi = _mm256_setr_epi64x(
+                G.wrapping_mul(5) as i64,
+                G.wrapping_mul(6) as i64,
+                G.wrapping_mul(7) as i64,
+                G.wrapping_mul(8) as i64,
+            );
+            let mut ctr_lo = _mm256_add_epi64(b, off_lo);
+            let mut ctr_hi = _mm256_add_epi64(b, off_hi);
+            let step = _mm256_set1_epi64x(GOLDEN.wrapping_mul(STEP as u64) as i64);
+            let mut i = 0;
+            while i < body {
+                _mm256_storeu_si256(po.add(i).cast(), mix64x4(ctr_lo));
+                _mm256_storeu_si256(po.add(i + 4).cast(), mix64x4(ctr_hi));
+                ctr_lo = _mm256_add_epi64(ctr_lo, step);
+                ctr_hi = _mm256_add_epi64(ctr_hi, step);
+                i += STEP;
+            }
+            while i < n {
+                *po.add(i) = mix64(base.wrapping_add((i as u64 + 1).wrapping_mul(GOLDEN)));
+                i += 1;
+            }
         }
     }
 
@@ -928,27 +990,32 @@ pub mod avx2 {
     /// rows of `x.len()`.
     #[target_feature(enable = "avx2")]
     pub unsafe fn dist_sq_rows_i8(x: &[i8], rows: &[i8], out: &mut [i32]) {
-        let dim = x.len();
-        let body = dim / I8_STEP * I8_STEP;
-        let px = x.as_ptr();
-        for (r, o) in out.iter_mut().enumerate() {
-            let pr = rows.as_ptr().add(r * dim);
-            let mut acc = _mm256_setzero_si256();
-            let mut i = 0;
-            while i < body {
-                let vx = _mm256_cvtepi8_epi16(_mm_loadu_si128(px.add(i).cast()));
-                let vr = _mm256_cvtepi8_epi16(_mm_loadu_si128(pr.add(i).cast()));
-                let d = _mm256_sub_epi16(vx, vr);
-                acc = _mm256_add_epi32(acc, _mm256_madd_epi16(d, d));
-                i += I8_STEP;
+        // SAFETY: the caller upholds the `# Safety` contract above — the
+        // required target features are enabled and the length preconditions
+        // hold, so every lane load/store below stays in bounds.
+        unsafe {
+            let dim = x.len();
+            let body = dim / I8_STEP * I8_STEP;
+            let px = x.as_ptr();
+            for (r, o) in out.iter_mut().enumerate() {
+                let pr = rows.as_ptr().add(r * dim);
+                let mut acc = _mm256_setzero_si256();
+                let mut i = 0;
+                while i < body {
+                    let vx = _mm256_cvtepi8_epi16(_mm_loadu_si128(px.add(i).cast()));
+                    let vr = _mm256_cvtepi8_epi16(_mm_loadu_si128(pr.add(i).cast()));
+                    let d = _mm256_sub_epi16(vx, vr);
+                    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(d, d));
+                    i += I8_STEP;
+                }
+                let mut sum = hsum256_i32(acc);
+                while i < dim {
+                    let d = *px.add(i) as i32 - *pr.add(i) as i32;
+                    sum += d * d;
+                    i += 1;
+                }
+                *o = sum;
             }
-            let mut sum = hsum256_i32(acc);
-            while i < dim {
-                let d = *px.add(i) as i32 - *pr.add(i) as i32;
-                sum += d * d;
-                i += 1;
-            }
-            *o = sum;
         }
     }
 }

@@ -49,7 +49,10 @@ pub fn quantile(xs: &[f32], q: f32) -> f32 {
         return 0.0;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    // total_cmp: a NaN-total order (NaN sorts above +inf), so the
+    // comparator never lies to the sort and the result is deterministic
+    // for any input permutation.
+    sorted.sort_by(f32::total_cmp);
     let idx = ((q.clamp(0.0, 1.0)) * (sorted.len() - 1) as f32).round() as usize;
     sorted[idx]
 }
@@ -107,6 +110,24 @@ mod tests {
         assert_eq!(quantile(&xs, 0.0), 1.0);
         assert_eq!(quantile(&xs, 1.0), 5.0);
         assert_eq!(quantile(&xs, 0.5), 3.0);
+    }
+
+    #[test]
+    fn quantile_is_nan_safe_and_permutation_deterministic() {
+        // Regression: the old `partial_cmp(..).unwrap_or(Equal)` comparator
+        // was inconsistent under NaN, so the sort result (and thus any
+        // percentile) depended on the input permutation. total_cmp ranks
+        // NaN above +inf, deterministically.
+        let perms: [[f32; 5]; 3] = [
+            [2.0, f32::NAN, 1.0, 5.0, 3.0],
+            [f32::NAN, 5.0, 3.0, 2.0, 1.0],
+            [1.0, 2.0, 3.0, f32::NAN, 5.0],
+        ];
+        for xs in perms {
+            assert_eq!(quantile(&xs, 0.0), 1.0);
+            assert_eq!(quantile(&xs, 0.5), 3.0);
+            assert!(quantile(&xs, 1.0).is_nan(), "NaN sorts last");
+        }
     }
 
     #[test]

@@ -73,6 +73,8 @@ fn avx2_and_portable_kernels_agree_across_dims() {
     for_all_dims(|dim| {
         let a = vec_for(dim, 3);
         let b = vec_for(dim, 4);
+        // SAFETY: AVX2+FMA availability is checked above, and every
+        // slice meets the kernel's `# Safety` length preconditions.
         let (d_a, d_p) = (unsafe { avx2::dot(&a, &b) }, portable::dot(&a, &b));
         assert!(
             rel_close(d_a, d_p, 1e-5),
@@ -83,6 +85,8 @@ fn avx2_and_portable_kernels_agree_across_dims() {
 
         let mut y_a = vec_for(dim, 5);
         let mut y_p = y_a.clone();
+        // SAFETY: AVX2+FMA availability is checked above, and every
+        // slice meets the kernel's `# Safety` length preconditions.
         unsafe { avx2::axpy(0.37, &a, &mut y_a) };
         portable::axpy(0.37, &a, &mut y_p);
         for i in 0..dim {
@@ -97,6 +101,8 @@ fn avx2_and_portable_kernels_agree_across_dims() {
         let rb = vec_for(dim * 3, 7);
         let mut out_a = vec![0.0f32; 3];
         let mut out_p = vec![0.0f32; 3];
+        // SAFETY: AVX2+FMA availability is checked above, and every
+        // slice meets the kernel's `# Safety` length preconditions.
         unsafe { avx2::dot_rows(&ra, &rb, dim, &mut out_a) };
         portable::dot_rows(&ra, &rb, dim, &mut out_p);
         for r in 0..3 {
@@ -121,6 +127,8 @@ fn avx2_and_portable_kernels_agree_across_dims() {
         let mut grads_p = vec![vec![0.0f32; dim]; 3];
         {
             let [du, dp, dq] = grads_a.get_disjoint_mut([0, 1, 2]).unwrap();
+            // SAFETY: AVX2+FMA availability is checked above, and every
+            // slice meets the kernel's `# Safety` length preconditions.
             unsafe { avx2::euclid_grad_row(1.3, -0.7, &u, &p, &q, du, dp, dq) };
         }
         {
@@ -153,6 +161,8 @@ fn dispatch_routes_to_the_detected_tier_and_both_paths_run() {
             {
                 use mars_tensor::simd::avx2;
                 assert!(avx2::available(), "AVX2 tier active but not detected");
+                // SAFETY: AVX2+FMA availability is checked above, and every
+                // slice meets the kernel's `# Safety` length preconditions.
                 let from_avx2 = unsafe { avx2::dot(&a, &b) }; // ...and so does the AVX2 tier
                 assert_eq!(
                     dispatched.to_bits(),
@@ -215,6 +225,8 @@ fn int8_kernels_agree_exactly_across_tiers_and_dims() {
             use mars_tensor::simd::avx2;
             if avx2::available() {
                 scalar::dot_rows_i8(&x, &b, &mut expect);
+                // SAFETY: AVX2+FMA availability is checked above, and every
+                // slice meets the kernel's `# Safety` length preconditions.
                 unsafe { avx2::dot_rows_i8(&x, &b, &mut got) };
                 assert_eq!(expect, got, "avx2 dot_rows_i8 at dim {dim}");
                 scalar::dist_sq_rows_i8(&x, &b, &mut expect);
@@ -245,6 +257,8 @@ fn splitmix64_tiers_agree_exactly_across_block_sizes() {
             {
                 use mars_tensor::simd::avx2;
                 if avx2::available() {
+                    // SAFETY: AVX2+FMA availability is checked above, and every
+                    // slice meets the kernel's `# Safety` length preconditions.
                     unsafe { avx2::fill_splitmix64(base, &mut got) };
                     assert_eq!(expect, got, "avx2 fill at len {len}, base {base:#x}");
                 }
@@ -306,6 +320,8 @@ fn splitmix64_dispatch_routes_to_active_tier_and_installs() {
     match simd::active_path() {
         Path::Portable => portable::fill_splitmix64(base, &mut tier),
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2+FMA availability is checked above, and every
+        // slice meets the kernel's `# Safety` length preconditions.
         Path::Avx2Fma => unsafe { mars_tensor::simd::avx2::fill_splitmix64(base, &mut tier) },
         #[cfg(not(target_arch = "x86_64"))]
         Path::Avx2Fma => unreachable!("AVX2 tier off x86-64"),

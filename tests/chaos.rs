@@ -195,6 +195,8 @@ fn chaos_faults_never_strand_callers_and_the_service_recovers() {
         thread::spawn(move || {
             let mut e = 0usize;
             let mut publishes = 0u64;
+            // ORDERING: plain stop flag — the thread join synchronizes
+            // everything else.
             while !stop.load(Ordering::Relaxed) {
                 e = (e + 1) % EPOCHS;
                 service.publish(refs[e].clone());
@@ -205,6 +207,7 @@ fn chaos_faults_never_strand_callers_and_the_service_recovers() {
         })
     };
     let stormed = run_load(&service, reqs, None);
+    // ORDERING: stop flag; `join` below synchronizes the hand-off.
     stop_publishing.store(true, Ordering::Relaxed);
     let publishes = publisher.join().unwrap();
     arm_all(Fault::Panic, false);
